@@ -1,0 +1,352 @@
+// Package collabnet's root benchmark suite: one benchmark per paper figure
+// (reduced-scale but shape-preserving; use cmd/collabsim -scale paper for
+// full-size runs) plus micro-benchmarks of every hot kernel. Run with:
+//
+//	go test -bench=. -benchmem
+package collabnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/core"
+	"collabnet/internal/experiments"
+	"collabnet/internal/game"
+	"collabnet/internal/network"
+	"collabnet/internal/reputation"
+	"collabnet/internal/sim"
+	"collabnet/internal/xrand"
+)
+
+// benchScale is the per-iteration experiment size for the figure benches.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		TrainSteps: 800, MeasureSteps: 400, Peers: 50, Replicas: 1, Workers: 1, Seed: 1,
+	}
+}
+
+// BenchmarkFig1ReputationFunction regenerates Figure 1 (analytic).
+func BenchmarkFig1ReputationFunction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Boltzmann regenerates Figure 2 (analytic).
+func BenchmarkFig2Boltzmann(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig2()
+		if len(fig.Series) != 2 {
+			b.Fatal("malformed figure")
+		}
+	}
+}
+
+// BenchmarkFig3IncentiveVsNone runs the Figure 3 comparison (incentive on
+// vs off, all-rational network).
+func BenchmarkFig3IncentiveVsNone(b *testing.B) {
+	sc := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.ArticleGain(), "articleGain%")
+		b.ReportMetric(100*res.BandwidthGain(), "bandwidthGain%")
+	}
+}
+
+// BenchmarkFig4MixtureSweep runs the Figure 4 population sweep (18 runs
+// per iteration: 9 mixture points × 2 varied types).
+func BenchmarkFig4MixtureSweep(b *testing.B) {
+	sc := benchScale()
+	sc.TrainSteps = 400
+	sc.MeasureSteps = 200
+	sc.Workers = 0
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig4(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5RationalSweep runs the Figure 5 per-rational sweep.
+func BenchmarkFig5RationalSweep(b *testing.B) {
+	sc := benchScale()
+	sc.TrainSteps = 400
+	sc.MeasureSteps = 200
+	sc.Workers = 0
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig5(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6BalancedEdits runs the Figure 6 sweep (balanced altruistic
+// and irrational populations).
+func BenchmarkFig6BalancedEdits(b *testing.B) {
+	sc := benchScale()
+	sc.TrainSteps = 400
+	sc.MeasureSteps = 200
+	sc.Workers = 0
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7MajorityFollowing runs the Figure 7 sweeps (varying
+// altruistic and irrational shares).
+func BenchmarkFig7MajorityFollowing(b *testing.B) {
+	sc := benchScale()
+	sc.TrainSteps = 400
+	sc.MeasureSteps = 200
+	sc.Workers = 0
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig7(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReputationShape runs the reputation-shape ablation
+// (TXT3 / future-work experiment).
+func BenchmarkAblationReputationShape(b *testing.B) {
+	sc := benchScale()
+	sc.TrainSteps = 300
+	sc.MeasureSteps = 150
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReputationShape(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot kernels ---
+
+func BenchmarkLogisticEval(b *testing.B) {
+	fn := core.Logistic{G: 19, Beta: 0.15}
+	b.ReportAllocs()
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += fn.Eval(float64(i % 50))
+	}
+	sinkFloat = acc
+}
+
+func BenchmarkBoltzmannSample(b *testing.B) {
+	rng := xrand.New(1)
+	q := []float64{0.5, 1.2, -0.3, 2.0, 0.0, 1.1, 0.7, -1.0, 0.9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkInt = agent.SampleBoltzmann(q, 1, rng)
+	}
+}
+
+func BenchmarkQUpdate(b *testing.B) {
+	l, err := agent.NewQLearner(10, 9, 0.25, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Update(i%10, i%9, float64(i%7), (i+1)%10)
+	}
+}
+
+func BenchmarkAllocateBandwidth(b *testing.B) {
+	reps := make([]float64, 8)
+	for i := range reps {
+		reps[i] = 0.05 + float64(i)*0.1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkSlice = core.AllocateBandwidth(reps)
+	}
+}
+
+func BenchmarkTransferStep(b *testing.B) {
+	tm, err := network.NewTransferManager(1e12) // transfers never finish
+	if err != nil {
+		b.Fatal(err)
+	}
+	for d := 0; d < 50; d++ {
+		if _, err := tm.Start(d, 100+d%10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	up := func(int) float64 { return 1 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Step(up, network.EqualAllocator)
+	}
+}
+
+func BenchmarkEigenTrust(b *testing.B) {
+	rng := xrand.New(3)
+	const n = 100
+	g, err := reputation.NewTrustGraph(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bool(0.1) {
+				g.SetTrust(i, j, rng.Float64()*5)
+			}
+		}
+	}
+	cfg := reputation.DefaultEigenTrust()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reputation.EigenTrust(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxFlow(b *testing.B) {
+	rng := xrand.New(5)
+	const n = 60
+	g, err := reputation.NewTrustGraph(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bool(0.15) {
+				g.SetTrust(i, j, rng.Float64()*5)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reputation.MaxFlow(g, 0, n-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineStep(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Peers = 100
+	cfg.TrainSteps = 0
+	cfg.MeasureSteps = 1
+	eng, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pipeline so the step cost is representative.
+	for i := 0; i < 200; i++ {
+		eng.StepOnce(1, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StepOnce(1, true)
+	}
+}
+
+func BenchmarkParallelReplicas(b *testing.B) {
+	cfg := sim.Quick()
+	cfg.TrainSteps = 150
+	cfg.MeasureSteps = 80
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunReplicas(cfg, 4, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPDTournament(b *testing.B) {
+	rng := xrand.New(7)
+	pool := game.Classic()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.Tournament(game.Axelrod(), pool, 100, 0, true, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGossipSpread(b *testing.B) {
+	rng := xrand.New(9)
+	for i := 0; i < b.N; i++ {
+		if _, err := reputation.Spread(1000, 0, reputation.DefaultGossip(), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlayLookup(b *testing.B) {
+	ring, err := network.NewRing(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := ring.Add(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("article-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ring.Lookup(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sinks prevent dead-code elimination of benchmark results.
+var (
+	sinkFloat float64
+	sinkInt   int
+	sinkSlice []float64
+)
+
+// Silence unused-variable lint for sinks read by no one.
+func init() {
+	if math.IsNaN(sinkFloat + float64(sinkInt) + float64(len(sinkSlice))) {
+		panic("unreachable")
+	}
+}
+
+func BenchmarkEigenTrustParallel(b *testing.B) {
+	rng := xrand.New(3)
+	const n = 400
+	g, err := reputation.NewTrustGraph(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bool(0.08) {
+				g.SetTrust(i, j, rng.Float64()*5)
+			}
+		}
+	}
+	cfg := reputation.DefaultEigenTrust()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reputation.EigenTrustParallel(g, cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

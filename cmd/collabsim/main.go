@@ -1,0 +1,190 @@
+// Collabsim regenerates the paper's figures and the reproduction's
+// ablations from the command line.
+//
+// Usage:
+//
+//	collabsim -fig 1            # analytic Figure 1 (reputation function)
+//	collabsim -fig 3 -scale quick
+//	collabsim -fig 7 -csv out/  # also dump the series as CSV
+//	collabsim -ablation shape
+//	collabsim -list
+//
+// Figures are rendered as ASCII charts; -csv writes the raw series next to
+// them for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"collabnet/internal/asciiplot"
+	"collabnet/internal/experiments"
+	"collabnet/internal/trace"
+)
+
+func main() {
+	var (
+		figNum   = flag.Int("fig", 0, "paper figure to regenerate (1-7)")
+		ablation = flag.String("ablation", "", "ablation to run: shape|temperature|voting|punishment|scheme|histogram")
+		scale    = flag.String("scale", "quick", "experiment scale: quick|paper")
+		csvDir   = flag.String("csv", "", "directory to write CSV series into")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures:    -fig 1 … -fig 7  (Figures 1-7 of the paper)")
+		fmt.Println("ablations:  -ablation shape | temperature | voting | punishment | scheme | histogram")
+		fmt.Println("scales:     -scale quick (reduced) | -scale paper (full 100 peers, 10k training steps)")
+		return
+	}
+
+	sc := experiments.QuickScale()
+	if *scale == "paper" {
+		sc = experiments.PaperScale()
+	}
+	sc.Seed = *seed
+
+	figs, err := run(*figNum, *ablation, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collabsim:", err)
+		os.Exit(1)
+	}
+	if len(figs) == 0 {
+		fmt.Fprintln(os.Stderr, "collabsim: nothing to do; try -list")
+		os.Exit(2)
+	}
+	for i, fig := range figs {
+		if err := render(fig); err != nil {
+			fmt.Fprintln(os.Stderr, "collabsim:", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			name := fmt.Sprintf("%s-%d.csv", fig.ID, i)
+			if err := writeCSV(filepath.Join(*csvDir, name), fig); err != nil {
+				fmt.Fprintln(os.Stderr, "collabsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func run(figNum int, ablation string, sc experiments.Scale) ([]experiments.Figure, error) {
+	switch {
+	case figNum == 1:
+		fig, err := experiments.Fig1()
+		return []experiments.Figure{fig}, err
+	case figNum == 2:
+		return []experiments.Figure{experiments.Fig2()}, nil
+	case figNum == 3:
+		res, err := experiments.Fig3(sc)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println("Figure 3 —", res.String())
+		return []experiments.Figure{experiments.Fig3Figure(res)}, nil
+	case figNum == 4:
+		a, b, err := experiments.Fig4(sc)
+		return []experiments.Figure{a, b}, err
+	case figNum == 5:
+		a, b, err := experiments.Fig5(sc)
+		return []experiments.Figure{a, b}, err
+	case figNum == 6:
+		fig, err := experiments.Fig6(sc)
+		return []experiments.Figure{fig}, err
+	case figNum == 7:
+		a, b, err := experiments.Fig7(sc)
+		return []experiments.Figure{a, b}, err
+	case figNum != 0:
+		return nil, fmt.Errorf("unknown figure %d (the paper has Figures 1-7)", figNum)
+	}
+	switch ablation {
+	case "shape":
+		fig, err := experiments.AblationReputationShape(sc)
+		return []experiments.Figure{fig}, err
+	case "temperature":
+		fig, err := experiments.AblationTemperature(sc)
+		return []experiments.Figure{fig}, err
+	case "voting":
+		fig, err := experiments.AblationWeightedVoting(sc)
+		return []experiments.Figure{fig}, err
+	case "punishment":
+		fig, err := experiments.AblationPunishment(sc)
+		return []experiments.Figure{fig}, err
+	case "scheme":
+		fig, err := experiments.AblationScheme(sc)
+		return []experiments.Figure{fig}, err
+	case "histogram":
+		fig, err := experiments.ReputationHistogram(sc)
+		return []experiments.Figure{fig}, err
+	case "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown ablation %q", ablation)
+	}
+}
+
+func render(fig experiments.Figure) error {
+	series := make([]asciiplot.Series, len(fig.Series))
+	for i, s := range fig.Series {
+		xs := make([]float64, len(s.Points))
+		ys := make([]float64, len(s.Points))
+		for j, p := range s.Points {
+			xs[j] = p.X
+			ys[j] = p.Y
+		}
+		series[i] = asciiplot.Series{Name: s.Name, X: xs, Y: ys}
+	}
+	out, err := asciiplot.Line(series, asciiplot.Options{
+		Title:  fmt.Sprintf("[%s] %s", fig.ID, fig.Title),
+		XLabel: fig.XLabel,
+		YLabel: fig.YLabel,
+		Width:  72,
+		Height: 18,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func writeCSV(path string, fig experiments.Figure) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	header := []string{"x"}
+	for _, s := range fig.Series {
+		header = append(header, s.Name)
+	}
+	tab := trace.NewTable(header...)
+	// Assume aligned x across series (true for all our figures).
+	if len(fig.Series) > 0 {
+		for i, p := range fig.Series[0].Points {
+			row := []float64{p.X}
+			for _, s := range fig.Series {
+				if i < len(s.Points) {
+					row = append(row, s.Points[i].Y)
+				} else {
+					row = append(row, 0)
+				}
+			}
+			if err := tab.Append(row...); err != nil {
+				return err
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tab.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"collabnet/internal/experiments"
+	"collabnet/internal/trace"
+)
+
+func testScale() experiments.Scale {
+	return experiments.Scale{TrainSteps: 200, MeasureSteps: 100, Peers: 20, Replicas: 1, Seed: 1}
+}
+
+func TestRunAnalyticFigures(t *testing.T) {
+	for _, fig := range []int{1, 2} {
+		figs, err := run(fig, "", testScale())
+		if err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+		if len(figs) != 1 || len(figs[0].Series) == 0 {
+			t.Errorf("fig %d: malformed output", fig)
+		}
+	}
+}
+
+func TestRunSimulatedFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated figures")
+	}
+	counts := map[int]int{3: 1, 4: 2, 5: 2, 6: 1, 7: 2}
+	for fig, want := range counts {
+		figs, err := run(fig, "", testScale())
+		if err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+		if len(figs) != want {
+			t.Errorf("fig %d: got %d figures, want %d", fig, len(figs), want)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations")
+	}
+	for _, ab := range []string{"shape", "temperature", "voting", "punishment", "scheme", "histogram"} {
+		figs, err := run(0, ab, testScale())
+		if err != nil {
+			t.Fatalf("%s: %v", ab, err)
+		}
+		if len(figs) != 1 {
+			t.Errorf("%s: got %d figures", ab, len(figs))
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := run(99, "", testScale()); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if _, err := run(0, "bogus", testScale()); err == nil {
+		t.Error("unknown ablation should error")
+	}
+	figs, err := run(0, "", testScale())
+	if err != nil || figs != nil {
+		t.Error("no selection should return nothing")
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	fig, err := experiments.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := render(fig); err != nil {
+		t.Errorf("render failed: %v", err)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	fig, err := experiments.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig1.csv")
+	if err := writeCSV(path, fig); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Header) != 1+len(fig.Series) {
+		t.Errorf("header = %v", tab.Header)
+	}
+	if !strings.Contains(strings.Join(tab.Header, ","), "beta=0.3") {
+		t.Errorf("series name missing from header: %v", tab.Header)
+	}
+	if len(tab.Rows) != len(fig.Series[0].Points) {
+		t.Errorf("rows = %d, want %d", len(tab.Rows), len(fig.Series[0].Points))
+	}
+}

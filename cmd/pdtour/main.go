@@ -1,0 +1,97 @@
+// Pdtour runs the repeated-Prisoner's-Dilemma machinery of Section II-A: an
+// Axelrod-style round-robin tournament over the classic strategy zoo, and
+// replicator dynamics showing how a strategy population evolves.
+//
+// Usage:
+//
+//	pdtour                        # tournament, 200 rounds per match
+//	pdtour -rounds 500 -noise 0.05
+//	pdtour -evolve -generations 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collabnet/internal/asciiplot"
+	"collabnet/internal/game"
+	"collabnet/internal/xrand"
+)
+
+func main() {
+	var (
+		rounds      = flag.Int("rounds", 200, "rounds per match")
+		noise       = flag.Float64("noise", 0, "per-move execution noise probability")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		evolve      = flag.Bool("evolve", false, "run replicator dynamics instead of a tournament")
+		generations = flag.Int("generations", 120, "replicator generations")
+	)
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	strategies := game.Classic()
+	payoff := game.Axelrod()
+
+	if *evolve {
+		if err := runEvolution(payoff, strategies, *rounds, *generations, rng); err != nil {
+			fmt.Fprintln(os.Stderr, "pdtour:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	results, err := game.Tournament(payoff, strategies, *rounds, *noise, true, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtour:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Axelrod tournament: %d strategies, %d rounds/match, noise %.2f\n\n",
+		len(strategies), *rounds, *noise)
+	fmt.Printf("%-12s %12s %10s %6s\n", "strategy", "total", "per-round", "wins")
+	for _, r := range results {
+		fmt.Printf("%-12s %12.1f %10.3f %6d\n", r.Name, r.Total, r.PerGame, r.Wins)
+	}
+}
+
+func runEvolution(payoff game.Payoff, strategies []game.Strategy, rounds, generations int, rng *xrand.Source) error {
+	m, err := game.PayoffMatrix(payoff, strategies, rounds, rng)
+	if err != nil {
+		return err
+	}
+	initial := make([]float64, len(strategies))
+	for i := range initial {
+		initial[i] = 1
+	}
+	traj, err := game.Replicator(m, initial, generations)
+	if err != nil {
+		return err
+	}
+	series := make([]asciiplot.Series, len(strategies))
+	for i, s := range strategies {
+		xs := make([]float64, len(traj))
+		ys := make([]float64, len(traj))
+		for g, pop := range traj {
+			xs[g] = float64(g)
+			ys[g] = pop[i]
+		}
+		series[i] = asciiplot.Series{Name: s.Name(), X: xs, Y: ys}
+	}
+	out, err := asciiplot.Line(series, asciiplot.Options{
+		Title:  "Replicator dynamics over the classic strategy zoo",
+		XLabel: "generation",
+		YLabel: "population share",
+		Width:  72,
+		Height: 18,
+		YMin:   0, YMax: 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	final := traj[len(traj)-1]
+	fmt.Println("final population:")
+	for i, s := range strategies {
+		fmt.Printf("  %-12s %.3f\n", s.Name(), final[i])
+	}
+	return nil
+}

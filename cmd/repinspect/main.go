@@ -1,0 +1,81 @@
+// Repinspect answers reputation what-if questions from the command line:
+// given a sustained sharing behavior, where does a peer's reputation settle,
+// how long does it take to earn the edit right, and what majority do its
+// edits need?
+//
+// Usage:
+//
+//	repinspect -articles 0.5 -bandwidth 1.0 -steps 200
+//	repinspect -beta 0.1 -articles 1 -bandwidth 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"collabnet/internal/core"
+)
+
+func main() {
+	var (
+		articles  = flag.Float64("articles", 0.5, "sustained article sharing level in [0,1]")
+		bandwidth = flag.Float64("bandwidth", 0.5, "sustained bandwidth sharing level in [0,1]")
+		steps     = flag.Int("steps", 200, "time steps to simulate")
+		beta      = flag.Float64("beta", 0, "override logistic beta (0 keeps the default)")
+	)
+	flag.Parse()
+
+	p := core.Default()
+	if *beta > 0 {
+		p.Beta = *beta
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "repinspect:", err)
+		os.Exit(1)
+	}
+	ledger, err := core.NewLedger(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repinspect:", err)
+		os.Exit(1)
+	}
+	fn, _ := p.Reputation()
+
+	fmt.Printf("scheme: g=%g beta=%g  Rmin=%.3f  inflection C*=%.1f  edit threshold θ=%.2f\n\n",
+		p.G, p.Beta, p.RMin(), fn.Inflection(), p.EditTheta)
+	fmt.Printf("sustained sharing: articles=%.0f%%, bandwidth=%.0f%%\n\n", *articles*100, *bandwidth*100)
+	fmt.Printf("%6s %10s %8s %10s %10s\n", "step", "CS", "RS", "canEdit", "majority")
+
+	editAt := -1
+	stride := *steps / 10
+	if stride == 0 {
+		stride = 1
+	}
+	for s := 1; s <= *steps; s++ {
+		ledger.StepSharing(*articles, *bandwidth)
+		if editAt < 0 && ledger.CanEdit() {
+			editAt = s
+		}
+		if s%stride == 0 || s == 1 {
+			fmt.Printf("%6d %10.2f %8.3f %10v %10.3f\n",
+				s, ledger.CS(), ledger.RS(), ledger.CanEdit(),
+				core.RequiredMajority(p, ledger.RE()))
+		}
+	}
+	fmt.Println()
+	if editAt >= 0 {
+		fmt.Printf("edit right earned after %d steps\n", editAt)
+	} else {
+		fmt.Printf("edit right NOT earned within %d steps (RS=%.3f < θ=%.2f)\n",
+			*steps, ledger.RS(), p.EditTheta)
+	}
+	// Steady state under proportional decay.
+	inflow := p.AlphaS**articles + p.BetaS**bandwidth
+	if p.DecayMode == core.DecayProportional && p.DS > 0 {
+		cs := inflow / p.DS
+		if cs > p.CCap {
+			cs = p.CCap
+		}
+		fmt.Printf("steady state: CS*=%.1f  RS*=%.3f\n", cs, fn.Eval(cs))
+	}
+}

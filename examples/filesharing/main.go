@@ -1,0 +1,88 @@
+// Filesharing: service differentiation in action at the transfer level.
+// Three downloaders with different sharing histories compete for one
+// source's upload bandwidth under each incentive scheme — the experiment
+// shows why reputation supports non-direct relations where tit-for-tat
+// does not (Section I of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"collabnet/internal/core"
+	"collabnet/internal/incentive"
+	"collabnet/internal/network"
+)
+
+const (
+	generous = iota // shares fully, long history
+	moderate        // shares half
+	freeRider
+	source // the peer everyone downloads from
+	numPeers
+)
+
+var names = [...]string{"generous", "moderate", "free-rider", "source"}
+
+func main() {
+	for _, kind := range []incentive.Kind{
+		incentive.KindNone, incentive.KindReputation,
+		incentive.KindTitForTat, incentive.KindKarma,
+	} {
+		scheme, err := incentive.New(kind, numPeers, core.Default(), true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Build history: 80 steps of sharing at each peer's level. For
+		// tit-for-tat and karma the history that matters is *transfers*:
+		// the generous peer has uploaded to the source before (a direct
+		// relation), the moderate peer uploaded to someone else (non-direct).
+		for step := 0; step < 80; step++ {
+			scheme.RecordSharing(generous, 1, 1)
+			scheme.RecordSharing(moderate, 0.5, 0.5)
+			scheme.RecordSharing(freeRider, 0, 0)
+			scheme.RecordSharing(source, 1, 1)
+			scheme.EndStep()
+		}
+		scheme.RecordTransfer(source, generous, 20)    // generous uploaded TO the source
+		scheme.RecordTransfer(freeRider, moderate, 20) // moderate uploaded elsewhere
+
+		// Now all three download from the source simultaneously.
+		tm, err := network.NewTransferManager(12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range []int{generous, moderate, freeRider} {
+			if _, err := tm.Start(d, source); err != nil {
+				log.Fatal(err)
+			}
+		}
+		shares := scheme.Allocate(source, []int{generous, moderate, freeRider})
+
+		fmt.Printf("== scheme: %s ==\n", scheme.Name())
+		fmt.Printf("bandwidth split for simultaneous downloaders of %q:\n", names[source])
+		for i, d := range []int{generous, moderate, freeRider} {
+			fmt.Printf("  %-10s %5.1f%%\n", names[d], shares[i]*100)
+		}
+		// Run the transfers to completion and report finish times.
+		finished := map[int]int{}
+		for step := 1; step <= 400 && tm.Active() > 0; step++ {
+			res := tm.Step(func(int) float64 { return 1 }, scheme.Allocate)
+			for _, done := range res.Done {
+				finished[done.Downloader] = step
+			}
+		}
+		fmt.Println("download completion times (12-unit file, unit source bandwidth):")
+		for _, d := range []int{generous, moderate, freeRider} {
+			if s, ok := finished[d]; ok {
+				fmt.Printf("  %-10s step %d\n", names[d], s)
+			} else {
+				fmt.Printf("  %-10s unfinished after 400 steps\n", names[d])
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("note the tit-for-tat column: the moderate peer's uploads to a third")
+	fmt.Println("party earn it nothing here — reciprocity does not transfer across")
+	fmt.Println("non-direct relations, which is the gap the reputation scheme closes.")
+}

@@ -1,0 +1,125 @@
+package agent
+
+import "fmt"
+
+// Level is a discrete participation level. The simulation offers three per
+// resource: "0%, 50% or 100% of their bandwidth; and 0, 50 or 100 files"
+// (Section IV-B).
+type Level int
+
+// Participation levels.
+const (
+	LevelNone Level = iota // share nothing
+	LevelHalf              // share 50%
+	LevelFull              // share 100%
+	numLevels
+)
+
+// Fraction returns the level as a fraction of capacity: 0, 0.5 or 1.
+func (l Level) Fraction() float64 {
+	switch l {
+	case LevelNone:
+		return 0
+	case LevelHalf:
+		return 0.5
+	case LevelFull:
+		return 1
+	default:
+		panic(fmt.Sprintf("agent: invalid Level(%d)", int(l)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "0%"
+	case LevelHalf:
+		return "50%"
+	case LevelFull:
+		return "100%"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// NumSharingActions is the size of the sharing action space: 3 bandwidth
+// levels × 3 file levels.
+const NumSharingActions = int(numLevels) * int(numLevels)
+
+// SharingAction is one joint choice of bandwidth and file sharing levels,
+// encoded as an index in [0, NumSharingActions).
+type SharingAction int
+
+// EncodeSharing packs the two levels into an action index.
+func EncodeSharing(bandwidth, files Level) SharingAction {
+	return SharingAction(int(bandwidth)*int(numLevels) + int(files))
+}
+
+// Bandwidth returns the bandwidth participation level.
+func (a SharingAction) Bandwidth() Level { return Level(int(a) / int(numLevels)) }
+
+// Files returns the file (article) participation level.
+func (a SharingAction) Files() Level { return Level(int(a) % int(numLevels)) }
+
+// Valid reports whether the action index is in range.
+func (a SharingAction) Valid() bool { return a >= 0 && int(a) < NumSharingActions }
+
+// String implements fmt.Stringer.
+func (a SharingAction) String() string {
+	return fmt.Sprintf("share(bw=%s,files=%s)", a.Bandwidth(), a.Files())
+}
+
+// Conduct is how a peer behaves when editing or voting: constructively (to
+// improve article quality) or destructively (vandalism / dishonest voting).
+type Conduct int
+
+// Conduct values.
+const (
+	Constructive Conduct = iota
+	Destructive
+	numConducts
+)
+
+// String implements fmt.Stringer.
+func (c Conduct) String() string {
+	switch c {
+	case Constructive:
+		return "constructive"
+	case Destructive:
+		return "destructive"
+	default:
+		return fmt.Sprintf("Conduct(%d)", int(c))
+	}
+}
+
+// NumEditVoteActions is the size of the editing/voting action space: edit
+// conduct × vote conduct. The paper's agents always participate when given
+// the opportunity ("If an agent is interested in editing and voting, it can
+// do it either constructively or destructively"); abstention is not an
+// action, matching Figures 6–7 where constructive and destructive shares
+// partition all edits.
+const NumEditVoteActions = int(numConducts) * int(numConducts)
+
+// EditVoteAction is one joint choice of edit conduct and vote conduct,
+// encoded as an index in [0, NumEditVoteActions).
+type EditVoteAction int
+
+// EncodeEditVote packs the two conducts into an action index.
+func EncodeEditVote(edit, vote Conduct) EditVoteAction {
+	return EditVoteAction(int(edit)*int(numConducts) + int(vote))
+}
+
+// Edit returns the edit conduct.
+func (a EditVoteAction) Edit() Conduct { return Conduct(int(a) / int(numConducts)) }
+
+// Vote returns the vote conduct.
+func (a EditVoteAction) Vote() Conduct { return Conduct(int(a) % int(numConducts)) }
+
+// Valid reports whether the action index is in range.
+func (a EditVoteAction) Valid() bool { return a >= 0 && int(a) < NumEditVoteActions }
+
+// String implements fmt.Stringer.
+func (a EditVoteAction) String() string {
+	return fmt.Sprintf("conduct(edit=%s,vote=%s)", a.Edit(), a.Vote())
+}

@@ -1,0 +1,194 @@
+package agent
+
+import (
+	"fmt"
+
+	"collabnet/internal/xrand"
+)
+
+// Behavior is one of the three standard user types of the game-theoretic
+// model (Shneidman & Parkes; Section II-A and IV-B of the paper).
+type Behavior int
+
+// Behavior values.
+const (
+	// Rational peers "always try to maximize their benefit": they learn via
+	// Q-learning which sharing levels and which edit/vote conduct pay off.
+	Rational Behavior = iota
+	// Irrational peers "are always free-riders with regard to sharing as
+	// well as destructive editors and voters".
+	Irrational
+	// Altruistic peers "always share the most they can and perform only
+	// constructive edits and votes".
+	Altruistic
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case Rational:
+		return "rational"
+	case Irrational:
+		return "irrational"
+	case Altruistic:
+		return "altruistic"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// Config holds the learning hyper-parameters of an Agent.
+type Config struct {
+	States int     // number of reputation states (paper: 10)
+	Alpha  float64 // Q-learning rate
+	Gamma  float64 // Q-learning discount
+}
+
+// DefaultConfig returns the learner configuration used by the reproduction.
+// The paper fixes 10 states; alpha and gamma are unreported, so moderate
+// textbook values are used and swept in the ablations.
+func DefaultConfig() Config {
+	return Config{States: 10, Alpha: 0.25, Gamma: 0.9}
+}
+
+// Validate reports the first violated constraint of the configuration.
+func (c Config) Validate() error {
+	if c.States <= 0 {
+		return fmt.Errorf("agent: States must be > 0, got %d", c.States)
+	}
+	if !(c.Alpha > 0 && c.Alpha <= 1) {
+		return fmt.Errorf("agent: Alpha must be in (0,1], got %v", c.Alpha)
+	}
+	if !(c.Gamma >= 0 && c.Gamma < 1) {
+		return fmt.Errorf("agent: Gamma must be in [0,1), got %v", c.Gamma)
+	}
+	return nil
+}
+
+// Agent is one simulated peer's decision maker. Rational agents carry three
+// independent Q-learners — one over sharing actions rewarded by US, and one
+// each over edit conduct and vote conduct rewarded by their slices of UE
+// (DESIGN.md, modeling decision 1). Conduct learners are separate because
+// vote events vastly outnumber edit events; a joint action space would let
+// the vote signal drown the edit marginal. Irrational and altruistic agents
+// ignore the learners and act by type.
+type Agent struct {
+	Behavior    Behavior
+	cfg         Config
+	sharing     *QLearner // states × NumSharingActions; nil for non-rational
+	editConduct *QLearner // states × 2 conducts; nil for non-rational
+	voteConduct *QLearner // states × 2 conducts; nil for non-rational
+	rmin        float64
+}
+
+// New creates an agent of the given behavior. rmin is the network's minimum
+// reputation, needed to discretize reputations into states.
+func New(b Behavior, cfg Config, rmin float64) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !(rmin > 0 && rmin < 1) {
+		return nil, fmt.Errorf("agent: rmin must be in (0,1), got %v", rmin)
+	}
+	a := &Agent{Behavior: b, cfg: cfg, rmin: rmin}
+	if b == Rational {
+		var err error
+		a.sharing, err = NewQLearner(cfg.States, NumSharingActions, cfg.Alpha, cfg.Gamma)
+		if err != nil {
+			return nil, err
+		}
+		a.editConduct, err = NewQLearner(cfg.States, int(numConducts), cfg.Alpha, cfg.Gamma)
+		if err != nil {
+			return nil, err
+		}
+		a.voteConduct, err = NewQLearner(cfg.States, int(numConducts), cfg.Alpha, cfg.Gamma)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// SharingLearner exposes the sharing Q-learner (nil unless rational).
+func (a *Agent) SharingLearner() *QLearner { return a.sharing }
+
+// EditConductLearner exposes the edit-conduct Q-learner (nil unless
+// rational).
+func (a *Agent) EditConductLearner() *QLearner { return a.editConduct }
+
+// VoteConductLearner exposes the vote-conduct Q-learner (nil unless
+// rational).
+func (a *Agent) VoteConductLearner() *QLearner { return a.voteConduct }
+
+// SharingState maps the agent's current sharing reputation to a learner
+// state.
+func (a *Agent) SharingState(rs float64) int {
+	return ReputationState(rs, a.rmin, a.cfg.States)
+}
+
+// EditingState maps the agent's current editing reputation to a learner
+// state.
+func (a *Agent) EditingState(re float64) int {
+	return ReputationState(re, a.rmin, a.cfg.States)
+}
+
+// ChooseSharing picks this step's sharing action. Rational agents sample
+// their Boltzmann policy at temperature T in the state derived from rs;
+// altruists always share everything; irrationals never share anything.
+func (a *Agent) ChooseSharing(rs, T float64, rng *xrand.Source) SharingAction {
+	switch a.Behavior {
+	case Altruistic:
+		return EncodeSharing(LevelFull, LevelFull)
+	case Irrational:
+		return EncodeSharing(LevelNone, LevelNone)
+	default:
+		s := a.SharingState(rs)
+		return SharingAction(a.sharing.Select(s, T, rng))
+	}
+}
+
+// ChooseEditVote picks this step's edit/vote conduct. Altruists act
+// constructively, irrationals destructively, rationals by policy.
+func (a *Agent) ChooseEditVote(re, T float64, rng *xrand.Source) EditVoteAction {
+	switch a.Behavior {
+	case Altruistic:
+		return EncodeEditVote(Constructive, Constructive)
+	case Irrational:
+		return EncodeEditVote(Destructive, Destructive)
+	default:
+		s := a.EditingState(re)
+		edit := Conduct(a.editConduct.Select(s, T, rng))
+		vote := Conduct(a.voteConduct.Select(s, T, rng))
+		return EncodeEditVote(edit, vote)
+	}
+}
+
+// LearnSharing applies the TD update for the sharing transition. It is a
+// no-op for non-rational agents, who do not learn.
+func (a *Agent) LearnSharing(prevRS float64, action SharingAction, reward, nextRS float64) {
+	if a.Behavior != Rational {
+		return
+	}
+	a.sharing.Update(a.SharingState(prevRS), int(action), reward, a.SharingState(nextRS))
+}
+
+// LearnEditConduct applies the TD update for an edit-conduct transition.
+// The engine calls it only on steps where the peer's edit was resolved —
+// event-driven credit keeps the sparse conduct signal at full strength. It
+// is a no-op for non-rational agents.
+func (a *Agent) LearnEditConduct(prevRE float64, conduct Conduct, reward, nextRE float64) {
+	if a.Behavior != Rational {
+		return
+	}
+	a.editConduct.Update(a.EditingState(prevRE), int(conduct), reward, a.EditingState(nextRE))
+}
+
+// LearnVoteConduct applies the TD update for a vote-conduct transition,
+// called only on steps where the peer cast at least one resolved ballot. It
+// is a no-op for non-rational agents.
+func (a *Agent) LearnVoteConduct(prevRE float64, conduct Conduct, reward, nextRE float64) {
+	if a.Behavior != Rational {
+		return
+	}
+	a.voteConduct.Update(a.EditingState(prevRE), int(conduct), reward, a.EditingState(nextRE))
+}

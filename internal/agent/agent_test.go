@@ -1,0 +1,205 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+func TestActionEncodingRoundTrip(t *testing.T) {
+	seen := map[SharingAction]bool{}
+	for _, bw := range []Level{LevelNone, LevelHalf, LevelFull} {
+		for _, f := range []Level{LevelNone, LevelHalf, LevelFull} {
+			a := EncodeSharing(bw, f)
+			if !a.Valid() {
+				t.Fatalf("invalid action for (%v,%v)", bw, f)
+			}
+			if a.Bandwidth() != bw || a.Files() != f {
+				t.Errorf("round trip failed: %v -> (%v,%v)", a, a.Bandwidth(), a.Files())
+			}
+			if seen[a] {
+				t.Errorf("duplicate encoding %v", a)
+			}
+			seen[a] = true
+		}
+	}
+	if len(seen) != NumSharingActions {
+		t.Errorf("encoded %d distinct actions, want %d", len(seen), NumSharingActions)
+	}
+}
+
+func TestEditVoteEncodingRoundTrip(t *testing.T) {
+	seen := map[EditVoteAction]bool{}
+	for _, e := range []Conduct{Constructive, Destructive} {
+		for _, v := range []Conduct{Constructive, Destructive} {
+			a := EncodeEditVote(e, v)
+			if !a.Valid() || a.Edit() != e || a.Vote() != v {
+				t.Errorf("round trip failed for (%v,%v): %v", e, v, a)
+			}
+			seen[a] = true
+		}
+	}
+	if len(seen) != NumEditVoteActions {
+		t.Errorf("%d distinct actions, want %d", len(seen), NumEditVoteActions)
+	}
+}
+
+func TestLevelFraction(t *testing.T) {
+	if LevelNone.Fraction() != 0 || LevelHalf.Fraction() != 0.5 || LevelFull.Fraction() != 1 {
+		t.Error("Level fractions wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid level should panic")
+		}
+	}()
+	Level(9).Fraction()
+}
+
+func TestStringers(t *testing.T) {
+	if Rational.String() != "rational" || Irrational.String() != "irrational" ||
+		Altruistic.String() != "altruistic" {
+		t.Error("Behavior strings wrong")
+	}
+	if Behavior(9).String() == "" || Level(9).String() == "" || Conduct(9).String() == "" {
+		t.Error("unknown values should still format")
+	}
+	a := EncodeSharing(LevelHalf, LevelFull)
+	if a.String() != "share(bw=50%,files=100%)" {
+		t.Errorf("SharingAction string = %q", a.String())
+	}
+	ev := EncodeEditVote(Constructive, Destructive)
+	if ev.String() != "conduct(edit=constructive,vote=destructive)" {
+		t.Errorf("EditVoteAction string = %q", ev.String())
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := New(Rational, cfg, 0.05); err != nil {
+		t.Fatalf("valid agent rejected: %v", err)
+	}
+	if _, err := New(Rational, Config{States: 0, Alpha: 0.1, Gamma: 0.9}, 0.05); err == nil {
+		t.Error("zero states should fail")
+	}
+	if _, err := New(Rational, cfg, 0); err == nil {
+		t.Error("rmin=0 should fail")
+	}
+	if _, err := New(Rational, cfg, 1); err == nil {
+		t.Error("rmin=1 should fail")
+	}
+}
+
+func TestFixedBehaviors(t *testing.T) {
+	rng := xrand.New(3)
+	alt, _ := New(Altruistic, DefaultConfig(), 0.05)
+	irr, _ := New(Irrational, DefaultConfig(), 0.05)
+	for i := 0; i < 20; i++ {
+		a := alt.ChooseSharing(0.5, 1, rng)
+		if a.Bandwidth() != LevelFull || a.Files() != LevelFull {
+			t.Fatalf("altruist shared %v", a)
+		}
+		b := irr.ChooseSharing(0.5, 1, rng)
+		if b.Bandwidth() != LevelNone || b.Files() != LevelNone {
+			t.Fatalf("irrational shared %v", b)
+		}
+		ev := alt.ChooseEditVote(0.5, 1, rng)
+		if ev.Edit() != Constructive || ev.Vote() != Constructive {
+			t.Fatalf("altruist conduct %v", ev)
+		}
+		ev = irr.ChooseEditVote(0.5, 1, rng)
+		if ev.Edit() != Destructive || ev.Vote() != Destructive {
+			t.Fatalf("irrational conduct %v", ev)
+		}
+	}
+	if alt.SharingLearner() != nil || irr.EditConductLearner() != nil || irr.VoteConductLearner() != nil {
+		t.Error("non-rational agents should not carry learners")
+	}
+}
+
+func TestRationalAgentLearnsPreferredSharing(t *testing.T) {
+	// Reward full sharing, punish everything else; after training at high T
+	// the greedy policy must pick full sharing in every state.
+	rng := xrand.New(5)
+	ag, _ := New(Rational, DefaultConfig(), 0.05)
+	full := EncodeSharing(LevelFull, LevelFull)
+	for i := 0; i < 30000; i++ {
+		rs := rng.Float64()
+		act := ag.ChooseSharing(rs, math.MaxFloat64, rng)
+		reward := -1.0
+		if act == full {
+			reward = 1.0
+		}
+		ag.LearnSharing(rs, act, reward, rs)
+	}
+	for s := 0; s < 10; s++ {
+		if best := ag.SharingLearner().Best(s, rng); SharingAction(best) != full {
+			t.Errorf("state %d best action = %v, want %v", s, SharingAction(best), full)
+		}
+	}
+	// At T=1 the trained agent must prefer full sharing. The Q-gap between
+	// the best and any other action equals the immediate reward gap (2)
+	// because the discounted tail max_b Q(s',b) is shared, so softmax mass on
+	// the best of 9 actions is e²/(e²+8) ≈ 0.48 — far above uniform (1/9) but
+	// not near 1. Assert it is modal and well above uniform.
+	counts := make(map[SharingAction]int)
+	for i := 0; i < 2000; i++ {
+		counts[ag.ChooseSharing(0.5, 1, rng)]++
+	}
+	for a, c := range counts {
+		if a != full && c >= counts[full] {
+			t.Errorf("action %v chosen %d times, >= full sharing's %d", a, c, counts[full])
+		}
+	}
+	if counts[full] < 2000/9*2 {
+		t.Errorf("full sharing chosen %d/2000, want well above uniform (%d)", counts[full], 2000/9)
+	}
+}
+
+func TestRationalAgentLearnsConduct(t *testing.T) {
+	// Reward constructive edits and destructive votes; each conduct learner
+	// must converge to its own optimum independently.
+	rng := xrand.New(6)
+	ag, _ := New(Rational, DefaultConfig(), 0.05)
+	for i := 0; i < 20000; i++ {
+		re := rng.Float64()
+		act := ag.ChooseEditVote(re, math.MaxFloat64, rng)
+		editReward := 0.0
+		if act.Edit() == Constructive {
+			editReward = 1.0
+		}
+		voteReward := 0.0
+		if act.Vote() == Destructive {
+			voteReward = 1.0
+		}
+		ag.LearnEditConduct(re, act.Edit(), editReward, re)
+		ag.LearnVoteConduct(re, act.Vote(), voteReward, re)
+	}
+	for s := 0; s < 10; s++ {
+		if best := Conduct(ag.EditConductLearner().Best(s, rng)); best != Constructive {
+			t.Errorf("state %d best edit conduct = %v, want constructive", s, best)
+		}
+		if best := Conduct(ag.VoteConductLearner().Best(s, rng)); best != Destructive {
+			t.Errorf("state %d best vote conduct = %v, want destructive", s, best)
+		}
+	}
+}
+
+func TestLearnIsNoopForNonRational(t *testing.T) {
+	alt, _ := New(Altruistic, DefaultConfig(), 0.05)
+	// Must not panic despite nil learners.
+	alt.LearnSharing(0.5, EncodeSharing(LevelFull, LevelFull), 1, 0.5)
+	alt.LearnEditConduct(0.5, Constructive, 1, 0.5)
+	alt.LearnVoteConduct(0.5, Constructive, 1, 0.5)
+}
+
+func TestAgentStateMapping(t *testing.T) {
+	ag, _ := New(Rational, DefaultConfig(), 0.05)
+	if ag.SharingState(0.05) != 0 || ag.SharingState(1.0) != 9 {
+		t.Error("sharing state mapping wrong at boundaries")
+	}
+	if ag.EditingState(0.05) != 0 || ag.EditingState(1.0) != 9 {
+		t.Error("editing state mapping wrong at boundaries")
+	}
+}

@@ -1,0 +1,90 @@
+// Package agent implements the self-learning peers of the simulation model
+// (Section IV): Q-learning with Boltzmann (softmax) exploration, the
+// reputation-decile state space, the discrete action spaces for sharing and
+// editing/voting, and the three standard behavior types — rational,
+// irrational and altruistic.
+package agent
+
+import (
+	"math"
+
+	"collabnet/internal/xrand"
+)
+
+// Boltzmann returns the softmax action distribution over the Q-values q at
+// temperature T (Section IV-A):
+//
+//	p(a) = exp(Q(s,a)/T) / Σ_b exp(Q(s,b)/T)
+//
+// A high T approaches the uniform distribution (the paper's training phase
+// sets T to the highest possible floating-point value, which this
+// implementation maps to exactly uniform); a low T concentrates mass on the
+// maximal Q-values. T must be positive; the zero-temperature limit is
+// available through Greedy. The computation subtracts the maximum Q-value
+// before exponentiation so it cannot overflow for any finite inputs.
+func Boltzmann(q []float64, T float64) []float64 {
+	if len(q) == 0 {
+		return nil
+	}
+	p := make([]float64, len(q))
+	if math.IsInf(T, 1) || T == math.MaxFloat64 {
+		u := 1 / float64(len(q))
+		for i := range p {
+			p[i] = u
+		}
+		return p
+	}
+	if T <= 0 || math.IsNaN(T) {
+		panic("agent: Boltzmann temperature must be positive (use Greedy for T→0)")
+	}
+	maxQ := math.Inf(-1)
+	for _, v := range q {
+		if v > maxQ {
+			maxQ = v
+		}
+	}
+	sum := 0.0
+	for i, v := range q {
+		e := math.Exp((v - maxQ) / T)
+		p[i] = e
+		sum += e
+	}
+	// sum >= 1 always because the max contributes exp(0) = 1.
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// SampleBoltzmann draws one action index from the Boltzmann distribution.
+func SampleBoltzmann(q []float64, T float64, rng *xrand.Source) int {
+	return rng.Choice(Boltzmann(q, T))
+}
+
+// Greedy returns the index of the maximal Q-value, breaking ties uniformly at
+// random — the T → 0 limit of the Boltzmann policy.
+func Greedy(q []float64, rng *xrand.Source) int {
+	if len(q) == 0 {
+		panic("agent: Greedy over empty action set")
+	}
+	best := math.Inf(-1)
+	count := 0
+	for _, v := range q {
+		if v > best {
+			best = v
+			count = 1
+		} else if v == best {
+			count++
+		}
+	}
+	pick := rng.Intn(count)
+	for i, v := range q {
+		if v == best {
+			if pick == 0 {
+				return i
+			}
+			pick--
+		}
+	}
+	panic("agent: unreachable")
+}

@@ -1,0 +1,154 @@
+package agent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collabnet/internal/xrand"
+)
+
+func TestBoltzmannSimplex(t *testing.T) {
+	prop := func(raw []float64, tRaw float64) bool {
+		if len(raw) == 0 {
+			return Boltzmann(raw, 1) == nil
+		}
+		q := make([]float64, len(raw))
+		for i, v := range raw {
+			q[i] = math.Mod(v, 1000)
+			if math.IsNaN(q[i]) {
+				q[i] = 0
+			}
+		}
+		T := math.Abs(math.Mod(tRaw, 100)) + 0.01
+		p := Boltzmann(q, T)
+		sum := 0.0
+		for _, x := range p {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoltzmannUniformAtMaxTemperature(t *testing.T) {
+	// The paper's training phase sets T to the highest possible
+	// floating-point value; the distribution must then be exactly uniform.
+	q := []float64{-100, 0, 55, 3}
+	for _, T := range []float64{math.MaxFloat64, math.Inf(1)} {
+		p := Boltzmann(q, T)
+		for i, x := range p {
+			if math.Abs(x-0.25) > 1e-15 {
+				t.Errorf("T=%v: p[%d] = %v, want 0.25", T, i, x)
+			}
+		}
+	}
+}
+
+func TestBoltzmannFavorsHigherQ(t *testing.T) {
+	p := Boltzmann([]float64{1, 2, 3}, 1)
+	if !(p[0] < p[1] && p[1] < p[2]) {
+		t.Errorf("probabilities not ordered: %v", p)
+	}
+	// Figure 2 reference: for x = 1..10 and T = 2 the distribution is
+	// strongly skewed; for T = 1000 it is nearly flat.
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	skewed := Boltzmann(x, 2)
+	flat := Boltzmann(x, 1000)
+	if skewed[9]/skewed[0] < 50 {
+		t.Errorf("T=2 should be strongly skewed, ratio = %v", skewed[9]/skewed[0])
+	}
+	if flat[9]/flat[0] > 1.01 {
+		t.Errorf("T=1000 should be nearly flat, ratio = %v", flat[9]/flat[0])
+	}
+}
+
+func TestBoltzmannLowTemperatureApproachesGreedy(t *testing.T) {
+	p := Boltzmann([]float64{0, 1, 0.5}, 0.01)
+	if p[1] < 0.999 {
+		t.Errorf("low-T mass on argmax = %v, want ~1", p[1])
+	}
+}
+
+func TestBoltzmannExtremeValuesNoOverflow(t *testing.T) {
+	p := Boltzmann([]float64{-1e308, 0, 1e308}, 1)
+	sum := 0.0
+	for _, x := range p {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("overflow in Boltzmann: %v", p)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+	if p[2] < 0.999 {
+		t.Errorf("largest Q should dominate: %v", p)
+	}
+}
+
+func TestBoltzmannPanicsOnBadTemperature(t *testing.T) {
+	for _, T := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("T=%v should panic", T)
+				}
+			}()
+			Boltzmann([]float64{1, 2}, T)
+		}()
+	}
+}
+
+func TestSampleBoltzmannDistribution(t *testing.T) {
+	rng := xrand.New(1)
+	q := []float64{0, math.Log(3)} // p = (0.25, 0.75) at T=1
+	counts := [2]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[SampleBoltzmann(q, 1, rng)]++
+	}
+	got := float64(counts[1]) / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("empirical p[1] = %v, want ~0.75", got)
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	rng := xrand.New(2)
+	if got := Greedy([]float64{1, 5, 3}, rng); got != 1 {
+		t.Errorf("Greedy = %d, want 1", got)
+	}
+	// Ties must be split between the tied indices only.
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		counts[Greedy([]float64{2, 1, 2}, rng)]++
+	}
+	if counts[1] != 0 {
+		t.Error("Greedy picked a non-maximal action")
+	}
+	if counts[0] == 0 || counts[2] == 0 {
+		t.Error("Greedy tie-breaking never picked one of the tied actions")
+	}
+	ratio := float64(counts[0]) / float64(counts[2])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("tie-breaking not uniform: %v", counts)
+	}
+}
+
+func TestGreedyPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Greedy(empty) should panic")
+		}
+	}()
+	Greedy(nil, xrand.New(1))
+}

@@ -1,0 +1,139 @@
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"collabnet/internal/xrand"
+)
+
+// QLearner is a tabular Q-learning agent (Sutton & Barto; Section IV-A of
+// the paper). It holds the Q-matrix over a finite state × action space and
+// applies the standard temporal-difference update
+//
+//	Q(s,a) ← (1−α)·Q(s,a) + α·(r + γ·max_b Q(s',b)).
+//
+// A QLearner is not safe for concurrent use; every simulated peer owns its
+// own learner, and the parallel runner shards whole simulations.
+type QLearner struct {
+	states  int
+	actions int
+	alpha   float64 // learning rate
+	gamma   float64 // discount factor
+	q       []float64
+}
+
+// NewQLearner creates a zero-initialized Q-matrix with the given dimensions,
+// learning rate alpha ∈ (0, 1] and discount gamma ∈ [0, 1).
+func NewQLearner(states, actions int, alpha, gamma float64) (*QLearner, error) {
+	if states <= 0 || actions <= 0 {
+		return nil, fmt.Errorf("agent: QLearner needs positive dimensions, got %d×%d", states, actions)
+	}
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, fmt.Errorf("agent: learning rate must be in (0,1], got %v", alpha)
+	}
+	if !(gamma >= 0 && gamma < 1) {
+		return nil, fmt.Errorf("agent: discount must be in [0,1), got %v", gamma)
+	}
+	return &QLearner{
+		states:  states,
+		actions: actions,
+		alpha:   alpha,
+		gamma:   gamma,
+		q:       make([]float64, states*actions),
+	}, nil
+}
+
+// States returns the number of states.
+func (l *QLearner) States() int { return l.states }
+
+// Actions returns the number of actions.
+func (l *QLearner) Actions() int { return l.actions }
+
+// Q returns the current Q-value of (state, action).
+func (l *QLearner) Q(state, action int) float64 {
+	l.check(state, action)
+	return l.q[state*l.actions+action]
+}
+
+// Row returns the Q-values of every action in state. The returned slice
+// aliases the learner's storage; callers must not modify it.
+func (l *QLearner) Row(state int) []float64 {
+	l.check(state, 0)
+	return l.q[state*l.actions : (state+1)*l.actions]
+}
+
+// MaxQ returns max_b Q(state, b).
+func (l *QLearner) MaxQ(state int) float64 {
+	row := l.Row(state)
+	best := math.Inf(-1)
+	for _, v := range row {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Update applies one temporal-difference step for the transition
+// (state, action, reward, next).
+func (l *QLearner) Update(state, action int, reward float64, next int) {
+	l.check(state, action)
+	l.check(next, 0)
+	idx := state*l.actions + action
+	target := reward + l.gamma*l.MaxQ(next)
+	l.q[idx] = (1-l.alpha)*l.q[idx] + l.alpha*target
+}
+
+// Select samples an action in state from the Boltzmann distribution at
+// temperature T.
+func (l *QLearner) Select(state int, T float64, rng *xrand.Source) int {
+	return SampleBoltzmann(l.Row(state), T, rng)
+}
+
+// Best returns the greedy action in state, ties broken at random.
+func (l *QLearner) Best(state int, rng *xrand.Source) int {
+	return Greedy(l.Row(state), rng)
+}
+
+// Reset zeroes the Q-matrix.
+func (l *QLearner) Reset() {
+	for i := range l.q {
+		l.q[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the learner (used by the engine's
+// snapshot tests and by ablations that branch a trained agent).
+func (l *QLearner) Clone() *QLearner {
+	cp := *l
+	cp.q = append([]float64(nil), l.q...)
+	return &cp
+}
+
+func (l *QLearner) check(state, action int) {
+	if state < 0 || state >= l.states || action < 0 || action >= l.actions {
+		panic(fmt.Sprintf("agent: (state=%d, action=%d) out of %d×%d", state, action, l.states, l.actions))
+	}
+}
+
+// ReputationState discretizes a reputation value into one of n states, the
+// paper's "10 states, where each state represents 1/10 of the reputation
+// interval [0.05, 1]". Values at the top end fall into the last state; values
+// below rmin (possible only transiently) clamp into the first.
+func ReputationState(r, rmin float64, n int) int {
+	if n <= 0 {
+		panic("agent: ReputationState needs n > 0")
+	}
+	if r <= rmin {
+		return 0
+	}
+	if r >= 1 {
+		return n - 1
+	}
+	s := int((r - rmin) / (1 - rmin) * float64(n))
+	if s >= n {
+		s = n - 1
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package agent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collabnet/internal/xrand"
+)
+
+func TestNewQLearnerValidation(t *testing.T) {
+	cases := []struct {
+		s, a  int
+		alpha float64
+		gamma float64
+	}{
+		{0, 2, 0.1, 0.9},
+		{2, 0, 0.1, 0.9},
+		{2, 2, 0, 0.9},
+		{2, 2, 1.5, 0.9},
+		{2, 2, 0.1, 1.0},
+		{2, 2, 0.1, -0.1},
+	}
+	for _, c := range cases {
+		if _, err := NewQLearner(c.s, c.a, c.alpha, c.gamma); err == nil {
+			t.Errorf("NewQLearner(%d,%d,%v,%v) should fail", c.s, c.a, c.alpha, c.gamma)
+		}
+	}
+	if _, err := NewQLearner(10, 9, 0.1, 0.9); err != nil {
+		t.Errorf("valid learner rejected: %v", err)
+	}
+}
+
+func TestQUpdateFormula(t *testing.T) {
+	l, _ := NewQLearner(2, 2, 0.5, 0.9)
+	// Seed next-state values through direct updates from zero.
+	l.Update(1, 0, 10, 1) // Q(1,0) = 0.5*(10 + 0.9*0) = 5
+	if got := l.Q(1, 0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Q(1,0) = %v, want 5", got)
+	}
+	// Q(0,1) ← (1-0.5)*0 + 0.5*(2 + 0.9*max(Q(1,·))) = 0.5*(2 + 4.5) = 3.25
+	l.Update(0, 1, 2, 1)
+	if got := l.Q(0, 1); math.Abs(got-3.25) > 1e-12 {
+		t.Errorf("Q(0,1) = %v, want 3.25", got)
+	}
+}
+
+func TestQLearningConvergesOnBandit(t *testing.T) {
+	// Single state, two actions with deterministic rewards 0 and 1: the
+	// Q-values must converge to r/(1-γ·0)… with a single state and γ>0 the
+	// fixed point is Q(a) = r(a) + γ·maxQ, so the *ordering* is what matters.
+	l, _ := NewQLearner(1, 2, 0.2, 0.5)
+	rng := xrand.New(7)
+	for i := 0; i < 5000; i++ {
+		a := rng.Intn(2)
+		l.Update(0, a, float64(a), 0)
+	}
+	if l.Q(0, 1) <= l.Q(0, 0) {
+		t.Errorf("better action should have higher Q: %v vs %v", l.Q(0, 1), l.Q(0, 0))
+	}
+	// Fixed point: maxQ = 1 + 0.5·maxQ → maxQ = 2; Q(0) = 0 + 0.5·2 = 1.
+	if math.Abs(l.Q(0, 1)-2) > 0.05 || math.Abs(l.Q(0, 0)-1) > 0.05 {
+		t.Errorf("fixed point missed: Q = (%v, %v), want (1, 2)", l.Q(0, 0), l.Q(0, 1))
+	}
+}
+
+func TestQLearnerGridPolicy(t *testing.T) {
+	// Two-state chain: state 0 --(action 1)--> state 1 with reward 0, state 1
+	// gives reward 1 forever with action 0. Greedy policy must route through.
+	l, _ := NewQLearner(2, 2, 0.3, 0.8)
+	rng := xrand.New(9)
+	state := 0
+	for i := 0; i < 20000; i++ {
+		a := rng.Intn(2)
+		var r float64
+		next := state
+		switch {
+		case state == 0 && a == 1:
+			next = 1
+		case state == 1 && a == 0:
+			r = 1
+			next = 1
+		case state == 1 && a == 1:
+			next = 0
+		}
+		l.Update(state, a, r, next)
+		state = next
+	}
+	if l.Best(0, rng) != 1 {
+		t.Errorf("state 0 best action = %d, want 1 (move to rewarding state)", l.Best(0, rng))
+	}
+	if l.Best(1, rng) != 0 {
+		t.Errorf("state 1 best action = %d, want 0 (collect reward)", l.Best(1, rng))
+	}
+}
+
+func TestQLearnerBoundedByRewardBound(t *testing.T) {
+	// Property: with rewards in [0, rmax], Q-values stay within
+	// [0, rmax/(1-γ)].
+	prop := func(seed uint64) bool {
+		l, _ := NewQLearner(3, 3, 0.5, 0.9)
+		rng := xrand.New(seed)
+		const rmax = 2.0
+		bound := rmax / (1 - 0.9)
+		s := 0
+		for i := 0; i < 2000; i++ {
+			a := rng.Intn(3)
+			r := rng.Float64() * rmax
+			next := rng.Intn(3)
+			l.Update(s, a, r, next)
+			s = next
+		}
+		for st := 0; st < 3; st++ {
+			for a := 0; a < 3; a++ {
+				q := l.Q(st, a)
+				if q < 0 || q > bound+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQLearnerCloneIndependent(t *testing.T) {
+	l, _ := NewQLearner(2, 2, 0.5, 0.9)
+	l.Update(0, 0, 1, 0)
+	cp := l.Clone()
+	cp.Update(0, 0, 100, 0)
+	if l.Q(0, 0) == cp.Q(0, 0) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestQLearnerResetAndRow(t *testing.T) {
+	l, _ := NewQLearner(2, 3, 0.5, 0.9)
+	l.Update(1, 2, 4, 0)
+	if l.MaxQ(1) == 0 {
+		t.Fatal("setup failed")
+	}
+	row := l.Row(1)
+	if len(row) != 3 {
+		t.Fatalf("Row length = %d", len(row))
+	}
+	l.Reset()
+	if l.MaxQ(1) != 0 || l.MaxQ(0) != 0 {
+		t.Error("Reset did not zero the matrix")
+	}
+}
+
+func TestQLearnerPanicsOutOfRange(t *testing.T) {
+	l, _ := NewQLearner(2, 2, 0.5, 0.9)
+	for _, fn := range []func(){
+		func() { l.Q(2, 0) },
+		func() { l.Q(0, 2) },
+		func() { l.Q(-1, 0) },
+		func() { l.Update(0, 0, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReputationState(t *testing.T) {
+	const rmin = 0.05
+	// Paper: 10 states over [0.05, 1].
+	if got := ReputationState(0.05, rmin, 10); got != 0 {
+		t.Errorf("state(0.05) = %d, want 0", got)
+	}
+	if got := ReputationState(1.0, rmin, 10); got != 9 {
+		t.Errorf("state(1.0) = %d, want 9", got)
+	}
+	if got := ReputationState(0.04, rmin, 10); got != 0 {
+		t.Errorf("below-rmin should clamp to 0, got %d", got)
+	}
+	if got := ReputationState(1.5, rmin, 10); got != 9 {
+		t.Errorf("above-1 should clamp to 9, got %d", got)
+	}
+	// Midpoint of the interval lands mid-state.
+	mid := rmin + (1-rmin)/2
+	if got := ReputationState(mid, rmin, 10); got != 5 {
+		t.Errorf("state(midpoint) = %d, want 5", got)
+	}
+	// Monotone in r.
+	prev := -1
+	for r := 0.05; r <= 1.0; r += 0.01 {
+		s := ReputationState(r, rmin, 10)
+		if s < prev {
+			t.Fatalf("state not monotone at r=%v", r)
+		}
+		prev = s
+	}
+}
+
+func TestReputationStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 should panic")
+		}
+	}()
+	ReputationState(0.5, 0.05, 0)
+}

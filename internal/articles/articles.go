@@ -1,0 +1,133 @@
+// Package articles implements the collaboration substrate: the article
+// store with revision history, edit proposals, and the weighted vote
+// sessions through which the community accepts or declines changes
+// (Sections III-C2 and III-C3). Ground-truth edit quality (constructive vs
+// destructive) is carried alongside so experiments can measure how often the
+// voting mechanism reaches the right verdict — the network itself never sees
+// it, only votes.
+package articles
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quality is the ground truth of an edit: whether its author intended to
+// improve the article. The voting mechanism tries to infer it.
+type Quality int
+
+// Quality values.
+const (
+	Good Quality = iota // constructive: improves the article
+	Bad                 // destructive: vandalism
+)
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	switch q {
+	case Good:
+		return "good"
+	case Bad:
+		return "bad"
+	default:
+		return fmt.Sprintf("Quality(%d)", int(q))
+	}
+}
+
+// Revision is one accepted change of an article.
+type Revision struct {
+	Editor  int
+	Quality Quality
+	Step    int
+}
+
+// Article is one shared document. Its eligible voters are its previous
+// successful editors; the creator counts as the first successful editor
+// (DESIGN.md, modeling decision 2), otherwise no first vote could pass.
+type Article struct {
+	ID        int
+	Title     string
+	Creator   int
+	CreatedAt int
+	revisions []Revision
+	editors   map[int]bool // successful editors == vote-eligible peers
+}
+
+// Revisions returns the accepted revisions in order.
+func (a *Article) Revisions() []Revision {
+	return append([]Revision(nil), a.revisions...)
+}
+
+// IsEditor reports whether peer is a successful editor of the article.
+func (a *Article) IsEditor(peer int) bool { return a.editors[peer] }
+
+// Editors returns the vote-eligible peers in ascending order.
+func (a *Article) Editors() []int {
+	out := make([]int, 0, len(a.editors))
+	for id := range a.editors {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// QualityBalance returns the number of good and bad accepted revisions —
+// the article-quality metric of the experiments.
+func (a *Article) QualityBalance() (good, bad int) {
+	for _, r := range a.revisions {
+		if r.Quality == Good {
+			good++
+		} else {
+			bad++
+		}
+	}
+	return good, bad
+}
+
+// Store holds all articles of the network.
+type Store struct {
+	articles []*Article
+	byID     map[int]*Article
+}
+
+// NewStore returns an empty article store.
+func NewStore() *Store {
+	return &Store{byID: make(map[int]*Article)}
+}
+
+// Create adds a new article owned by creator and returns it.
+func (s *Store) Create(title string, creator, step int) *Article {
+	a := &Article{
+		ID:        len(s.articles),
+		Title:     title,
+		Creator:   creator,
+		CreatedAt: step,
+		editors:   map[int]bool{creator: true},
+	}
+	s.articles = append(s.articles, a)
+	s.byID[a.ID] = a
+	return a
+}
+
+// Get returns the article with the given id, or nil.
+func (s *Store) Get(id int) *Article { return s.byID[id] }
+
+// Len returns the number of articles.
+func (s *Store) Len() int { return len(s.articles) }
+
+// At returns the i-th article in creation order. It panics when out of
+// range (programmer error).
+func (s *Store) At(i int) *Article { return s.articles[i] }
+
+// ApplyAccepted records an accepted edit: the revision is appended and the
+// editor becomes vote-eligible for this article. It returns an error for an
+// unknown article.
+func (s *Store) ApplyAccepted(articleID, editor, step int, q Quality) error {
+	a := s.byID[articleID]
+	if a == nil {
+		return fmt.Errorf("articles: unknown article %d", articleID)
+	}
+	a.revisions = append(a.revisions, Revision{Editor: editor, Quality: q, Step: step})
+	a.editors[editor] = true
+	return nil
+}

@@ -1,0 +1,205 @@
+package articles
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStoreCreateAndLookup(t *testing.T) {
+	s := NewStore()
+	a := s.Create("P2P Networks", 3, 0)
+	if a.ID != 0 || a.Creator != 3 || a.Title != "P2P Networks" {
+		t.Errorf("article = %+v", a)
+	}
+	if s.Len() != 1 || s.Get(0) != a || s.At(0) != a {
+		t.Error("store lookup broken")
+	}
+	if s.Get(99) != nil {
+		t.Error("unknown id should be nil")
+	}
+	b := s.Create("Incentives", 1, 5)
+	if b.ID != 1 {
+		t.Errorf("second article id = %d", b.ID)
+	}
+}
+
+func TestCreatorIsFirstEditor(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", 7, 0)
+	if !a.IsEditor(7) {
+		t.Error("creator must be vote-eligible (modeling decision 2)")
+	}
+	if a.IsEditor(8) {
+		t.Error("stranger must not be eligible")
+	}
+	eds := a.Editors()
+	if len(eds) != 1 || eds[0] != 7 {
+		t.Errorf("Editors = %v", eds)
+	}
+}
+
+func TestApplyAcceptedGrantsEligibility(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", 0, 0)
+	if err := s.ApplyAccepted(a.ID, 4, 3, Good); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsEditor(4) {
+		t.Error("accepted editor should become eligible")
+	}
+	revs := a.Revisions()
+	if len(revs) != 1 || revs[0].Editor != 4 || revs[0].Quality != Good || revs[0].Step != 3 {
+		t.Errorf("revisions = %+v", revs)
+	}
+	if err := s.ApplyAccepted(99, 4, 3, Good); err == nil {
+		t.Error("unknown article should error")
+	}
+}
+
+func TestQualityBalance(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", 0, 0)
+	s.ApplyAccepted(0, 1, 1, Good)
+	s.ApplyAccepted(0, 2, 2, Bad)
+	s.ApplyAccepted(0, 3, 3, Good)
+	good, bad := a.QualityBalance()
+	if good != 2 || bad != 1 {
+		t.Errorf("balance = (%d,%d), want (2,1)", good, bad)
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	if Good.String() != "good" || Bad.String() != "bad" || Quality(9).String() == "" {
+		t.Error("Quality strings wrong")
+	}
+}
+
+func TestSessionBasicAcceptance(t *testing.T) {
+	sess := NewSession(Proposal{Article: 0, Editor: 9, Quality: Good}, nil)
+	sess.Cast(Ballot{Voter: 1, Approve: true, Weight: 0.6})
+	sess.Cast(Ballot{Voter: 2, Approve: false, Weight: 0.4})
+	out, err := sess.Resolve(0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted || !out.Quorum {
+		t.Errorf("outcome = %+v, want accepted with quorum", out)
+	}
+	if math.Abs(out.ApproveWeight-0.6) > 1e-12 || math.Abs(out.TotalWeight-1.0) > 1e-12 {
+		t.Errorf("tally = %v/%v", out.ApproveWeight, out.TotalWeight)
+	}
+	if len(out.Winners) != 1 || out.Winners[0] != 1 {
+		t.Errorf("winners = %v", out.Winners)
+	}
+	if len(out.Losers) != 1 || out.Losers[0] != 2 {
+		t.Errorf("losers = %v", out.Losers)
+	}
+}
+
+func TestSessionWeightedMinorityByHeadcountWins(t *testing.T) {
+	// One highly reputed voter outweighs two newcomers — weighted voting in
+	// action (Section III-C2).
+	sess := NewSession(Proposal{Editor: 9}, nil)
+	sess.Cast(Ballot{Voter: 1, Approve: true, Weight: 0.8})
+	sess.Cast(Ballot{Voter: 2, Approve: false, Weight: 0.1})
+	sess.Cast(Ballot{Voter: 3, Approve: false, Weight: 0.1})
+	out, _ := sess.Resolve(0.5, false)
+	if !out.Accepted {
+		t.Error("weighted majority should accept despite 1-vs-2 headcount")
+	}
+}
+
+func TestSessionRequiredMajorityThreshold(t *testing.T) {
+	// 60% approval: accepted at M=0.5, declined at M=0.8 — how editor
+	// reputation changes the bar (Section III-C3).
+	mk := func() *Session {
+		s := NewSession(Proposal{Editor: 9}, nil)
+		s.Cast(Ballot{Voter: 1, Approve: true, Weight: 0.6})
+		s.Cast(Ballot{Voter: 2, Approve: false, Weight: 0.4})
+		return s
+	}
+	out, _ := mk().Resolve(0.5, false)
+	if !out.Accepted {
+		t.Error("60% approval should pass M=0.5")
+	}
+	out, _ = mk().Resolve(0.8, false)
+	if out.Accepted {
+		t.Error("60% approval should fail M=0.8")
+	}
+	// Exact boundary counts as reached.
+	out, _ = mk().Resolve(0.6, false)
+	if !out.Accepted {
+		t.Error("exact majority should pass")
+	}
+}
+
+func TestSessionRejectionMakesRejectersWinners(t *testing.T) {
+	sess := NewSession(Proposal{Editor: 9}, nil)
+	sess.Cast(Ballot{Voter: 1, Approve: true, Weight: 0.3})
+	sess.Cast(Ballot{Voter: 2, Approve: false, Weight: 0.7})
+	out, _ := sess.Resolve(0.5, false)
+	if out.Accepted {
+		t.Fatal("should be rejected")
+	}
+	if len(out.Winners) != 1 || out.Winners[0] != 2 {
+		t.Errorf("winners = %v, want [2]", out.Winners)
+	}
+	if len(out.Losers) != 1 || out.Losers[0] != 1 {
+		t.Errorf("losers = %v, want [1]", out.Losers)
+	}
+}
+
+func TestSessionNoQuorumDefaultRule(t *testing.T) {
+	// No ballots: the authority rule decides.
+	sess := NewSession(Proposal{Editor: 9}, nil)
+	out, _ := sess.Resolve(0.5, true)
+	if !out.Accepted || out.Quorum {
+		t.Errorf("authority edit should auto-accept without quorum: %+v", out)
+	}
+	sess = NewSession(Proposal{Editor: 9}, nil)
+	out, _ = sess.Resolve(0.5, false)
+	if out.Accepted {
+		t.Error("stranger edit without voters should be declined")
+	}
+}
+
+func TestSessionCastValidation(t *testing.T) {
+	eligible := func(v int) bool { return v != 5 }
+	sess := NewSession(Proposal{Editor: 9}, eligible)
+	if err := sess.Cast(Ballot{Voter: 9, Approve: true, Weight: 1}); err == nil {
+		t.Error("editor voting on own edit should fail")
+	}
+	if err := sess.Cast(Ballot{Voter: 5, Approve: true, Weight: 1}); err == nil {
+		t.Error("ineligible voter should fail")
+	}
+	if err := sess.Cast(Ballot{Voter: 1, Approve: true, Weight: 0}); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if err := sess.Cast(Ballot{Voter: 1, Approve: true, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Cast(Ballot{Voter: 1, Approve: false, Weight: 1}); err == nil {
+		t.Error("duplicate ballot should fail")
+	}
+}
+
+func TestSessionResolveValidation(t *testing.T) {
+	sess := NewSession(Proposal{Editor: 9}, nil)
+	if _, err := sess.Resolve(0, false); err == nil {
+		t.Error("M=0 should fail")
+	}
+	if _, err := sess.Resolve(1.1, false); err == nil {
+		t.Error("M>1 should fail")
+	}
+}
+
+func TestSessionBallotsSorted(t *testing.T) {
+	sess := NewSession(Proposal{Editor: 9}, nil)
+	for _, v := range []int{4, 1, 3} {
+		sess.Cast(Ballot{Voter: v, Approve: true, Weight: 1})
+	}
+	bs := sess.Ballots()
+	if bs[0].Voter != 1 || bs[1].Voter != 3 || bs[2].Voter != 4 {
+		t.Errorf("ballots not sorted: %+v", bs)
+	}
+}

@@ -1,0 +1,125 @@
+package articles
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Proposal is one edit awaiting a community decision.
+type Proposal struct {
+	Article int
+	Editor  int
+	Quality Quality // ground truth, never visible to voters
+	Step    int
+}
+
+// Ballot is one cast vote.
+type Ballot struct {
+	Voter   int
+	Approve bool
+	Weight  float64 // voting power v_i = RE_i / ΣRE (Section III-C2)
+}
+
+// Outcome is the resolution of a vote session.
+type Outcome struct {
+	Accepted bool
+	// ApproveWeight and TotalWeight expose the weighted tally.
+	ApproveWeight float64
+	TotalWeight   float64
+	// Winners and Losers partition the voters by whether they voted with
+	// the final majority; winners' votes are "successful" in the sense of
+	// the contribution value CE.
+	Winners []int
+	Losers  []int
+	// Quorum is false when nobody was able to vote and the default rule
+	// decided (see Session.Resolve).
+	Quorum bool
+}
+
+// Session collects ballots on one proposal and resolves them against the
+// required majority. The zero value is not usable; create with NewSession.
+type Session struct {
+	proposal Proposal
+	ballots  map[int]Ballot
+	eligible func(voter int) bool
+}
+
+// NewSession opens a vote on proposal. eligible guards ballot casting; in
+// the paper's scheme it is "successful editor of this article, not
+// vote-banned, and not the proposer".
+func NewSession(p Proposal, eligible func(voter int) bool) *Session {
+	if eligible == nil {
+		eligible = func(int) bool { return true }
+	}
+	return &Session{proposal: p, ballots: make(map[int]Ballot), eligible: eligible}
+}
+
+// Proposal returns the proposal under vote.
+func (s *Session) Proposal() Proposal { return s.proposal }
+
+// Cast records a ballot. Ineligible voters, duplicate ballots, the proposer
+// voting on their own edit, and non-positive weights are rejected.
+func (s *Session) Cast(b Ballot) error {
+	if b.Voter == s.proposal.Editor {
+		return fmt.Errorf("articles: editor %d cannot vote on their own edit", b.Voter)
+	}
+	if !s.eligible(b.Voter) {
+		return fmt.Errorf("articles: peer %d is not eligible to vote", b.Voter)
+	}
+	if _, dup := s.ballots[b.Voter]; dup {
+		return fmt.Errorf("articles: peer %d already voted", b.Voter)
+	}
+	if !(b.Weight > 0) {
+		return fmt.Errorf("articles: ballot weight must be positive, got %v", b.Weight)
+	}
+	s.ballots[b.Voter] = b
+	return nil
+}
+
+// Ballots returns the cast ballots ordered by voter id.
+func (s *Session) Ballots() []Ballot {
+	out := make([]Ballot, 0, len(s.ballots))
+	for _, b := range s.ballots {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Voter < out[j].Voter })
+	return out
+}
+
+// Resolve tallies the weighted ballots against the required majority
+// fraction M ∈ (0, 1] (computed from the editor's reputation by
+// core.RequiredMajority): the edit is accepted iff
+// ApproveWeight/TotalWeight >= M.
+//
+// When no ballots were cast the default rule applies: the edit is accepted
+// iff editorIsAuthority — the engine passes "the proposer is already a
+// successful editor of the article", so an article's author can keep working
+// on it before a community exists, while a stranger's edit on an unwatched
+// article is declined. Quorum is false in that case.
+func (s *Session) Resolve(requiredMajority float64, editorIsAuthority bool) (Outcome, error) {
+	if !(requiredMajority > 0 && requiredMajority <= 1) {
+		return Outcome{}, fmt.Errorf("articles: required majority must be in (0,1], got %v", requiredMajority)
+	}
+	out := Outcome{}
+	for _, b := range s.ballots {
+		out.TotalWeight += b.Weight
+		if b.Approve {
+			out.ApproveWeight += b.Weight
+		}
+	}
+	if out.TotalWeight <= 0 {
+		out.Accepted = editorIsAuthority
+		out.Quorum = false
+		return out, nil
+	}
+	out.Quorum = true
+	out.Accepted = out.ApproveWeight/out.TotalWeight >= requiredMajority
+	for _, b := range s.Ballots() {
+		if b.Approve == out.Accepted {
+			out.Winners = append(out.Winners, b.Voter)
+		} else {
+			out.Losers = append(out.Losers, b.Voter)
+		}
+	}
+	return out, nil
+}

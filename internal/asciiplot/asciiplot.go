@@ -1,0 +1,172 @@
+// Package asciiplot renders line and bar charts as plain text, so that
+// cmd/collabsim can show the regenerated paper figures directly in the
+// terminal without any graphics dependency.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // glyph used for this series; 0 picks automatically
+}
+
+// Options controls chart rendering.
+type Options struct {
+	Width  int // plot area width in characters (default 64)
+	Height int // plot area height in rows (default 16)
+	Title  string
+	XLabel string
+	YLabel string
+	// YMin/YMax fix the y range; when both zero the range is derived from
+	// the data with a small margin.
+	YMin, YMax float64
+}
+
+var defaultMarkers = []rune{'o', '+', 'x', '*', '#', '@'}
+
+// Line renders one or more series as a scatter/line chart. It returns an
+// error when no series contains a point or a series is malformed.
+func Line(series []Series, opt Options) (string, error) {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	total := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciiplot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				return "", fmt.Errorf("asciiplot: series %q contains NaN", s.Name)
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			total++
+		}
+	}
+	if total == 0 {
+		return "", fmt.Errorf("asciiplot: no points")
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	// Pad y a little so extreme points are visible.
+	pad := (ymax - ymin) * 0.05
+	if opt.YMin == 0 && opt.YMax == 0 {
+		ymin -= pad
+		ymax += pad
+	}
+
+	grid := make([][]rune, opt.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(opt.Width-1))
+			row := int((ymax - s.Y[i]) / (ymax - ymin) * float64(opt.Height-1))
+			if col < 0 {
+				col = 0
+			}
+			if col >= opt.Width {
+				col = opt.Width - 1
+			}
+			if row < 0 {
+				row = 0
+			}
+			if row >= opt.Height {
+				row = opt.Height - 1
+			}
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for r, rowRunes := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(opt.Height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yVal, string(rowRunes))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%8s  %-*.3g%*.3g\n", "", opt.Width/2, xmin, opt.Width-opt.Width/2, xmax)
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s   y: %s\n", "", opt.XLabel, opt.YLabel)
+	}
+	// Legend.
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", marker, s.Name)
+	}
+	return b.String(), nil
+}
+
+// Bar renders labeled values as a horizontal bar chart scaled to the
+// largest absolute value.
+func Bar(labels []string, values []float64, opt Options) (string, error) {
+	if len(labels) != len(values) {
+		return "", fmt.Errorf("asciiplot: %d labels vs %d values", len(labels), len(values))
+	}
+	if len(values) == 0 {
+		return "", fmt.Errorf("asciiplot: no bars")
+	}
+	if opt.Width <= 0 {
+		opt.Width = 48
+	}
+	maxAbs := 0.0
+	labelW := 0
+	for i, v := range values {
+		if math.IsNaN(v) {
+			return "", fmt.Errorf("asciiplot: bar %q is NaN", labels[i])
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for i, v := range values {
+		n := int(math.Abs(v) / maxAbs * float64(opt.Width))
+		fmt.Fprintf(&b, "%-*s |%s %.4f\n", labelW, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String(), nil
+}

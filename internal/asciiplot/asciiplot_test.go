@@ -1,0 +1,113 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	s := Series{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	out, err := Line([]Series{s}, Options{Title: "test", Width: 40, Height: 10, XLabel: "x", YLabel: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "linear") {
+		t.Error("missing legend entry")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("missing marker")
+	}
+	if !strings.Contains(out, "x: x") {
+		t.Error("missing axis labels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestLineMultipleSeriesDistinctMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out, err := Line([]Series{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Error("series should use distinct default markers")
+	}
+}
+
+func TestLineErrors(t *testing.T) {
+	if _, err := Line(nil, Options{}); err == nil {
+		t.Error("no series should error")
+	}
+	bad := Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}
+	if _, err := Line([]Series{bad}, Options{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	nan := Series{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}
+	if _, err := Line([]Series{nan}, Options{}); err == nil {
+		t.Error("NaN should error")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}
+	if _, err := Line([]Series{s}, Options{}); err != nil {
+		t.Errorf("constant series should render: %v", err)
+	}
+	single := Series{Name: "dot", X: []float64{1}, Y: []float64{1}}
+	if _, err := Line([]Series{single}, Options{}); err != nil {
+		t.Errorf("single point should render: %v", err)
+	}
+}
+
+func TestLineFixedYRange(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.2, 0.8}}
+	out, err := Line([]Series{s}, Options{YMin: 0, YMax: 1, Height: 5, Width: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1.000") {
+		t.Error("fixed range top not shown")
+	}
+}
+
+func TestBarBasic(t *testing.T) {
+	out, err := Bar([]string{"with", "without"}, []float64{0.42, 0.38}, Options{Title: "fig3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig3") || !strings.Contains(out, "with") {
+		t.Error("missing content")
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("missing bars")
+	}
+	if !strings.Contains(out, "0.4200") {
+		t.Error("missing values")
+	}
+}
+
+func TestBarErrors(t *testing.T) {
+	if _, err := Bar([]string{"a"}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("mismatch should error")
+	}
+	if _, err := Bar(nil, nil, Options{}); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := Bar([]string{"a"}, []float64{math.NaN()}, Options{}); err == nil {
+		t.Error("NaN should error")
+	}
+}
+
+func TestBarAllZero(t *testing.T) {
+	if _, err := Bar([]string{"a", "b"}, []float64{0, 0}, Options{}); err != nil {
+		t.Errorf("all-zero bars should render: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import "math"
+
+// SharingContribution accumulates CS, the contribution value for sharing
+// articles and bandwidth (Section III-B1):
+//
+//	CS(a, b) = αS·S_articles + βS·S_bandwidth − dS
+//
+// S_articles and S_bandwidth are the peer's *currently* shared amounts,
+// expressed as fractions of its maximum (the simulation's action levels are
+// 0, 0.5 and 1). The accumulator integrates the weighted inflow each time
+// step and applies the decay term so that an idle peer's contribution — and
+// therefore its reputation — sinks back toward zero.
+type SharingContribution struct {
+	value float64
+	idle  int // consecutive steps with zero inflow, for diagnostics
+}
+
+// Value returns the current CS (always >= 0).
+func (c *SharingContribution) Value() float64 { return c.value }
+
+// IdleSteps returns how many consecutive steps the peer contributed nothing.
+func (c *SharingContribution) IdleSteps() int { return c.idle }
+
+// Step advances the accumulator by one time step in which the peer shared
+// the fraction articles of its article capacity and bandwidth of its upload
+// capacity, both clamped to [0, 1]. It returns the new CS.
+func (c *SharingContribution) Step(p Params, articles, bandwidth float64) float64 {
+	inflow := p.AlphaS*clamp01(articles) + p.BetaS*clamp01(bandwidth)
+	c.value = decayStep(p, c.value, inflow, p.DS)
+	if inflow == 0 {
+		c.idle++
+	} else {
+		c.idle = 0
+	}
+	return c.value
+}
+
+// Reset zeroes the accumulator (used between the training and measurement
+// phases, and as the punishment reset).
+func (c *SharingContribution) Reset() { c.value = 0; c.idle = 0 }
+
+// EditingContribution accumulates CE, the contribution value for voting and
+// editing (Section III-B2):
+//
+//	CE(v, e) = αE·S_votes + βE·S_edits − dE
+//
+// S_votes counts only successful votes (cast with the majority) and S_edits
+// only accepted edits (a majority voted for them); destructive or losing
+// actions never increase CE.
+type EditingContribution struct {
+	value float64
+	idle  int
+}
+
+// Value returns the current CE (always >= 0).
+func (c *EditingContribution) Value() float64 { return c.value }
+
+// IdleSteps returns how many consecutive steps saw no successful action.
+func (c *EditingContribution) IdleSteps() int { return c.idle }
+
+// Step advances the accumulator by one time step in which the peer had
+// succVotes successful votes and accEdits accepted edits. It returns the
+// new CE.
+func (c *EditingContribution) Step(p Params, succVotes, accEdits int) float64 {
+	if succVotes < 0 {
+		succVotes = 0
+	}
+	if accEdits < 0 {
+		accEdits = 0
+	}
+	inflow := p.AlphaE*float64(succVotes) + p.BetaE*float64(accEdits)
+	c.value = decayStep(p, c.value, inflow, p.DE)
+	if inflow == 0 {
+		c.idle++
+	} else {
+		c.idle = 0
+	}
+	return c.value
+}
+
+// Reset zeroes the accumulator.
+func (c *EditingContribution) Reset() { c.value = 0; c.idle = 0 }
+
+// decayStep applies one step of inflow and decay to a contribution value
+// under the configured decay mode, clamping the result to [0, CCap].
+func decayStep(p Params, value, inflow, decay float64) float64 {
+	switch p.DecayMode {
+	case DecayConstant:
+		value += inflow - decay
+	default: // DecayProportional
+		value += inflow - decay*value
+	}
+	if value < 0 || math.IsNaN(value) {
+		value = 0
+	}
+	if value > p.CCap {
+		value = p.CCap
+	}
+	return value
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

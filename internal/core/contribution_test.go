@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSharingContributionGrowsWithSharing(t *testing.T) {
+	p := Default()
+	var c SharingContribution
+	for i := 0; i < 200; i++ {
+		c.Step(p, 1, 1)
+	}
+	// Proportional decay: steady state = (AlphaS + BetaS)/DS, capped at CCap.
+	want := math.Min((p.AlphaS+p.BetaS)/p.DS, p.CCap)
+	if math.Abs(c.Value()-want) > 0.5 {
+		t.Errorf("full-sharing steady state = %v, want ~%v", c.Value(), want)
+	}
+}
+
+func TestSharingContributionSteadyStatesOrdered(t *testing.T) {
+	// Distinct sustained sharing levels must converge to distinct
+	// contribution values — that is what makes differentiation meaningful.
+	p := Default()
+	levels := []float64{0, 0.5, 1}
+	finals := make([]float64, len(levels))
+	for i, lv := range levels {
+		var c SharingContribution
+		for s := 0; s < 500; s++ {
+			c.Step(p, lv, lv)
+		}
+		finals[i] = c.Value()
+	}
+	if !(finals[0] < finals[1] && finals[1] < finals[2]) {
+		t.Errorf("steady states not ordered: %v", finals)
+	}
+	if finals[0] > 1e-9 {
+		t.Errorf("zero sharing should decay to ~0, got %v", finals[0])
+	}
+}
+
+func TestSharingContributionDecaysWhenIdle(t *testing.T) {
+	p := Default()
+	var c SharingContribution
+	for i := 0; i < 100; i++ {
+		c.Step(p, 1, 1)
+	}
+	peak := c.Value()
+	for i := 0; i < 50; i++ {
+		c.Step(p, 0, 0)
+	}
+	if c.Value() >= peak {
+		t.Errorf("idle contribution did not decay: %v >= %v", c.Value(), peak)
+	}
+	if c.IdleSteps() != 50 {
+		t.Errorf("IdleSteps = %d, want 50", c.IdleSteps())
+	}
+}
+
+func TestSharingContributionNeverNegativeOrAboveCap(t *testing.T) {
+	p := Default()
+	prop := func(steps []bool) bool {
+		var c SharingContribution
+		for _, share := range steps {
+			lv := 0.0
+			if share {
+				lv = 1.0
+			}
+			v := c.Step(p, lv, lv)
+			if v < 0 || v > p.CCap || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantDecayMode(t *testing.T) {
+	p := Default()
+	p.DecayMode = DecayConstant
+	p.DS = 0.5
+	var c SharingContribution
+	// Inflow AlphaS+BetaS − decay 0.5 per step; capped at CCap eventually.
+	c.Step(p, 1, 1)
+	want := p.AlphaS + p.BetaS - 0.5
+	if math.Abs(c.Value()-want) > 1e-12 {
+		t.Errorf("one constant-decay step = %v, want %v", c.Value(), want)
+	}
+	for i := 0; i < 1000; i++ {
+		c.Step(p, 1, 1)
+	}
+	if c.Value() != p.CCap {
+		t.Errorf("constant decay should cap at CCap=%v, got %v", p.CCap, c.Value())
+	}
+	// Pure decay floors at zero.
+	for i := 0; i < 10000; i++ {
+		c.Step(p, 0, 0)
+	}
+	if c.Value() != 0 {
+		t.Errorf("constant decay should floor at 0, got %v", c.Value())
+	}
+}
+
+func TestSharingInputsClamped(t *testing.T) {
+	p := Default()
+	var a, b SharingContribution
+	a.Step(p, 5, -3) // clamps to (1, 0)
+	b.Step(p, 1, 0)  // reference
+	if a.Value() != b.Value() {
+		t.Errorf("clamped input mismatch: %v vs %v", a.Value(), b.Value())
+	}
+	var n SharingContribution
+	n.Step(p, math.NaN(), math.NaN())
+	if n.Value() != 0 {
+		t.Errorf("NaN inputs should count as zero inflow, got %v", n.Value())
+	}
+}
+
+func TestEditingContributionOnlySuccessCounts(t *testing.T) {
+	p := Default()
+	var c EditingContribution
+	c.Step(p, 0, 0)
+	if c.Value() != 0 {
+		t.Errorf("no successes should leave CE at 0, got %v", c.Value())
+	}
+	c.Step(p, 2, 1)
+	want := p.AlphaE*2 + p.BetaE*1 // first step from 0: decay applies to old value 0
+	if math.Abs(c.Value()-want) > 1e-9 {
+		t.Errorf("CE after 2 votes + 1 edit = %v, want %v", c.Value(), want)
+	}
+	// Negative counts are treated as zero, not as penalties.
+	before := c.Value()
+	c.Step(p, -5, -5)
+	if c.Value() > before {
+		t.Errorf("negative counts must not increase CE")
+	}
+}
+
+func TestEditingContributionIdleDecay(t *testing.T) {
+	p := Default()
+	var c EditingContribution
+	for i := 0; i < 30; i++ {
+		c.Step(p, 1, 1)
+	}
+	peak := c.Value()
+	if peak <= 0 {
+		t.Fatal("expected positive CE after successes")
+	}
+	for i := 0; i < 200; i++ {
+		c.Step(p, 0, 0)
+	}
+	if c.Value() > peak*0.05 {
+		t.Errorf("CE should decay toward 0 when idle: %v (peak %v)", c.Value(), peak)
+	}
+}
+
+func TestResetZeroes(t *testing.T) {
+	p := Default()
+	var cs SharingContribution
+	var ce EditingContribution
+	cs.Step(p, 1, 1)
+	ce.Step(p, 3, 3)
+	cs.Reset()
+	ce.Reset()
+	if cs.Value() != 0 || ce.Value() != 0 {
+		t.Errorf("Reset did not zero: CS=%v CE=%v", cs.Value(), ce.Value())
+	}
+}

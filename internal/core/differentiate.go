@@ -1,0 +1,74 @@
+package core
+
+import "math"
+
+// ProportionalShares converts non-negative weights into shares summing to 1.
+// It is the common kernel behind bandwidth differentiation and weighted
+// voting: share_i = w_i / Σ w_k. Non-finite or negative weights count as
+// zero. When every weight is zero the mass is split equally — a network of
+// all-newcomer peers still has to function. A nil or empty input returns nil.
+func ProportionalShares(weights []float64) []float64 {
+	if len(weights) == 0 {
+		return nil
+	}
+	shares := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			w = 0
+		}
+		shares[i] = w
+		total += w
+	}
+	if total <= 0 {
+		eq := 1 / float64(len(weights))
+		for i := range shares {
+			shares[i] = eq
+		}
+		return shares
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+	return shares
+}
+
+// AllocateBandwidth implements the download differentiation of Section
+// III-C1: peer i in the downloader set D_j of source j receives the fraction
+//
+//	B_i = RS_i / Σ_{k∈D_j} RS_k
+//
+// of j's upload bandwidth. reps holds the sharing reputations RS of the
+// downloaders, in downloader order; the returned slice holds their bandwidth
+// fractions in the same order.
+func AllocateBandwidth(reps []float64) []float64 { return ProportionalShares(reps) }
+
+// VotePower implements the weighted voting of Section III-C2: voter i in the
+// voter set V has voting power
+//
+//	v_i = RE_i / Σ_{k∈V} RE_k.
+//
+// reps holds the editing reputations RE of the voters.
+func VotePower(reps []float64) []float64 { return ProportionalShares(reps) }
+
+// RequiredMajority returns the acceptance fraction M an edit needs, given the
+// editor's editing reputation. Section III-C3 prescribes that "the majority M
+// of a vote is inversely proportional to the editor's reputation": trusted
+// authors need less consent. We interpolate linearly between MajorityMax for
+// a minimally reputed editor (RE = RMin) and MajorityMin for a maximally
+// reputed one (RE = 1).
+func RequiredMajority(p Params, editorRE float64) float64 {
+	rmin := p.RMin()
+	if editorRE <= rmin {
+		return p.MajorityMax
+	}
+	if editorRE >= 1 {
+		return p.MajorityMin
+	}
+	t := (editorRE - rmin) / (1 - rmin)
+	return p.MajorityMax - t*(p.MajorityMax-p.MajorityMin)
+}
+
+// CanEdit reports whether a peer with sharing reputation rs holds the edit
+// right: RS >= θ > RminS (Section III-C3, "initial cost for the editing").
+func CanEdit(p Params, rs float64) bool { return rs >= p.EditTheta }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestProportionalSharesBasic(t *testing.T) {
+	shares := ProportionalShares([]float64{1, 3})
+	if !almostEqual(shares[0], 0.25, 1e-12) || !almostEqual(shares[1], 0.75, 1e-12) {
+		t.Errorf("shares = %v, want [0.25 0.75]", shares)
+	}
+}
+
+func TestProportionalSharesEmptyAndNil(t *testing.T) {
+	if got := ProportionalShares(nil); got != nil {
+		t.Errorf("nil input should return nil, got %v", got)
+	}
+	if got := ProportionalShares([]float64{}); got != nil {
+		t.Errorf("empty input should return nil, got %v", got)
+	}
+}
+
+func TestProportionalSharesAllZeroSplitsEqually(t *testing.T) {
+	shares := ProportionalShares([]float64{0, 0, 0, 0})
+	for i, s := range shares {
+		if !almostEqual(s, 0.25, 1e-12) {
+			t.Errorf("share[%d] = %v, want 0.25", i, s)
+		}
+	}
+}
+
+func TestProportionalSharesIgnoresBadWeights(t *testing.T) {
+	shares := ProportionalShares([]float64{-5, math.NaN(), math.Inf(1), 2})
+	if !almostEqual(shares[3], 1, 1e-12) {
+		t.Errorf("only the finite positive weight should get mass: %v", shares)
+	}
+	for i := 0; i < 3; i++ {
+		if shares[i] != 0 {
+			t.Errorf("bad weight %d got share %v", i, shares[i])
+		}
+	}
+}
+
+// Property: shares always form a probability simplex and are monotone in the
+// weights (higher reputation never yields a smaller bandwidth share).
+func TestProportionalSharesProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return ProportionalShares(raw) == nil
+		}
+		// Map arbitrary floats into a usable weight range.
+		w := make([]float64, len(raw))
+		for i, x := range raw {
+			w[i] = math.Abs(math.Mod(x, 100))
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		shares := ProportionalShares(w)
+		sum := 0.0
+		for _, s := range shares {
+			if s < 0 || s > 1 {
+				return false
+			}
+			sum += s
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			return false
+		}
+		for i := range w {
+			for j := range w {
+				if w[i] > w[j] && shares[i] < shares[j]-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateBandwidthMatchesPaperFormula(t *testing.T) {
+	// Three downloaders with RS = 0.05, 0.45, 0.50: B_i = RS_i / ΣRS.
+	reps := []float64{0.05, 0.45, 0.50}
+	b := AllocateBandwidth(reps)
+	sum := 0.05 + 0.45 + 0.50
+	for i := range reps {
+		if !almostEqual(b[i], reps[i]/sum, 1e-12) {
+			t.Errorf("B[%d] = %v, want %v", i, b[i], reps[i]/sum)
+		}
+	}
+}
+
+func TestVotePowerSingleVoter(t *testing.T) {
+	v := VotePower([]float64{0.3})
+	if len(v) != 1 || !almostEqual(v[0], 1, 1e-12) {
+		t.Errorf("single voter power = %v, want [1]", v)
+	}
+}
+
+func TestRequiredMajorityInverseInReputation(t *testing.T) {
+	p := Default()
+	rmin := p.RMin()
+	if got := RequiredMajority(p, rmin); !almostEqual(got, p.MajorityMax, 1e-12) {
+		t.Errorf("majority at RMin = %v, want MajorityMax %v", got, p.MajorityMax)
+	}
+	if got := RequiredMajority(p, 1); !almostEqual(got, p.MajorityMin, 1e-12) {
+		t.Errorf("majority at 1 = %v, want MajorityMin %v", got, p.MajorityMin)
+	}
+	// Strictly decreasing in between.
+	prev := math.Inf(1)
+	for r := rmin; r <= 1.0; r += 0.05 {
+		m := RequiredMajority(p, r)
+		if m > prev+1e-12 {
+			t.Errorf("RequiredMajority increased at RE=%v", r)
+		}
+		if m < p.MajorityMin-1e-12 || m > p.MajorityMax+1e-12 {
+			t.Errorf("RequiredMajority out of bounds at RE=%v: %v", r, m)
+		}
+		prev = m
+	}
+	// Out-of-range reputations clamp.
+	if got := RequiredMajority(p, 0); got != p.MajorityMax {
+		t.Errorf("majority below RMin = %v, want MajorityMax", got)
+	}
+	if got := RequiredMajority(p, 2); got != p.MajorityMin {
+		t.Errorf("majority above 1 = %v, want MajorityMin", got)
+	}
+}
+
+func TestCanEditThreshold(t *testing.T) {
+	p := Default()
+	if CanEdit(p, p.RMin()) {
+		t.Error("newcomer (RS = RMin) must not hold the edit right")
+	}
+	if !CanEdit(p, p.EditTheta) {
+		t.Error("RS = θ should grant the edit right")
+	}
+	if !CanEdit(p, 0.9) {
+		t.Error("high reputation should grant the edit right")
+	}
+}

@@ -1,0 +1,21 @@
+// Package core implements the paper's primary contribution: the
+// reputation-based incentive scheme for fully decentralized collaboration
+// networks (Bocek, Shann, Hausheer, Stiller — IPDPS 2008, Section III).
+//
+// The scheme has four parts, each with its own file:
+//
+//   - reputation.go: the reputation function R(C) mapping a contribution
+//     value to a reputation in [Rmin, 1]; the paper's logistic form plus the
+//     alternative shapes its future-work section calls for.
+//   - contribution.go: the two contribution accumulators per peer — CS for
+//     sharing articles and bandwidth, CE for voting and editing — including
+//     the decay terms dS and dE.
+//   - differentiate.go: service differentiation — reputation-proportional
+//     download bandwidth, weighted voting power, the edit-right threshold θ,
+//     the reputation-dependent majority M, and the punishment rules.
+//   - utility.go: the game-theoretic utility functions US and UE that the
+//     self-learning agents maximize.
+//
+// ledger.go ties the parts together into a per-peer Ledger and a network-wide
+// Book, which is what the simulation engine manipulates each time step.
+package core

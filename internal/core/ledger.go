@@ -1,0 +1,235 @@
+package core
+
+import "fmt"
+
+// Ledger is the complete incentive-scheme state of one peer: both
+// contribution accumulators, the punishment counters, and the voting ban.
+// The simulation engine owns one Ledger per peer and drives it each time
+// step. A Ledger is not safe for concurrent mutation; the parallel runner
+// shards whole simulations, never single ledgers.
+type Ledger struct {
+	params Params
+	repFn  ReputationFunc
+
+	cs SharingContribution
+	ce EditingContribution
+
+	voteFails     int  // unsuccessful votes since the last successful one
+	editFails     int  // declined edits since the last accepted one
+	voteBanned    bool // voting rights revoked (Section III-C2 punishment)
+	regainedEdits int  // accepted edits while banned, toward RegainEdits
+
+	// Lifetime counters for metrics; never reset except by Reset.
+	SuccVotes  int // votes cast with the majority
+	FailVotes  int // votes cast against the majority
+	AccEdits   int // edits accepted by vote
+	DeclEdits  int // edits declined by vote
+	Punished   int // times the declined-edit punishment fired
+	VoteBans   int // times voting rights were revoked
+	VoteRegain int // times voting rights were regained
+}
+
+// NewLedger returns a Ledger for the given parameters. The parameters must
+// validate; the error otherwise explains which constraint failed.
+func NewLedger(p Params) (*Ledger, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	fn, err := p.ReputationFunc()
+	if err != nil {
+		return nil, err
+	}
+	return &Ledger{params: p, repFn: fn}, nil
+}
+
+// Params returns the parameter set the ledger was built with.
+func (l *Ledger) Params() Params { return l.params }
+
+// CS returns the current sharing contribution value.
+func (l *Ledger) CS() float64 { return l.cs.Value() }
+
+// CE returns the current editing/voting contribution value.
+func (l *Ledger) CE() float64 { return l.ce.Value() }
+
+// RS returns the sharing reputation RS(CS).
+func (l *Ledger) RS() float64 { return l.repFn.Eval(l.cs.Value()) }
+
+// RE returns the editing reputation RE(CE).
+func (l *Ledger) RE() float64 { return l.repFn.Eval(l.ce.Value()) }
+
+// StepSharing advances the sharing contribution by one time step in which
+// the peer shared the given fractions of its articles and upload bandwidth.
+func (l *Ledger) StepSharing(articles, bandwidth float64) {
+	l.cs.Step(l.params, articles, bandwidth)
+}
+
+// StepEditing advances the editing contribution by one time step in which
+// the peer had succVotes successful votes and accEdits accepted edits.
+func (l *Ledger) StepEditing(succVotes, accEdits int) {
+	l.ce.Step(l.params, succVotes, accEdits)
+}
+
+// CanEdit reports whether the peer currently holds the edit right,
+// RS >= θ (Section III-C3).
+func (l *Ledger) CanEdit() bool { return CanEdit(l.params, l.RS()) }
+
+// CanVote reports whether the peer's voting rights are intact. Per-article
+// eligibility (only previous successful editors may vote) is enforced by the
+// articles package; the ledger tracks only the global punishment ban.
+func (l *Ledger) CanVote() bool { return !l.voteBanned }
+
+// RecordVoteOutcome books one cast vote. successful means the vote was cast
+// with the winning majority. It returns true when this outcome triggered the
+// malicious-voter punishment (loss of voting rights).
+func (l *Ledger) RecordVoteOutcome(successful bool) (banned bool) {
+	if successful {
+		l.SuccVotes++
+		l.voteFails = 0
+		return false
+	}
+	l.FailVotes++
+	l.voteFails++
+	if l.params.PunishmentsOff {
+		return false
+	}
+	if !l.voteBanned && l.voteFails >= l.params.MaxVoteFails {
+		l.voteBanned = true
+		l.regainedEdits = 0
+		l.VoteBans++
+		return true
+	}
+	return false
+}
+
+// RecordEditOutcome books one resolved edit proposal. accepted means a
+// sufficient majority voted for it. It returns true when this outcome
+// triggered the malicious-editor punishment: both reputations are reset to
+// their minimum (Section III-C3), which also revokes the edit right because
+// RMin < θ.
+func (l *Ledger) RecordEditOutcome(accepted bool) (punished bool) {
+	if accepted {
+		l.AccEdits++
+		l.editFails = 0
+		if l.voteBanned {
+			// Constructive edits are the road back to voting rights.
+			l.regainedEdits++
+			if l.regainedEdits >= l.params.RegainEdits {
+				l.voteBanned = false
+				l.voteFails = 0
+				l.VoteRegain++
+			}
+		}
+		return false
+	}
+	l.DeclEdits++
+	l.editFails++
+	if l.params.PunishmentsOff {
+		return false
+	}
+	if l.editFails >= l.params.MaxEditFails {
+		l.cs.Reset()
+		l.ce.Reset()
+		l.editFails = 0
+		l.Punished++
+		return true
+	}
+	return false
+}
+
+// Reset clears all state: contributions, punishment counters, bans, and the
+// lifetime statistics. The simulation calls it between the training and the
+// measurement phase ("the reputation values are reset but the agents keep
+// their Q-Matrices").
+func (l *Ledger) Reset() {
+	l.cs.Reset()
+	l.ce.Reset()
+	l.voteFails = 0
+	l.editFails = 0
+	l.voteBanned = false
+	l.regainedEdits = 0
+	l.SuccVotes = 0
+	l.FailVotes = 0
+	l.AccEdits = 0
+	l.DeclEdits = 0
+	l.Punished = 0
+	l.VoteBans = 0
+	l.VoteRegain = 0
+}
+
+// Book is the network-wide collection of ledgers, indexed by peer id
+// (0..N-1). It is the interface the simulation engine and the incentive
+// schemes work against.
+type Book struct {
+	params  Params
+	ledgers []*Ledger
+}
+
+// NewBook creates n fresh ledgers sharing one parameter set.
+func NewBook(n int, p Params) (*Book, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: NewBook needs n > 0, got %d", n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Book{params: p, ledgers: make([]*Ledger, n)}
+	for i := range b.ledgers {
+		l, err := NewLedger(p)
+		if err != nil {
+			return nil, err
+		}
+		b.ledgers[i] = l
+	}
+	return b, nil
+}
+
+// Len returns the number of peers.
+func (b *Book) Len() int { return len(b.ledgers) }
+
+// Params returns the shared parameter set.
+func (b *Book) Params() Params { return b.params }
+
+// Ledger returns peer i's ledger. It panics on an out-of-range id, which is
+// a programmer error in the engine.
+func (b *Book) Ledger(i int) *Ledger { return b.ledgers[i] }
+
+// ResetAll resets every ledger (phase boundary).
+func (b *Book) ResetAll() {
+	for _, l := range b.ledgers {
+		l.Reset()
+	}
+}
+
+// SharingReputations returns RS for the given peer ids, in order. With a nil
+// ids slice it returns RS for every peer.
+func (b *Book) SharingReputations(ids []int) []float64 {
+	if ids == nil {
+		out := make([]float64, len(b.ledgers))
+		for i, l := range b.ledgers {
+			out[i] = l.RS()
+		}
+		return out
+	}
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = b.ledgers[id].RS()
+	}
+	return out
+}
+
+// EditingReputations returns RE for the given peer ids, in order. With a nil
+// ids slice it returns RE for every peer.
+func (b *Book) EditingReputations(ids []int) []float64 {
+	if ids == nil {
+		out := make([]float64, len(b.ledgers))
+		for i, l := range b.ledgers {
+			out[i] = l.RE()
+		}
+		return out
+	}
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = b.ledgers[id].RE()
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewLedgerValidates(t *testing.T) {
+	p := Default()
+	p.G = -1
+	if _, err := NewLedger(p); err == nil {
+		t.Error("NewLedger should reject invalid params")
+	}
+	if _, err := NewLedger(Default()); err != nil {
+		t.Errorf("NewLedger(Default()) failed: %v", err)
+	}
+}
+
+func TestLedgerNewcomerState(t *testing.T) {
+	l, err := NewLedger(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l.RS(), 0.05, 1e-12) || !almostEqual(l.RE(), 0.05, 1e-12) {
+		t.Errorf("newcomer reputations = (%v, %v), want (0.05, 0.05)", l.RS(), l.RE())
+	}
+	if l.CanEdit() {
+		t.Error("newcomer must not hold the edit right (θ > RMin)")
+	}
+	if !l.CanVote() {
+		t.Error("newcomer should hold voting rights until punished")
+	}
+}
+
+func TestLedgerSharingRaisesRS(t *testing.T) {
+	l, _ := NewLedger(Default())
+	for i := 0; i < 300; i++ {
+		l.StepSharing(1, 1)
+	}
+	if l.RS() < 0.9 {
+		t.Errorf("sustained full sharing should push RS near 1, got %v", l.RS())
+	}
+	if !l.CanEdit() {
+		t.Error("high-RS peer should hold the edit right")
+	}
+}
+
+func TestLedgerVotePunishmentAndRegain(t *testing.T) {
+	p := Default()
+	p.MaxVoteFails = 3
+	p.RegainEdits = 2
+	l, _ := NewLedger(p)
+
+	for i := 0; i < 2; i++ {
+		if banned := l.RecordVoteOutcome(false); banned {
+			t.Fatalf("banned after %d fails, threshold is 3", i+1)
+		}
+	}
+	if banned := l.RecordVoteOutcome(false); !banned {
+		t.Fatal("third failed vote should trigger the ban")
+	}
+	if l.CanVote() {
+		t.Fatal("ban should revoke voting rights")
+	}
+	if l.VoteBans != 1 {
+		t.Errorf("VoteBans = %d, want 1", l.VoteBans)
+	}
+
+	// One accepted edit is not enough to regain.
+	l.RecordEditOutcome(true)
+	if l.CanVote() {
+		t.Fatal("rights regained too early")
+	}
+	l.RecordEditOutcome(true)
+	if !l.CanVote() {
+		t.Fatal("two accepted edits should restore voting rights")
+	}
+	if l.VoteRegain != 1 {
+		t.Errorf("VoteRegain = %d, want 1", l.VoteRegain)
+	}
+}
+
+func TestLedgerSuccessfulVoteResetsFailStreak(t *testing.T) {
+	p := Default()
+	p.MaxVoteFails = 3
+	l, _ := NewLedger(p)
+	l.RecordVoteOutcome(false)
+	l.RecordVoteOutcome(false)
+	l.RecordVoteOutcome(true) // streak broken
+	l.RecordVoteOutcome(false)
+	l.RecordVoteOutcome(false)
+	if !l.CanVote() {
+		t.Error("interleaved success should have reset the failure streak")
+	}
+	if banned := l.RecordVoteOutcome(false); !banned {
+		t.Error("third consecutive failure should ban")
+	}
+}
+
+func TestLedgerEditPunishmentResetsReputations(t *testing.T) {
+	p := Default()
+	p.MaxEditFails = 2
+	l, _ := NewLedger(p)
+	for i := 0; i < 300; i++ {
+		l.StepSharing(1, 1)
+	}
+	l.StepEditing(5, 5)
+	if l.RS() < 0.9 {
+		t.Fatalf("setup: RS should be high, got %v", l.RS())
+	}
+	l.RecordEditOutcome(false)
+	if punished := l.RecordEditOutcome(false); !punished {
+		t.Fatal("second declined edit should punish")
+	}
+	if !almostEqual(l.RS(), p.RMin(), 1e-12) {
+		t.Errorf("punishment should reset RS to RMin: %v", l.RS())
+	}
+	if !almostEqual(l.RE(), p.RMin(), 1e-12) {
+		t.Errorf("punishment should reset RE to RMin: %v", l.RE())
+	}
+	if l.CanEdit() {
+		t.Error("punishment should revoke the edit right (RS < θ)")
+	}
+	if l.Punished != 1 {
+		t.Errorf("Punished = %d, want 1", l.Punished)
+	}
+}
+
+func TestLedgerLifetimeCounters(t *testing.T) {
+	l, _ := NewLedger(Default())
+	l.RecordVoteOutcome(true)
+	l.RecordVoteOutcome(false)
+	l.RecordEditOutcome(true)
+	l.RecordEditOutcome(false)
+	if l.SuccVotes != 1 || l.FailVotes != 1 || l.AccEdits != 1 || l.DeclEdits != 1 {
+		t.Errorf("counters = %d/%d/%d/%d, want 1/1/1/1",
+			l.SuccVotes, l.FailVotes, l.AccEdits, l.DeclEdits)
+	}
+	l.Reset()
+	if l.SuccVotes != 0 || l.FailVotes != 0 || l.AccEdits != 0 || l.DeclEdits != 0 {
+		t.Error("Reset should clear lifetime counters")
+	}
+	if l.CS() != 0 || l.CE() != 0 {
+		t.Error("Reset should clear contributions")
+	}
+}
+
+func TestBookBasics(t *testing.T) {
+	b, err := NewBook(5, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	b.Ledger(2).StepSharing(1, 1)
+	rs := b.SharingReputations(nil)
+	if len(rs) != 5 {
+		t.Fatalf("SharingReputations(nil) length = %d", len(rs))
+	}
+	if rs[2] <= rs[0] {
+		t.Errorf("peer 2 shared, its RS should exceed peer 0: %v vs %v", rs[2], rs[0])
+	}
+	sub := b.SharingReputations([]int{2, 0})
+	if sub[0] != rs[2] || sub[1] != rs[0] {
+		t.Errorf("subset reputations wrong: %v", sub)
+	}
+	re := b.EditingReputations([]int{1})
+	if !almostEqual(re[0], 0.05, 1e-12) {
+		t.Errorf("idle peer RE = %v, want 0.05", re[0])
+	}
+	b.ResetAll()
+	if b.Ledger(2).CS() != 0 {
+		t.Error("ResetAll should reset every ledger")
+	}
+}
+
+func TestBookRejectsBadInput(t *testing.T) {
+	if _, err := NewBook(0, Default()); err == nil {
+		t.Error("NewBook(0) should fail")
+	}
+	p := Default()
+	p.EditTheta = 0.01 // below RMin, invalid
+	if _, err := NewBook(3, p); err == nil {
+		t.Error("NewBook with invalid params should fail")
+	}
+}
+
+func TestParamsValidateTable(t *testing.T) {
+	mk := func(mut func(*Params)) Params {
+		p := Default()
+		mut(&p)
+		return p
+	}
+	bad := []Params{
+		mk(func(p *Params) { p.G = 0 }),
+		mk(func(p *Params) { p.Beta = -1 }),
+		mk(func(p *Params) { p.AlphaS = 0 }),
+		mk(func(p *Params) { p.BetaE = -2 }),
+		mk(func(p *Params) { p.DS = -0.1 }),
+		mk(func(p *Params) { p.DS = 1.5 }), // proportional rate >= 1
+		mk(func(p *Params) { p.CCap = 0 }),
+		mk(func(p *Params) { p.EditTheta = 0.04 }), // below RMin
+		mk(func(p *Params) { p.EditTheta = 1.0 }),
+		mk(func(p *Params) { p.MajorityMin = 0.9; p.MajorityMax = 0.6 }),
+		mk(func(p *Params) { p.MajorityMax = 1.2 }),
+		mk(func(p *Params) { p.MaxVoteFails = 0 }),
+		mk(func(p *Params) { p.MaxEditFails = 0 }),
+		mk(func(p *Params) { p.RegainEdits = -1 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("Default params must validate: %v", err)
+	}
+	constant := mk(func(p *Params) { p.DecayMode = DecayConstant; p.DS = 2.0 })
+	if err := constant.Validate(); err != nil {
+		t.Errorf("constant decay with DS=2 should validate: %v", err)
+	}
+}
+
+func TestUtilityFunctions(t *testing.T) {
+	u := DefaultUtility()
+	// Downloading at full allocation from a full source, sharing nothing:
+	// pure benefit.
+	if got := u.SharingUtility(1, 1, 0, 0); !almostEqual(got, u.Alpha, 1e-12) {
+		t.Errorf("pure download US = %v, want %v", got, u.Alpha)
+	}
+	// Sharing everything without downloading: pure cost.
+	if got := u.SharingUtility(0, 0, 1, 1); !almostEqual(got, -(u.BetaCost + u.GammaCost), 1e-12) {
+		t.Errorf("pure sharing US = %v, want %v", got, -(u.BetaCost + u.GammaCost))
+	}
+	// UE with default params has no failure penalty.
+	if got := u.EditUtility(2, 3, 7, 9); !almostEqual(got, 2*u.Delta+3*u.Epsilon, 1e-12) {
+		t.Errorf("UE = %v, want %v", got, 2*u.Delta+3*u.Epsilon)
+	}
+	u.EditFailCost = 0.5
+	u.VoteFailCost = 0.25
+	want := 2*u.Delta + 3*u.Epsilon - 0.5*1 - 0.25*2
+	if got := u.EditUtility(2, 3, 1, 2); !almostEqual(got, want, 1e-12) {
+		t.Errorf("UE with penalties = %v, want %v", got, want)
+	}
+}
+
+func TestDecayModeString(t *testing.T) {
+	if DecayProportional.String() != "proportional" || DecayConstant.String() != "constant" {
+		t.Error("DecayMode.String mismatch")
+	}
+	if DecayMode(42).String() != "DecayMode(42)" {
+		t.Error("unknown DecayMode should format numerically")
+	}
+}
+
+func TestRequiredMajorityMonotoneGrid(t *testing.T) {
+	p := Default()
+	fn, _ := p.Reputation()
+	// As a peer's contribution grows, the majority it needs shrinks.
+	prevM := math.Inf(1)
+	for c := 0.0; c <= 50; c += 1 {
+		m := RequiredMajority(p, fn.Eval(c))
+		if m > prevM+1e-12 {
+			t.Fatalf("majority increased with contribution at C=%v", c)
+		}
+		prevM = m
+	}
+}

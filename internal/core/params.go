@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DecayMode selects how the decay terms dS and dE act on a contribution
+// value each time step.
+type DecayMode int
+
+const (
+	// DecayProportional subtracts Decay·C each step (a leaky integrator).
+	// Distinct sustained sharing levels then converge to distinct
+	// steady-state contributions — C* = inflow/Decay — which keeps the
+	// service differentiation meaningful over long horizons. This is the
+	// package default.
+	DecayProportional DecayMode = iota
+	// DecayConstant subtracts the flat dS (resp. dE) each step, the literal
+	// reading of the paper's formulas. Under sustained positive inflow the
+	// contribution grows without bound (capped at CCap), so every sharer
+	// eventually saturates; it is kept for the decay ablation.
+	DecayConstant
+)
+
+// String implements fmt.Stringer.
+func (m DecayMode) String() string {
+	switch m {
+	case DecayProportional:
+		return "proportional"
+	case DecayConstant:
+		return "constant"
+	default:
+		return fmt.Sprintf("DecayMode(%d)", int(m))
+	}
+}
+
+// Params bundles every constant of the incentive scheme (Section III). The
+// paper specifies g = 19 and plots Beta ∈ {0.1..0.3} but leaves the remaining
+// constants open; Default documents the values used for the reproduction and
+// EXPERIMENTS.md records the calibration. All fields are plain data so a
+// Params value can be copied freely.
+type Params struct {
+	// Reputation function parameters (shared by RS and RE).
+	G    float64 // logistic gain; RMin = 1/(1+G)
+	Beta float64 // logistic steepness
+
+	// Contribution weights (Section III-B).
+	AlphaS float64 // weight of shared articles in CS
+	BetaS  float64 // weight of shared bandwidth in CS
+	AlphaE float64 // weight of successful votes in CE
+	BetaE  float64 // weight of accepted edits in CE
+
+	// Decay terms. Under DecayProportional these are rates in (0,1); under
+	// DecayConstant they are absolute amounts per idle step.
+	DS        float64
+	DE        float64
+	DecayMode DecayMode
+
+	// CCap bounds contribution values from above (the Figure 1 plot domain
+	// is [0, 50]). It prevents unbounded growth under DecayConstant and
+	// bounds steady states under DecayProportional.
+	CCap float64
+
+	// Service differentiation (Section III-C).
+	EditTheta    float64 // minimum RS required to edit: RS >= θ > RminS
+	MajorityMin  float64 // majority required of a maximally reputed editor
+	MajorityMax  float64 // majority required of a minimally reputed editor
+	MaxVoteFails int     // unsuccessful votes tolerated before losing vote rights
+	MaxEditFails int     // declined edits tolerated before the reputation reset
+	// RegainEdits is the number of accepted edits a punished voter must
+	// contribute before voting rights return ("to get any new rights, the
+	// peer has to contribute constructive edits first").
+	RegainEdits int
+
+	// PunishmentsOff disables the malicious-voter ban and the
+	// declined-edit reputation reset while keeping all counters. It exists
+	// for the punishment ablation; the paper's scheme always punishes.
+	PunishmentsOff bool
+
+	// Shape selects the reputation-function family. The paper's scheme is
+	// the logistic; the alternatives exist for the shape ablation its
+	// future-work section calls for.
+	Shape Shape
+}
+
+// Shape enumerates reputation-function families.
+type Shape int
+
+// Shape values.
+const (
+	ShapeLogistic Shape = iota
+	ShapeLinear
+	ShapeStep
+	ShapeSqrt
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeLogistic:
+		return "logistic"
+	case ShapeLinear:
+		return "linear"
+	case ShapeStep:
+		return "step"
+	case ShapeSqrt:
+		return "sqrt"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Default returns the parameter set used throughout the reproduction:
+// the paper's g = 19 / Beta = 0.15 logistic (the middle curve of Figure 1)
+// and calibrated values for the constants the paper leaves open.
+func Default() Params {
+	return Params{
+		G:    19,
+		Beta: 0.25,
+
+		AlphaS: 3.0,
+		BetaS:  5.0,
+		AlphaE: 8.0,
+		BetaE:  12.0,
+
+		DS:        0.25,
+		DE:        0.05,
+		DecayMode: DecayProportional,
+		CCap:      50,
+
+		EditTheta:    0.10,
+		MajorityMin:  0.50,
+		MajorityMax:  0.65,
+		MaxVoteFails: 5,
+		MaxEditFails: 5,
+		RegainEdits:  2,
+	}
+}
+
+// Validate reports the first violated constraint, or nil when the parameter
+// set is usable.
+func (p Params) Validate() error {
+	if !(p.G > 0) {
+		return fmt.Errorf("core: G must be > 0, got %v", p.G)
+	}
+	if !(p.Beta > 0) {
+		return fmt.Errorf("core: Beta must be > 0, got %v", p.Beta)
+	}
+	if p.AlphaS <= 0 || p.BetaS <= 0 || p.AlphaE <= 0 || p.BetaE <= 0 {
+		return errors.New("core: contribution weights AlphaS, BetaS, AlphaE, BetaE must all be > 0")
+	}
+	if p.DS < 0 || p.DE < 0 {
+		return errors.New("core: decay terms must be >= 0")
+	}
+	if p.DecayMode == DecayProportional && (p.DS >= 1 || p.DE >= 1) {
+		return errors.New("core: proportional decay rates must be < 1")
+	}
+	if !(p.CCap > 0) {
+		return fmt.Errorf("core: CCap must be > 0, got %v", p.CCap)
+	}
+	rmin := 1 / (1 + p.G)
+	if !(p.EditTheta > rmin) {
+		return fmt.Errorf("core: EditTheta must exceed RMin=%v (θ > RminS), got %v", rmin, p.EditTheta)
+	}
+	if p.EditTheta >= 1 {
+		return fmt.Errorf("core: EditTheta must be < 1, got %v", p.EditTheta)
+	}
+	if !(p.MajorityMin > 0 && p.MajorityMin <= p.MajorityMax && p.MajorityMax <= 1) {
+		return fmt.Errorf("core: need 0 < MajorityMin <= MajorityMax <= 1, got [%v, %v]",
+			p.MajorityMin, p.MajorityMax)
+	}
+	if p.MaxVoteFails < 1 || p.MaxEditFails < 1 {
+		return errors.New("core: MaxVoteFails and MaxEditFails must be >= 1")
+	}
+	if p.RegainEdits < 0 {
+		return errors.New("core: RegainEdits must be >= 0")
+	}
+	return nil
+}
+
+// Reputation constructs the logistic reputation function described by p.
+// Params.Validate must have passed; otherwise the constructor's error is
+// surfaced here.
+func (p Params) Reputation() (Logistic, error) {
+	return NewLogistic(p.G, p.Beta)
+}
+
+// ReputationFunc constructs the reputation function selected by Shape. The
+// alternatives share the logistic's RMin and saturate at CCap so that the
+// ablation varies only the curve's shape, not its range.
+func (p Params) ReputationFunc() (ReputationFunc, error) {
+	switch p.Shape {
+	case ShapeLinear:
+		return Linear{RMin0: p.RMin(), CMax: p.CCap}, nil
+	case ShapeStep:
+		return Step{RMin0: p.RMin(), Threshold: p.CCap / 2}, nil
+	case ShapeSqrt:
+		return Sqrt{RMin0: p.RMin(), CMax: p.CCap}, nil
+	default:
+		return NewLogistic(p.G, p.Beta)
+	}
+}
+
+// RMin returns the newcomer reputation implied by G.
+func (p Params) RMin() float64 { return 1 / (1 + p.G) }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collabnet/internal/xrand"
+)
+
+// TestLedgerStateMachineProperties drives a ledger with random event
+// sequences and checks the invariants that must hold in every reachable
+// state.
+func TestLedgerStateMachineProperties(t *testing.T) {
+	prop := func(seed uint64, nEvents uint8) bool {
+		rng := xrand.New(seed)
+		p := Default()
+		l, err := NewLedger(p)
+		if err != nil {
+			return false
+		}
+		for e := 0; e < int(nEvents); e++ {
+			switch rng.Intn(4) {
+			case 0:
+				l.StepSharing(rng.Float64(), rng.Float64())
+			case 1:
+				l.StepEditing(rng.Intn(3), rng.Intn(2))
+			case 2:
+				l.RecordVoteOutcome(rng.Bool(0.5))
+			case 3:
+				l.RecordEditOutcome(rng.Bool(0.5))
+			}
+			// Invariants.
+			if l.CS() < 0 || l.CS() > p.CCap || l.CE() < 0 || l.CE() > p.CCap {
+				return false
+			}
+			if l.RS() < p.RMin()-1e-12 || l.RS() > 1 || l.RE() < p.RMin()-1e-12 || l.RE() > 1 {
+				return false
+			}
+			if l.SuccVotes < 0 || l.FailVotes < 0 || l.AccEdits < 0 || l.DeclEdits < 0 {
+				return false
+			}
+			// A banned peer must not report voting rights.
+			if l.VoteBans > l.VoteRegain && l.CanVote() {
+				// bans exceed regains: currently banned
+				return false
+			}
+			if l.VoteBans == l.VoteRegain && !l.CanVote() {
+				return false
+			}
+		}
+		l.Reset()
+		return l.CS() == 0 && l.CE() == 0 && l.CanVote() && l.SuccVotes == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPunishmentAlwaysRevokesEditRight: whatever the history, the moment the
+// declined-edit punishment fires the peer must lose the edit right.
+func TestPunishmentAlwaysRevokesEditRight(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		p := Default()
+		l, _ := NewLedger(p)
+		for i := 0; i < 500; i++ {
+			if rng.Bool(0.7) {
+				l.StepSharing(1, 1)
+			}
+			if rng.Bool(0.3) {
+				if punished := l.RecordEditOutcome(rng.Bool(0.4)); punished {
+					if l.CanEdit() {
+						return false
+					}
+					if math.Abs(l.RS()-p.RMin()) > 1e-12 || math.Abs(l.RE()-p.RMin()) > 1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContributionStepContractive: under proportional decay the map
+// C -> C + inflow − d·C is a contraction toward inflow/d, so two ledgers
+// with different histories but identical future behavior converge.
+func TestContributionStepContractive(t *testing.T) {
+	p := Default()
+	var a, b SharingContribution
+	// Divergent histories.
+	for i := 0; i < 100; i++ {
+		a.Step(p, 1, 1)
+		b.Step(p, 0, 0)
+	}
+	if math.Abs(a.Value()-b.Value()) < 1 {
+		t.Fatal("setup: histories should diverge")
+	}
+	// Identical future behavior converges.
+	for i := 0; i < 400; i++ {
+		a.Step(p, 0.5, 0.5)
+		b.Step(p, 0.5, 0.5)
+	}
+	if math.Abs(a.Value()-b.Value()) > 0.01 {
+		t.Errorf("contributions did not converge: %v vs %v", a.Value(), b.Value())
+	}
+}
+
+// TestShapeFamilies ensures the Shape selector builds the right function
+// with consistent RMin.
+func TestShapeFamilies(t *testing.T) {
+	for _, shape := range []Shape{ShapeLogistic, ShapeLinear, ShapeStep, ShapeSqrt} {
+		p := Default()
+		p.Shape = shape
+		fn, err := p.ReputationFunc()
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if math.Abs(fn.RMin()-p.RMin()) > 1e-12 {
+			t.Errorf("%v: RMin mismatch %v vs %v", shape, fn.RMin(), p.RMin())
+		}
+		if fn.Eval(p.CCap) < 0.99 {
+			t.Errorf("%v: should be ~saturated at CCap, got %v", shape, fn.Eval(p.CCap))
+		}
+		if shape.String() == "" {
+			t.Errorf("Shape(%d) has empty string", shape)
+		}
+	}
+	if Shape(99).String() != "Shape(99)" {
+		t.Error("unknown shape should format numerically")
+	}
+}
+
+// TestLedgerWithAlternativeShapes: the ledger honors the configured shape.
+func TestLedgerWithAlternativeShapes(t *testing.T) {
+	p := Default()
+	p.Shape = ShapeStep
+	l, err := NewLedger(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the step threshold (CCap/2 = 25) reputation stays at RMin.
+	for i := 0; i < 4; i++ {
+		l.StepSharing(0.5, 0.5) // inflow 2.75/step, slow build
+	}
+	if l.CS() >= p.CCap/2 {
+		t.Skip("contribution reached threshold too fast for this test setup")
+	}
+	if l.RS() != p.RMin() {
+		t.Errorf("step shape below threshold: RS = %v, want RMin", l.RS())
+	}
+	for i := 0; i < 200; i++ {
+		l.StepSharing(1, 1)
+	}
+	if l.RS() != 1 {
+		t.Errorf("step shape above threshold: RS = %v, want 1", l.RS())
+	}
+}
+
+// TestVoteBanRegainCycleCounts: repeated ban/regain cycles keep counters
+// consistent.
+func TestVoteBanRegainCycleCounts(t *testing.T) {
+	p := Default()
+	p.MaxVoteFails = 2
+	p.RegainEdits = 1
+	l, _ := NewLedger(p)
+	for cycle := 0; cycle < 5; cycle++ {
+		l.RecordVoteOutcome(false)
+		l.RecordVoteOutcome(false)
+		if l.CanVote() {
+			t.Fatalf("cycle %d: should be banned", cycle)
+		}
+		l.RecordEditOutcome(true)
+		if !l.CanVote() {
+			t.Fatalf("cycle %d: should have regained", cycle)
+		}
+	}
+	if l.VoteBans != 5 || l.VoteRegain != 5 {
+		t.Errorf("cycle counts = %d/%d, want 5/5", l.VoteBans, l.VoteRegain)
+	}
+}
+
+// TestPunishmentsOffKeepsCounters: the ablation flag must not lose data.
+func TestPunishmentsOffKeepsCounters(t *testing.T) {
+	p := Default()
+	p.PunishmentsOff = true
+	l, _ := NewLedger(p)
+	for i := 0; i < 50; i++ {
+		l.RecordVoteOutcome(false)
+		l.RecordEditOutcome(false)
+	}
+	if !l.CanVote() || l.Punished != 0 || l.VoteBans != 0 {
+		t.Error("punishments fired despite PunishmentsOff")
+	}
+	if l.FailVotes != 50 || l.DeclEdits != 50 {
+		t.Error("counters lost under PunishmentsOff")
+	}
+}

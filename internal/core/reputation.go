@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReputationFunc maps a non-negative contribution value to a reputation in
+// [RMin(), 1]. Implementations must be monotonically non-decreasing; the
+// simulation and the service-differentiation math rely on that. RMin must be
+// strictly positive, otherwise newcomers could never download anything from
+// rational peers (Section III-A).
+type ReputationFunc interface {
+	// Eval returns the reputation for contribution c. Inputs below zero are
+	// treated as zero.
+	Eval(c float64) float64
+	// RMin returns the reputation assigned to a zero contribution — the value
+	// a freshly joined peer starts with.
+	RMin() float64
+	// Name identifies the function in reports and ablation tables.
+	Name() string
+}
+
+// Logistic is the paper's reputation function
+//
+//	R(C) = 1 / (1 + G·exp(−Beta·C))
+//
+// (Figure 1; the paper plots G = 19 with Beta ∈ {0.1, 0.15, 0.2, 0.3}).
+// With G = 19 the initial reputation is R(0) = 1/20 = 0.05. The logistic
+// rises steeply early — rewarding newcomers — and flattens after its
+// inflection point C* = ln(G)/Beta, which the paper identifies as the reason
+// rational peers park at mid reputation instead of maxing out.
+type Logistic struct {
+	G    float64 // gain; R(0) = 1/(1+G)
+	Beta float64 // steepness
+}
+
+// NewLogistic returns the paper's logistic reputation function. It returns an
+// error when the parameters would violate the scheme's requirements
+// (G > 0 so RMin > 0 and RMin < 1; Beta > 0 for monotonicity).
+func NewLogistic(g, beta float64) (Logistic, error) {
+	if !(g > 0) || math.IsInf(g, 0) || math.IsNaN(g) {
+		return Logistic{}, fmt.Errorf("core: logistic G must be positive and finite, got %v", g)
+	}
+	if !(beta > 0) || math.IsInf(beta, 0) || math.IsNaN(beta) {
+		return Logistic{}, fmt.Errorf("core: logistic Beta must be positive and finite, got %v", beta)
+	}
+	return Logistic{G: g, Beta: beta}, nil
+}
+
+// Eval implements ReputationFunc.
+func (l Logistic) Eval(c float64) float64 {
+	if c < 0 || math.IsNaN(c) {
+		c = 0
+	}
+	return 1 / (1 + l.G*math.Exp(-l.Beta*c))
+}
+
+// RMin implements ReputationFunc.
+func (l Logistic) RMin() float64 { return 1 / (1 + l.G) }
+
+// Name implements ReputationFunc.
+func (l Logistic) Name() string { return fmt.Sprintf("logistic(g=%g,beta=%g)", l.G, l.Beta) }
+
+// Inflection returns the contribution value at which the logistic switches
+// from convex to concave, C* = ln(G)/Beta. Beyond this point marginal
+// reputation per unit contribution falls, the effect Section V-A blames for
+// peers settling at low reputation levels.
+func (l Logistic) Inflection() float64 { return math.Log(l.G) / l.Beta }
+
+// Inverse returns the contribution value whose reputation is r, the
+// functional inverse of Eval on (RMin, 1). Values at or below RMin map to 0
+// and values at or above 1 map to +Inf.
+func (l Logistic) Inverse(r float64) float64 {
+	if r <= l.RMin() {
+		return 0
+	}
+	if r >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log((1-r)/(r*l.G)) / l.Beta
+}
+
+// Linear is an alternative reputation shape for the ablation study suggested
+// by the paper's future work ("investigate new and existing reputation
+// functions"): reputation grows linearly from RMin0 until it saturates at 1
+// when c reaches CMax.
+type Linear struct {
+	RMin0 float64 // reputation at zero contribution
+	CMax  float64 // contribution at which reputation reaches 1
+}
+
+// Eval implements ReputationFunc.
+func (l Linear) Eval(c float64) float64 {
+	if c < 0 || math.IsNaN(c) {
+		c = 0
+	}
+	if c >= l.CMax {
+		return 1
+	}
+	return l.RMin0 + (1-l.RMin0)*c/l.CMax
+}
+
+// RMin implements ReputationFunc.
+func (l Linear) RMin() float64 { return l.RMin0 }
+
+// Name implements ReputationFunc.
+func (l Linear) Name() string { return fmt.Sprintf("linear(rmin=%g,cmax=%g)", l.RMin0, l.CMax) }
+
+// Step is a threshold reputation: RMin0 below the threshold, 1 at or above
+// it. It models the crudest possible differentiation and serves as a
+// degenerate baseline in the reputation-shape ablation.
+type Step struct {
+	RMin0     float64
+	Threshold float64
+}
+
+// Eval implements ReputationFunc.
+func (s Step) Eval(c float64) float64 {
+	if c < 0 || math.IsNaN(c) {
+		c = 0
+	}
+	if c >= s.Threshold {
+		return 1
+	}
+	return s.RMin0
+}
+
+// RMin implements ReputationFunc.
+func (s Step) RMin() float64 { return s.RMin0 }
+
+// Name implements ReputationFunc.
+func (s Step) Name() string { return fmt.Sprintf("step(rmin=%g,at=%g)", s.RMin0, s.Threshold) }
+
+// Sqrt is a concave-everywhere reputation: fast early growth with no convex
+// head, R(c) = RMin0 + (1−RMin0)·sqrt(min(c,CMax)/CMax). Because its marginal
+// reward is highest at c = 0 it is the natural "newcomer friendly" contrast
+// to the logistic in the shape ablation.
+type Sqrt struct {
+	RMin0 float64
+	CMax  float64
+}
+
+// Eval implements ReputationFunc.
+func (s Sqrt) Eval(c float64) float64 {
+	if c < 0 || math.IsNaN(c) {
+		c = 0
+	}
+	if c >= s.CMax {
+		return 1
+	}
+	return s.RMin0 + (1-s.RMin0)*math.Sqrt(c/s.CMax)
+}
+
+// RMin implements ReputationFunc.
+func (s Sqrt) RMin() float64 { return s.RMin0 }
+
+// Name implements ReputationFunc.
+func (s Sqrt) Name() string { return fmt.Sprintf("sqrt(rmin=%g,cmax=%g)", s.RMin0, s.CMax) }
+
+// compile-time interface checks
+var (
+	_ ReputationFunc = Logistic{}
+	_ ReputationFunc = Linear{}
+	_ ReputationFunc = Step{}
+	_ ReputationFunc = Sqrt{}
+)

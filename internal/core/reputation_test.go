@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogisticPaperValues(t *testing.T) {
+	// Figure 1 plots g = 19; R(0) must equal the paper's Rmin = 0.05 and the
+	// curve must approach 1 for large contributions.
+	for _, beta := range []float64{0.1, 0.15, 0.2, 0.3} {
+		fn, err := NewLogistic(19, beta)
+		if err != nil {
+			t.Fatalf("NewLogistic(19, %v): %v", beta, err)
+		}
+		if got := fn.Eval(0); math.Abs(got-0.05) > 1e-12 {
+			t.Errorf("beta=%v: R(0) = %v, want 0.05", beta, got)
+		}
+		if got := fn.RMin(); math.Abs(got-0.05) > 1e-12 {
+			t.Errorf("beta=%v: RMin = %v, want 0.05", beta, got)
+		}
+		if got := fn.Eval(1e6); got < 1-1e-9 {
+			t.Errorf("beta=%v: R(1e6) = %v, want ~1", beta, got)
+		}
+	}
+}
+
+func TestLogisticMidpoint(t *testing.T) {
+	// At the inflection point C* = ln(g)/beta the logistic crosses 1/2.
+	fn := Logistic{G: 19, Beta: 0.15}
+	c := fn.Inflection()
+	if got := fn.Eval(c); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R(inflection) = %v, want 0.5", got)
+	}
+	wantC := math.Log(19) / 0.15
+	if math.Abs(c-wantC) > 1e-12 {
+		t.Errorf("inflection = %v, want %v", c, wantC)
+	}
+}
+
+func TestLogisticSteeperBetaHigherReputation(t *testing.T) {
+	// Figure 1: for a fixed positive contribution, larger beta gives larger
+	// reputation (the curves are ordered).
+	betas := []float64{0.1, 0.15, 0.2, 0.3}
+	for _, c := range []float64{5, 10, 20, 30, 45} {
+		prev := -1.0
+		for _, b := range betas {
+			fn := Logistic{G: 19, Beta: b}
+			r := fn.Eval(c)
+			if r <= prev {
+				t.Errorf("C=%v: R with beta=%v (%v) not above previous (%v)", c, b, r, prev)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestLogisticMonotoneAndBounded(t *testing.T) {
+	fn := Logistic{G: 19, Beta: 0.15}
+	prop := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 1000))
+		y := math.Abs(math.Mod(b, 1000))
+		if x > y {
+			x, y = y, x
+		}
+		rx, ry := fn.Eval(x), fn.Eval(y)
+		return rx <= ry && rx >= fn.RMin()-1e-15 && ry <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogisticInverseRoundTrip(t *testing.T) {
+	fn := Logistic{G: 19, Beta: 0.15}
+	for _, c := range []float64{0.1, 1, 5, 10, 25, 49} {
+		r := fn.Eval(c)
+		back := fn.Inverse(r)
+		if math.Abs(back-c) > 1e-9 {
+			t.Errorf("Inverse(Eval(%v)) = %v", c, back)
+		}
+	}
+	if got := fn.Inverse(fn.RMin()); got != 0 {
+		t.Errorf("Inverse(RMin) = %v, want 0", got)
+	}
+	if got := fn.Inverse(1); !math.IsInf(got, 1) {
+		t.Errorf("Inverse(1) = %v, want +Inf", got)
+	}
+}
+
+func TestLogisticRejectsBadParams(t *testing.T) {
+	cases := []struct{ g, beta float64 }{
+		{0, 0.1}, {-1, 0.1}, {19, 0}, {19, -0.5},
+		{math.NaN(), 0.1}, {19, math.NaN()}, {math.Inf(1), 0.1}, {19, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := NewLogistic(c.g, c.beta); err == nil {
+			t.Errorf("NewLogistic(%v, %v): want error", c.g, c.beta)
+		}
+	}
+}
+
+func TestLogisticNegativeAndNaNInputsClampToRMin(t *testing.T) {
+	fn := Logistic{G: 19, Beta: 0.15}
+	if got := fn.Eval(-5); got != fn.RMin() {
+		t.Errorf("Eval(-5) = %v, want RMin", got)
+	}
+	if got := fn.Eval(math.NaN()); got != fn.RMin() {
+		t.Errorf("Eval(NaN) = %v, want RMin", got)
+	}
+}
+
+func TestAlternativeShapesSatisfyContract(t *testing.T) {
+	fns := []ReputationFunc{
+		Linear{RMin0: 0.05, CMax: 50},
+		Step{RMin0: 0.05, Threshold: 25},
+		Sqrt{RMin0: 0.05, CMax: 50},
+		Logistic{G: 19, Beta: 0.15},
+	}
+	for _, fn := range fns {
+		if fn.RMin() <= 0 {
+			t.Errorf("%s: RMin must be positive", fn.Name())
+		}
+		if got := fn.Eval(0); math.Abs(got-fn.RMin()) > 1e-12 {
+			t.Errorf("%s: Eval(0) = %v, want RMin = %v", fn.Name(), got, fn.RMin())
+		}
+		if got := fn.Eval(1e9); got != 1 && got < 1-1e-6 {
+			t.Errorf("%s: Eval(1e9) = %v, want ~1", fn.Name(), got)
+		}
+		// Monotone non-decreasing over a grid.
+		prev := -1.0
+		for c := 0.0; c <= 100; c += 0.5 {
+			r := fn.Eval(c)
+			if r < prev-1e-12 {
+				t.Errorf("%s: decreasing at C=%v", fn.Name(), c)
+				break
+			}
+			if r < 0 || r > 1 {
+				t.Errorf("%s: out of range at C=%v: %v", fn.Name(), c, r)
+				break
+			}
+			prev = r
+		}
+	}
+}
+
+func TestLinearAndSqrtSaturate(t *testing.T) {
+	lin := Linear{RMin0: 0.05, CMax: 50}
+	if got := lin.Eval(50); got != 1 {
+		t.Errorf("linear Eval(CMax) = %v, want 1", got)
+	}
+	if got := lin.Eval(25); math.Abs(got-(0.05+0.95*0.5)) > 1e-12 {
+		t.Errorf("linear Eval(25) = %v", got)
+	}
+	sq := Sqrt{RMin0: 0.05, CMax: 50}
+	if got := sq.Eval(50); got != 1 {
+		t.Errorf("sqrt Eval(CMax) = %v, want 1", got)
+	}
+	// Concavity: sqrt must dominate linear strictly inside (0, CMax).
+	for _, c := range []float64{1, 10, 25, 40} {
+		if sq.Eval(c) <= lin.Eval(c) {
+			t.Errorf("sqrt should dominate linear at C=%v: %v vs %v", c, sq.Eval(c), lin.Eval(c))
+		}
+	}
+}
+
+func TestStepThreshold(t *testing.T) {
+	st := Step{RMin0: 0.05, Threshold: 25}
+	if got := st.Eval(24.999); got != 0.05 {
+		t.Errorf("below threshold = %v, want 0.05", got)
+	}
+	if got := st.Eval(25); got != 1 {
+		t.Errorf("at threshold = %v, want 1", got)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+// UtilityParams holds the constants of the utility functions (Section III-D).
+// Download and upload bandwidths are normalized to 1 and the file size is 1,
+// as in the paper, so all terms are dimensionless fractions.
+type UtilityParams struct {
+	// US = Alpha·UP_source·B − BetaCost·DS_articles − GammaCost·UP_own
+	Alpha     float64 // benefit of received download bandwidth
+	BetaCost  float64 // cost per fraction of disk space shared
+	GammaCost float64 // cost per fraction of upload bandwidth shared
+
+	// UE = Delta·E_succ + Epsilon·V_succ
+	Delta   float64 // reward per successful (accepted) edit
+	Epsilon float64 // reward per successful (majority) vote
+
+	// EditFailCost and VoteFailCost extend UE with explicit penalties for
+	// declined edits and minority votes. The paper folds these into the
+	// punishment mechanism rather than the utility; zero reproduces the
+	// paper's formula exactly, small positive values sharpen learning and
+	// are exercised by the ablations.
+	EditFailCost float64
+	VoteFailCost float64
+}
+
+// DefaultUtility returns the calibrated utility constants used by the
+// reproduction (the paper leaves α, β, γ, δ, ε open; EXPERIMENTS.md records
+// the calibration).
+func DefaultUtility() UtilityParams {
+	return UtilityParams{
+		Alpha:     20.0,
+		BetaCost:  1.50,
+		GammaCost: 0.50,
+		Delta:     4.0,
+		Epsilon:   2.0,
+
+		EditFailCost: 0,
+		VoteFailCost: 0,
+	}
+}
+
+// SharingUtility evaluates US for one time step (Section III-D1):
+//
+//	US = α·UP_source·B − β·DS_articles − γ·UP_own
+//
+// upSource is the source's shared upload bandwidth (0 when the peer is not
+// downloading this step), b the bandwidth fraction granted by the allocator,
+// dsArticles the fraction of disk space the peer shares, and upOwn the
+// fraction of upload bandwidth it shares. US may be negative: sharing without
+// downloading is a net cost, which is exactly the free-riding temptation the
+// incentive scheme must overcome.
+func (u UtilityParams) SharingUtility(upSource, b, dsArticles, upOwn float64) float64 {
+	return u.Alpha*upSource*b - u.BetaCost*dsArticles - u.GammaCost*upOwn
+}
+
+// SharingUtilityReceived is SharingUtility expressed in terms of the
+// bandwidth actually received (received = UP_source·B, which is what the
+// transfer manager reports per step).
+func (u UtilityParams) SharingUtilityReceived(received, dsArticles, upOwn float64) float64 {
+	return u.Alpha*received - u.BetaCost*dsArticles - u.GammaCost*upOwn
+}
+
+// EditUtility evaluates UE for one time step (Section III-D2):
+//
+//	UE = δ·E_succ + ε·V_succ
+//
+// succEdits counts edits accepted this step, succVotes votes cast with the
+// winning majority. failEdits/failVotes only matter when the corresponding
+// penalty constants are non-zero. The paper notes the *costs* of editing and
+// voting are excluded because they "cannot be explained rationally" — an
+// altruistic motivation is assumed — so UE is non-negative in the default
+// configuration.
+func (u UtilityParams) EditUtility(succEdits, succVotes, failEdits, failVotes int) float64 {
+	return u.Delta*float64(succEdits) + u.Epsilon*float64(succVotes) -
+		u.EditFailCost*float64(failEdits) - u.VoteFailCost*float64(failVotes)
+}
+
+// EditReward is the edit-conduct slice of UE: δ·E_succ minus the optional
+// failure penalty. It feeds the edit-conduct learner.
+func (u UtilityParams) EditReward(succEdits, failEdits int) float64 {
+	return u.Delta*float64(succEdits) - u.EditFailCost*float64(failEdits)
+}
+
+// VoteReward is the vote-conduct slice of UE: ε·V_succ minus the optional
+// failure penalty. It feeds the vote-conduct learner.
+func (u UtilityParams) VoteReward(succVotes, failVotes int) float64 {
+	return u.Epsilon*float64(succVotes) - u.VoteFailCost*float64(failVotes)
+}

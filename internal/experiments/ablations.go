@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"collabnet/internal/core"
+	"collabnet/internal/incentive"
+	"collabnet/internal/sim"
+)
+
+// AblationReputationShape compares the four reputation-function families
+// (the paper's future work: "investigate new and existing reputation
+// functions in order to maximize sharing of resources"). It returns one
+// series per shape with two points: x=0 shared articles, x=1 shared
+// bandwidth, plus a downloads-normalized series.
+func AblationReputationShape(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "ablation-shape",
+		Title:  "Sharing under different reputation-function shapes",
+		XLabel: "0 = articles, 1 = bandwidth",
+		YLabel: "shared fraction",
+	}
+	for _, shape := range []core.Shape{core.ShapeLogistic, core.ShapeLinear, core.ShapeStep, core.ShapeSqrt} {
+		cfg := sim.Default()
+		cfg.Peers = sc.Peers
+		cfg.TrainSteps = sc.TrainSteps
+		cfg.MeasureSteps = sc.MeasureSteps
+		cfg.Seed = sc.Seed
+		cfg.Params.Shape = shape
+		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
+		if err != nil {
+			return Figure{}, err
+		}
+		mean := sim.MeanResult(results)
+		s := Series{Name: shape.String()}
+		s.Add(0, mean.SharedArticles)
+		s.Add(1, mean.SharedBandwidth)
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationTemperature sweeps the measurement-phase temperature. Lower T
+// sharpens the learned policy (greedier), higher T washes it toward the
+// uniform — quantifying how much of the incentive effect survives
+// exploration noise.
+func AblationTemperature(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "ablation-temperature",
+		Title:  "Sharing vs measurement temperature",
+		XLabel: "temperature T",
+		YLabel: "shared fraction",
+	}
+	art := Series{Name: "articles"}
+	bw := Series{Name: "bandwidth"}
+	for _, T := range []float64{0.25, 0.5, 1, 2, 4} {
+		cfg := sim.Default()
+		cfg.Peers = sc.Peers
+		cfg.TrainSteps = sc.TrainSteps
+		cfg.MeasureSteps = sc.MeasureSteps
+		cfg.Seed = sc.Seed
+		cfg.MeasureTemp = T
+		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
+		if err != nil {
+			return Figure{}, err
+		}
+		mean := sim.MeanResult(results)
+		art.Add(T, mean.SharedArticles)
+		bw.Add(T, mean.SharedBandwidth)
+	}
+	fig.Series = []Series{art, bw}
+	return fig, nil
+}
+
+// AblationWeightedVoting compares weighted voting (v_i = RE_i/ΣRE) against
+// one-peer-one-vote on a mixed population, measured by verdict accuracy —
+// how often the community decision matches the edit's ground truth.
+func AblationWeightedVoting(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "ablation-weighted-voting",
+		Title:  "Verdict accuracy: weighted vs unweighted voting",
+		XLabel: "0 = unweighted, 1 = weighted",
+		YLabel: "verdict accuracy",
+	}
+	s := Series{Name: "accuracy"}
+	for i, weighted := range []bool{false, true} {
+		cfg := sim.Default()
+		cfg.Peers = sc.Peers
+		cfg.TrainSteps = sc.TrainSteps
+		cfg.MeasureSteps = sc.MeasureSteps
+		cfg.Seed = sc.Seed
+		cfg.Mix = sim.Mixture{Rational: 0.4, Altruistic: 0.4, Irrational: 0.2}
+		cfg.OpenEditing = true
+		cfg.WeightedVoting = weighted
+		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
+		if err != nil {
+			return Figure{}, err
+		}
+		mean := sim.MeanResult(results)
+		s.Add(float64(i), mean.VerdictAccuracy())
+	}
+	fig.Series = []Series{s}
+	return fig, nil
+}
+
+// AblationPunishment compares the scheme with punishments on vs off on a
+// population with vandals, measured by the rate of accepted destructive
+// edits (lower is better).
+func AblationPunishment(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "ablation-punishment",
+		Title:  "Accepted destructive edits: punishments on vs off",
+		XLabel: "0 = punishments off, 1 = punishments on",
+		YLabel: "accepted-bad fraction",
+	}
+	s := Series{Name: "accepted-bad"}
+	for i, off := range []bool{true, false} {
+		cfg := sim.Default()
+		cfg.Peers = sc.Peers
+		cfg.TrainSteps = sc.TrainSteps
+		cfg.MeasureSteps = sc.MeasureSteps
+		cfg.Seed = sc.Seed
+		cfg.Mix = sim.Mixture{Rational: 0.4, Altruistic: 0.4, Irrational: 0.2}
+		cfg.OpenEditing = true
+		cfg.Params.PunishmentsOff = off
+		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
+		if err != nil {
+			return Figure{}, err
+		}
+		mean := sim.MeanResult(results)
+		total := mean.AcceptedBad + mean.DeclinedBad
+		rate := 0.0
+		if total > 0 {
+			rate = float64(mean.AcceptedBad) / float64(total)
+		}
+		s.Add(float64(i), rate)
+	}
+	fig.Series = []Series{s}
+	return fig, nil
+}
+
+// AblationScheme compares all four incentive schemes on sharing levels —
+// including the tit-for-tat baseline the paper argues fails for non-direct
+// relations, and the trade-based karma scheme.
+func AblationScheme(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "ablation-scheme",
+		Title:  "Sharing under different incentive schemes (all-rational network)",
+		XLabel: "0 = articles, 1 = bandwidth",
+		YLabel: "shared fraction",
+	}
+	for _, kind := range []incentive.Kind{
+		incentive.KindNone, incentive.KindReputation,
+		incentive.KindTitForTat, incentive.KindKarma,
+	} {
+		cfg := sim.Default()
+		cfg.Peers = sc.Peers
+		cfg.TrainSteps = sc.TrainSteps
+		cfg.MeasureSteps = sc.MeasureSteps
+		cfg.Seed = sc.Seed
+		cfg.Scheme = kind
+		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
+		if err != nil {
+			return Figure{}, err
+		}
+		mean := sim.MeanResult(results)
+		s := Series{Name: kind.String()}
+		s.Add(0, mean.SharedArticles)
+		s.Add(1, mean.SharedBandwidth)
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ReputationHistogram runs the default reputation-scheme simulation and
+// returns the distribution of final sharing reputations — the evidence for
+// the paper's Section V-A observation that the logistic's flattening makes
+// peers park below saturation (text claim TXT3).
+func ReputationHistogram(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	cfg := sim.Default()
+	cfg.Peers = sc.Peers
+	cfg.TrainSteps = sc.TrainSteps
+	cfg.MeasureSteps = sc.MeasureSteps
+	cfg.Seed = sc.Seed
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return Figure{}, err
+	}
+	const bins = 10
+	counts := make([]int, bins)
+	for i := 0; i < cfg.Peers; i++ {
+		rs := eng.Scheme().SharingScore(i)
+		b := int(rs * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	s := Series{Name: "peers"}
+	for b, c := range counts {
+		s.Add((float64(b)+0.5)/bins, float64(c)/float64(cfg.Peers))
+	}
+	return Figure{
+		ID:     "reputation-histogram",
+		Title:  "Final sharing-reputation distribution (reputation scheme)",
+		XLabel: "RS",
+		YLabel: "fraction of peers",
+		Series: []Series{s},
+	}, nil
+}

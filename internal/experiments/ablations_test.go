@@ -1,0 +1,158 @@
+package experiments
+
+import "testing"
+
+func tinyScale() Scale {
+	return Scale{TrainSteps: 600, MeasureSteps: 300, Peers: 40, Replicas: 1, Workers: 0, Seed: 3}
+}
+
+func TestAblationReputationShape(t *testing.T) {
+	fig, err := AblationReputationShape(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 shapes, got %d", len(fig.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range fig.Series {
+		names[s.Name] = true
+		if len(s.Points) != 2 {
+			t.Errorf("%s: want 2 points, got %d", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("%s: share out of range: %v", s.Name, p.Y)
+			}
+		}
+	}
+	for _, want := range []string{"logistic", "linear", "step", "sqrt"} {
+		if !names[want] {
+			t.Errorf("missing shape %s", want)
+		}
+	}
+}
+
+func TestAblationTemperature(t *testing.T) {
+	fig, err := AblationTemperature(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := fig.Find("articles")
+	bw := fig.Find("bandwidth")
+	if art == nil || bw == nil || len(art.Points) != 5 {
+		t.Fatalf("malformed: %+v", fig.Series)
+	}
+	// As T grows the policy approaches uniform: shares drift toward 0.5.
+	// Check the high-T end is closer to 0.5 than the low-T end for
+	// bandwidth (whose learned policy deviates from 0.5 the most).
+	dev := func(y float64) float64 {
+		if y > 0.5 {
+			return y - 0.5
+		}
+		return 0.5 - y
+	}
+	if dev(bw.Points[4].Y) > dev(bw.Points[0].Y)+0.05 {
+		t.Errorf("high T should wash toward uniform: T=0.25 dev %v vs T=4 dev %v",
+			dev(bw.Points[0].Y), dev(bw.Points[4].Y))
+	}
+}
+
+func TestAblationWeightedVoting(t *testing.T) {
+	fig, err := AblationWeightedVoting(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Find("accuracy")
+	if s == nil || len(s.Points) != 2 {
+		t.Fatalf("malformed: %+v", fig.Series)
+	}
+	for _, p := range s.Points {
+		if p.Y < 0 || p.Y > 1 {
+			t.Errorf("accuracy out of range: %v", p.Y)
+		}
+	}
+}
+
+func TestAblationPunishment(t *testing.T) {
+	fig, err := AblationPunishment(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Find("accepted-bad")
+	if s == nil || len(s.Points) != 2 {
+		t.Fatalf("malformed: %+v", fig.Series)
+	}
+	// Punishments on (x=1) must not make vandalism MORE successful than
+	// punishments off (x=0).
+	if s.Points[1].Y > s.Points[0].Y+0.1 {
+		t.Errorf("punishments should not increase accepted-bad: off=%v on=%v",
+			s.Points[0].Y, s.Points[1].Y)
+	}
+}
+
+func TestAblationScheme(t *testing.T) {
+	fig, err := AblationScheme(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 schemes, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("%s: share out of range: %v", s.Name, p.Y)
+			}
+		}
+	}
+}
+
+func TestReputationHistogram(t *testing.T) {
+	fig, err := ReputationHistogram(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Find("peers")
+	if s == nil || len(s.Points) != 10 {
+		t.Fatalf("malformed: %+v", fig.Series)
+	}
+	total := 0.0
+	for _, p := range s.Points {
+		total += p.Y
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("histogram fractions sum to %v", total)
+	}
+}
+
+func TestAblationsRejectBadScale(t *testing.T) {
+	bad := Scale{}
+	if _, err := AblationReputationShape(bad); err == nil {
+		t.Error("shape ablation should validate scale")
+	}
+	if _, err := AblationTemperature(bad); err == nil {
+		t.Error("temperature ablation should validate scale")
+	}
+	if _, err := AblationWeightedVoting(bad); err == nil {
+		t.Error("voting ablation should validate scale")
+	}
+	if _, err := AblationPunishment(bad); err == nil {
+		t.Error("punishment ablation should validate scale")
+	}
+	if _, err := AblationScheme(bad); err == nil {
+		t.Error("scheme ablation should validate scale")
+	}
+	if _, err := ReputationHistogram(bad); err == nil {
+		t.Error("histogram should validate scale")
+	}
+	if _, err := Fig3(bad); err == nil {
+		t.Error("Fig3 should validate scale")
+	}
+	if _, _, err := Fig4(bad); err == nil {
+		t.Error("Fig4 should validate scale")
+	}
+	if _, err := Fig6(bad); err == nil {
+		t.Error("Fig6 should validate scale")
+	}
+}

@@ -1,0 +1,82 @@
+// Package experiments defines one runnable experiment per figure of the
+// paper's evaluation (Section V) plus the ablations DESIGN.md calls out.
+// Each experiment returns Figure values — named series of (x, y) points —
+// that cmd/collabsim renders as ASCII plots and CSV, and that
+// EXPERIMENTS.md compares against the paper.
+package experiments
+
+import "fmt"
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Figure is the reproduction of one paper figure: a titled set of series.
+type Figure struct {
+	ID     string // "fig1" … "fig7", "ablation-…"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Find returns the series with the given name, or nil.
+func (f *Figure) Find(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Scale controls how much compute an experiment spends.
+type Scale struct {
+	// TrainSteps / MeasureSteps per run (paper: 10000 / measurement window).
+	TrainSteps   int
+	MeasureSteps int
+	// Peers per network (paper: 100).
+	Peers int
+	// Replicas averaged per sweep point.
+	Replicas int
+	// Workers for the parallel runner (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives all derived randomness.
+	Seed uint64
+}
+
+// PaperScale reproduces the paper's full experiment sizes.
+func PaperScale() Scale {
+	return Scale{TrainSteps: 10000, MeasureSteps: 5000, Peers: 100, Replicas: 5, Workers: 0, Seed: 1}
+}
+
+// QuickScale is a reduced size for tests and benchmarks: same structure,
+// roughly 20x cheaper.
+func QuickScale() Scale {
+	return Scale{TrainSteps: 1500, MeasureSteps: 800, Peers: 60, Replicas: 2, Workers: 0, Seed: 1}
+}
+
+// Validate reports the first violated constraint.
+func (s Scale) Validate() error {
+	if s.TrainSteps < 0 || s.MeasureSteps <= 0 {
+		return fmt.Errorf("experiments: bad step counts %d/%d", s.TrainSteps, s.MeasureSteps)
+	}
+	if s.Peers < 2 {
+		return fmt.Errorf("experiments: need >= 2 peers, got %d", s.Peers)
+	}
+	if s.Replicas <= 0 {
+		return fmt.Errorf("experiments: need >= 1 replica, got %d", s.Replicas)
+	}
+	return nil
+}

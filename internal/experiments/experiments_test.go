@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"collabnet/internal/stats"
+)
+
+func TestFig1MatchesPaperCurves(t *testing.T) {
+	fig, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("Fig1 should have 4 beta curves, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		// Every curve starts at R(0) = 0.05 and is monotone increasing.
+		if math.Abs(s.Points[0].Y-0.05) > 1e-12 {
+			t.Errorf("%s: R(0) = %v", s.Name, s.Points[0].Y)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Errorf("%s: not monotone at %v", s.Name, s.Points[i].X)
+				break
+			}
+		}
+	}
+	// The beta=0.3 curve must dominate beta=0.1 at C=20 (Figure 1 ordering).
+	steep := fig.Find("beta=0.3")
+	shallow := fig.Find("beta=0.1")
+	if steep == nil || shallow == nil {
+		t.Fatal("missing named series")
+	}
+	at := func(s *Series, x float64) float64 {
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y
+			}
+		}
+		t.Fatalf("x=%v not sampled", x)
+		return 0
+	}
+	if at(steep, 20) <= at(shallow, 20) {
+		t.Error("beta ordering violated at C=20")
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	fig := Fig2()
+	if len(fig.Series) != 2 {
+		t.Fatalf("Fig2 should have 2 temperature series")
+	}
+	skewed := fig.Find("T=2")
+	flat := fig.Find("T=1000")
+	if skewed == nil || flat == nil {
+		t.Fatal("missing series")
+	}
+	// Each is a probability distribution over 10 values.
+	for _, s := range []*Series{skewed, flat} {
+		sum := 0.0
+		for _, p := range s.Points {
+			sum += p.Y
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: probabilities sum to %v", s.Name, sum)
+		}
+	}
+	// T=2 heavily favors x=10; T=1000 nearly uniform.
+	if skewed.Points[9].Y/skewed.Points[0].Y < 50 {
+		t.Error("T=2 should be strongly skewed")
+	}
+	if flat.Points[9].Y/flat.Points[0].Y > 1.01 {
+		t.Error("T=1000 should be nearly flat")
+	}
+}
+
+func TestFig3DirectionalClaim(t *testing.T) {
+	// Reduced-scale Figure 3: the incentive scheme must not reduce sharing.
+	// The full-scale gains (paper: +8%/+11%, our calibration: +4-8%) are
+	// recorded in EXPERIMENTS.md; at test scale we assert the direction.
+	sc := QuickScale()
+	sc.Replicas = 3
+	res, err := Fig3(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithArticles.N() != 3 || res.WithoutArticles.N() != 3 {
+		t.Fatalf("replica counts wrong: %+v", res)
+	}
+	if res.BandwidthGain() < -0.02 {
+		t.Errorf("bandwidth gain strongly negative: %v", res.BandwidthGain())
+	}
+	if res.ArticleGain() < -0.05 {
+		t.Errorf("article gain strongly negative: %v", res.ArticleGain())
+	}
+	if res.String() == "" {
+		t.Error("String should format")
+	}
+	fig := Fig3Figure(res)
+	if len(fig.Series) != 2 || len(fig.Series[0].Points) != 2 {
+		t.Errorf("Fig3Figure malformed: %+v", fig)
+	}
+}
+
+func TestFig4MonotoneInMixture(t *testing.T) {
+	sc := QuickScale()
+	sc.Replicas = 1
+	artFig, bwFig, err := Fig4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{artFig, bwFig} {
+		alt := fig.Find("altruistic")
+		irr := fig.Find("irrational")
+		if alt == nil || irr == nil || len(alt.Points) != 9 || len(irr.Points) != 9 {
+			t.Fatalf("malformed sweep series: %+v", fig.Series)
+		}
+		// Directional claim (Figure 4): sharing rises with altruists and
+		// falls with irrationals. Check the endpoints, which are robust at
+		// reduced scale.
+		if alt.Points[8].Y <= alt.Points[0].Y {
+			t.Errorf("%s: altruistic sweep should rise: %v -> %v",
+				fig.Title, alt.Points[0].Y, alt.Points[8].Y)
+		}
+		if irr.Points[8].Y >= irr.Points[0].Y {
+			t.Errorf("%s: irrational sweep should fall: %v -> %v",
+				fig.Title, irr.Points[0].Y, irr.Points[8].Y)
+		}
+	}
+}
+
+func TestFig4NearLinear(t *testing.T) {
+	// The paper calls the Figure 4 effect "nearly linear"; fit a line and
+	// require a decent coefficient of determination at reduced scale.
+	sc := QuickScale()
+	sc.Replicas = 2
+	artFig, _, err := Fig4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := artFig.Find("altruistic")
+	xs := make([]float64, len(alt.Points))
+	ys := make([]float64, len(alt.Points))
+	for i, p := range alt.Points {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	fit, err := stats.FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope <= 0 {
+		t.Errorf("altruistic slope = %v, want positive", fit.Slope)
+	}
+	if fit.R2 < 0.8 {
+		t.Errorf("R2 = %v, want >= 0.8 (nearly linear)", fit.R2)
+	}
+}
+
+func TestFig5RationalFlatness(t *testing.T) {
+	// Figure 5: per-rational-peer sharing varies far less than the overall
+	// network sharing does across the same sweep.
+	sc := QuickScale()
+	sc.Replicas = 2
+	art5, bw5, err := Fig5(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(s *Series) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range s.Points {
+			lo = math.Min(lo, p.Y)
+			hi = math.Max(hi, p.Y)
+		}
+		return hi - lo
+	}
+	for _, fig := range []Figure{art5, bw5} {
+		for _, name := range []string{"altruistic", "irrational"} {
+			s := fig.Find(name)
+			if s == nil {
+				t.Fatal("missing series")
+			}
+			if sp := spread(s); sp > 0.30 {
+				t.Errorf("%s/%s: rational sharing spread = %v, want flat-ish (< 0.30)",
+					fig.Title, name, sp)
+			}
+		}
+	}
+}
+
+func TestFig7MajorityFollowing(t *testing.T) {
+	// Figure 7: with many altruists rational agents go constructive; with
+	// many irrationals they go destructive. Check the 90% endpoints.
+	sc := QuickScale()
+	sc.TrainSteps = 2500
+	sc.MeasureSteps = 1000
+	sc.Replicas = 1
+	altFig, irrFig, err := Fig7(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	altCons := altFig.Find("constructive")
+	irrCons := irrFig.Find("constructive")
+	if altCons == nil || irrCons == nil {
+		t.Fatal("missing series")
+	}
+	if got := altCons.Points[len(altCons.Points)-1].Y; got < 0.7 {
+		t.Errorf("90%% altruists: rational constructive fraction = %v, want >= 0.7", got)
+	}
+	if got := irrCons.Points[len(irrCons.Points)-1].Y; got > 0.3 {
+		t.Errorf("90%% irrationals: rational constructive fraction = %v, want <= 0.3", got)
+	}
+	// Constructive + destructive partition the edits.
+	altDest := altFig.Find("destructive")
+	for i := range altCons.Points {
+		if math.Abs(altCons.Points[i].Y+altDest.Points[i].Y-1) > 1e-9 {
+			t.Errorf("fractions do not partition at %v", altCons.Points[i].X)
+		}
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	sc := QuickScale()
+	sc.TrainSteps = 800
+	sc.MeasureSteps = 400
+	sc.Replicas = 1
+	fig, err := Fig6(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := fig.Find("constructive")
+	if cons == nil || len(cons.Points) != 10 {
+		t.Fatalf("Fig6 should sweep 10 points: %+v", fig.Series)
+	}
+	for _, p := range cons.Points {
+		if p.Y < 0 || p.Y > 1 {
+			t.Errorf("fraction out of range at %v: %v", p.X, p.Y)
+		}
+	}
+}
+
+func TestScaleValidate(t *testing.T) {
+	if err := PaperScale().Validate(); err != nil {
+		t.Errorf("paper scale invalid: %v", err)
+	}
+	if err := QuickScale().Validate(); err != nil {
+		t.Errorf("quick scale invalid: %v", err)
+	}
+	bad := []Scale{
+		{TrainSteps: -1, MeasureSteps: 1, Peers: 10, Replicas: 1},
+		{TrainSteps: 1, MeasureSteps: 0, Peers: 10, Replicas: 1},
+		{TrainSteps: 1, MeasureSteps: 1, Peers: 1, Replicas: 1},
+		{TrainSteps: 1, MeasureSteps: 1, Peers: 10, Replicas: 0},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestFigureFind(t *testing.T) {
+	fig := Figure{Series: []Series{{Name: "a"}, {Name: "b"}}}
+	if fig.Find("b") == nil || fig.Find("c") != nil {
+		t.Error("Find broken")
+	}
+}

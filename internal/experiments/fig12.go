@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/core"
+)
+
+// Fig1 regenerates Figure 1: the logistic reputation function R(C) for
+// g = 19 and β ∈ {0.1, 0.15, 0.2, 0.3} over the contribution range [0, 50].
+// This is an analytic figure — no simulation involved.
+func Fig1() (Figure, error) {
+	fig := Figure{
+		ID:     "fig1",
+		Title:  "Reputation function R(C) = 1/(1 + g·exp(−β·C)), g = 19",
+		XLabel: "contribution value",
+		YLabel: "reputation value",
+	}
+	for _, beta := range []float64{0.3, 0.2, 0.15, 0.1} {
+		fn, err := core.NewLogistic(19, beta)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Name: fmt.Sprintf("beta=%g", beta)}
+		for c := 0.0; c <= 50; c += 0.5 {
+			s.Add(c, fn.Eval(c))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig2 regenerates Figure 2: the Boltzmann distribution over the values
+// x = 1..10 at temperatures T = 2 (strongly skewed) and T = 1000 (nearly
+// uniform). Analytic, no simulation.
+func Fig2() Figure {
+	fig := Figure{
+		ID:     "fig2",
+		Title:  "Boltzmann distribution over x = 1..10",
+		XLabel: "x",
+		YLabel: "probability p(x)",
+	}
+	q := make([]float64, 10)
+	for i := range q {
+		q[i] = float64(i + 1)
+	}
+	for _, T := range []float64{2, 1000} {
+		p := agent.Boltzmann(q, T)
+		s := Series{Name: fmt.Sprintf("T=%g", T)}
+		for i, prob := range p {
+			s.Add(float64(i+1), prob)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

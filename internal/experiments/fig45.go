@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/sim"
+)
+
+// mixtureSweep builds the paper's population sweep (Section IV-B): the
+// varied type takes x ∈ {10..90}% of the network and the other two types
+// split the remainder equally.
+func mixtureSweep(varied agent.Behavior, percent int) sim.Mixture {
+	f := float64(percent) / 100
+	rest := (1 - f) / 2
+	switch varied {
+	case agent.Altruistic:
+		return sim.Mixture{Altruistic: f, Rational: rest, Irrational: rest}
+	case agent.Irrational:
+		return sim.Mixture{Irrational: f, Rational: rest, Altruistic: rest}
+	default:
+		return sim.Mixture{Rational: f, Altruistic: rest, Irrational: rest}
+	}
+}
+
+// sweepJob names one (varied type, percent, replica) cell.
+func sweepName(varied agent.Behavior, pct, rep int) string {
+	return fmt.Sprintf("%s-%d-rep%d", varied, pct, rep)
+}
+
+// runMixtureSweep runs the 10–90% sweep for one varied behavior type and
+// returns the mean Result per sweep point, in percent order.
+func runMixtureSweep(sc Scale, varied agent.Behavior, openEditing bool) ([]int, []sim.Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	percents := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	var jobs []sim.Job
+	for _, pct := range percents {
+		cfg := sim.Default()
+		cfg.Peers = sc.Peers
+		cfg.TrainSteps = sc.TrainSteps
+		cfg.MeasureSteps = sc.MeasureSteps
+		cfg.Mix = mixtureSweep(varied, pct)
+		cfg.OpenEditing = openEditing
+		// Derive deterministic seeds per (pct, replica).
+		for rep := 0; rep < sc.Replicas; rep++ {
+			c := cfg
+			c.Seed = sc.Seed + uint64(pct)*1000 + uint64(rep)
+			jobs = append(jobs, sim.Job{Name: sweepName(varied, pct, rep), Config: c})
+		}
+	}
+	jrs := sim.RunJobs(jobs, sc.Workers)
+	means := make([]sim.Result, len(percents))
+	for i := range percents {
+		var batch []sim.Result
+		for rep := 0; rep < sc.Replicas; rep++ {
+			jr := jrs[i*sc.Replicas+rep]
+			if jr.Err != nil {
+				return nil, nil, fmt.Errorf("experiments: %s: %w", jr.Name, jr.Err)
+			}
+			batch = append(batch, jr.Results[0])
+		}
+		means[i] = sim.MeanResult(batch)
+	}
+	return percents, means, nil
+}
+
+// Fig4 regenerates Figure 4: the amount of shared articles (top) and
+// bandwidth (bottom) per peer as the share of altruistic resp. irrational
+// peers is varied from 10% to 90%. The paper finds a nearly linear rise
+// with altruists and fall with irrationals.
+func Fig4(sc Scale) (articlesFig, bandwidthFig Figure, err error) {
+	articlesFig = Figure{
+		ID: "fig4", Title: "Shared articles per peer vs population mix",
+		XLabel: "percentage of varied user type", YLabel: "shared articles fraction",
+	}
+	bandwidthFig = Figure{
+		ID: "fig4", Title: "Shared bandwidth per peer vs population mix",
+		XLabel: "percentage of varied user type", YLabel: "shared bandwidth fraction",
+	}
+	for _, varied := range []agent.Behavior{agent.Altruistic, agent.Irrational} {
+		pcts, means, err := runMixtureSweep(sc, varied, false)
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		art := Series{Name: varied.String()}
+		bw := Series{Name: varied.String()}
+		for i, pct := range pcts {
+			art.Add(float64(pct), means[i].SharedArticles)
+			bw.Add(float64(pct), means[i].SharedBandwidth)
+		}
+		articlesFig.Series = append(articlesFig.Series, art)
+		bandwidthFig.Series = append(bandwidthFig.Series, bw)
+	}
+	return articlesFig, bandwidthFig, nil
+}
+
+// Fig5 regenerates Figure 5: the same sweep, but measuring the sharing of
+// the *rational* peers only. The paper finds their behavior nearly flat —
+// rational agents neither free-ride more among irrationals nor share more
+// under altruistic pressure.
+func Fig5(sc Scale) (articlesFig, bandwidthFig Figure, err error) {
+	articlesFig = Figure{
+		ID: "fig5", Title: "Shared articles per rational peer vs population mix",
+		XLabel: "percentage of varied user type", YLabel: "shared articles fraction",
+	}
+	bandwidthFig = Figure{
+		ID: "fig5", Title: "Shared bandwidth per rational peer vs population mix",
+		XLabel: "percentage of varied user type", YLabel: "shared bandwidth fraction",
+	}
+	for _, varied := range []agent.Behavior{agent.Altruistic, agent.Irrational} {
+		pcts, means, err := runMixtureSweep(sc, varied, false)
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		art := Series{Name: varied.String()}
+		bw := Series{Name: varied.String()}
+		for i, pct := range pcts {
+			r := means[i].PerBehavior[agent.Rational]
+			art.Add(float64(pct), r.SharedArticles)
+			bw.Add(float64(pct), r.SharedBandwidth)
+		}
+		articlesFig.Series = append(articlesFig.Series, art)
+		bandwidthFig.Series = append(bandwidthFig.Series, bw)
+	}
+	return articlesFig, bandwidthFig, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/sim"
+)
+
+// Fig6 regenerates Figure 6: the percentage of constructive vs destructive
+// edits proposed by rational agents when the numbers of altruistic and
+// irrational peers are equal, as the rational share varies from 10% to
+// 100%. The paper's finding: the outcome is essentially random — with no
+// honest or dishonest majority to coordinate on, rational agents converge
+// on an arbitrary conduct per run.
+//
+// Both experiments run with OpenEditing (all behavior types may propose
+// edits); see DESIGN.md §6 — under the strict RS ≥ θ gate, free-riding
+// vandals could never edit and these dynamics could not be observed.
+func Fig6(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "fig6",
+		Title:  "Constructive vs destructive edits by rational agents (altruistic = irrational)",
+		XLabel: "percentage of rational peers",
+		YLabel: "fraction of rational edits",
+	}
+	constructive := Series{Name: "constructive"}
+	destructive := Series{Name: "destructive"}
+	percents := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	var jobs []sim.Job
+	for _, pct := range percents {
+		f := float64(pct) / 100
+		rest := (1 - f) / 2
+		cfg := sim.Default()
+		cfg.Peers = sc.Peers
+		cfg.TrainSteps = sc.TrainSteps
+		cfg.MeasureSteps = sc.MeasureSteps
+		cfg.Mix = sim.Mixture{Rational: f, Altruistic: rest, Irrational: rest}
+		cfg.OpenEditing = true
+		for rep := 0; rep < sc.Replicas; rep++ {
+			c := cfg
+			c.Seed = sc.Seed + uint64(pct)*1000 + uint64(rep)
+			jobs = append(jobs, sim.Job{Name: fmt.Sprintf("fig6-%d-%d", pct, rep), Config: c})
+		}
+	}
+	jrs := sim.RunJobs(jobs, sc.Workers)
+	for i, pct := range percents {
+		var batch []sim.Result
+		for rep := 0; rep < sc.Replicas; rep++ {
+			jr := jrs[i*sc.Replicas+rep]
+			if jr.Err != nil {
+				return Figure{}, fmt.Errorf("experiments: %s: %w", jr.Name, jr.Err)
+			}
+			batch = append(batch, jr.Results[0])
+		}
+		mean := sim.MeanResult(batch)
+		cf := mean.PerBehavior[agent.Rational].ConstructiveFraction()
+		constructive.Add(float64(pct), cf)
+		destructive.Add(float64(pct), 1-cf)
+	}
+	fig.Series = []Series{constructive, destructive}
+	return fig, nil
+}
+
+// Fig7 regenerates Figure 7: the conduct of rational agents as the share of
+// altruistic (top panel) resp. irrational (bottom panel) peers is varied
+// from 10% to 90%. The paper's finding — rational peers behave according to
+// the majority: constructive conviction grows with the altruists and
+// destructive conviction with the irrationals.
+func Fig7(sc Scale) (altFig, irrFig Figure, err error) {
+	altFig = Figure{
+		ID:     "fig7",
+		Title:  "Rational edit conduct vs percentage of altruistic peers",
+		XLabel: "percentage of altruistic agents",
+		YLabel: "fraction of rational edits",
+	}
+	irrFig = Figure{
+		ID:     "fig7",
+		Title:  "Rational edit conduct vs percentage of irrational peers",
+		XLabel: "percentage of irrational agents",
+		YLabel: "fraction of rational edits",
+	}
+	for fi, varied := range []agent.Behavior{agent.Altruistic, agent.Irrational} {
+		pcts, means, err := runMixtureSweep(sc, varied, true)
+		if err != nil {
+			return Figure{}, Figure{}, err
+		}
+		constructive := Series{Name: "constructive"}
+		destructive := Series{Name: "destructive"}
+		for i, pct := range pcts {
+			cf := means[i].PerBehavior[agent.Rational].ConstructiveFraction()
+			constructive.Add(float64(pct), cf)
+			destructive.Add(float64(pct), 1-cf)
+		}
+		if fi == 0 {
+			altFig.Series = []Series{constructive, destructive}
+		} else {
+			irrFig.Series = []Series{constructive, destructive}
+		}
+	}
+	return altFig, irrFig, nil
+}

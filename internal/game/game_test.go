@@ -1,0 +1,381 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collabnet/internal/xrand"
+)
+
+func TestPayoffValidate(t *testing.T) {
+	if err := Axelrod().Validate(); err != nil {
+		t.Errorf("Axelrod payoffs must validate: %v", err)
+	}
+	bad := []Payoff{
+		{T: 3, R: 5, P: 1, S: 0},  // R > T
+		{T: 5, R: 3, P: 4, S: 0},  // P > R
+		{T: 5, R: 3, P: 1, S: 2},  // S > P
+		{T: 10, R: 3, P: 1, S: 0}, // 2R <= T+S violated? 6 <= 10 yes
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestPayoffScore(t *testing.T) {
+	p := Axelrod()
+	cases := []struct {
+		a, b   Move
+		pa, pb float64
+	}{
+		{Cooperate, Cooperate, 3, 3},
+		{Cooperate, Defect, 0, 5},
+		{Defect, Cooperate, 5, 0},
+		{Defect, Defect, 1, 1},
+	}
+	for _, c := range cases {
+		pa, pb := p.Score(c.a, c.b)
+		if pa != c.pa || pb != c.pb {
+			t.Errorf("Score(%v,%v) = (%v,%v), want (%v,%v)", c.a, c.b, pa, pb, c.pa, c.pb)
+		}
+	}
+}
+
+func TestTFTvsAllD(t *testing.T) {
+	// TFT loses only the first round to AllD, then mutual defection.
+	rng := xrand.New(1)
+	tft, alld := TitForTat{}, AllD{}
+	rt, ct, rows, cols := Match(Axelrod(), tft, alld, 10, rng)
+	if rows[0] != Cooperate {
+		t.Error("TFT must open with cooperation")
+	}
+	for i := 1; i < 10; i++ {
+		if rows[i] != Defect {
+			t.Errorf("TFT should defect from round 2 on, round %d was %v", i, rows[i])
+		}
+	}
+	for _, m := range cols {
+		if m != Defect {
+			t.Error("AllD cooperated")
+		}
+	}
+	// Payoffs: TFT = S + 9P = 0 + 9; AllD = T + 9P = 5 + 9.
+	if rt != 9 || ct != 14 {
+		t.Errorf("payoffs = (%v,%v), want (9,14)", rt, ct)
+	}
+}
+
+func TestTFTvsTFTAllCooperate(t *testing.T) {
+	rng := xrand.New(2)
+	rt, ct, rows, cols := Match(Axelrod(), TitForTat{}, TitForTat{}, 50, rng)
+	for i := range rows {
+		if rows[i] != Cooperate || cols[i] != Cooperate {
+			t.Fatalf("round %d not mutual cooperation", i)
+		}
+	}
+	if rt != 150 || ct != 150 {
+		t.Errorf("payoffs = (%v,%v), want (150,150)", rt, ct)
+	}
+}
+
+func TestGrimTrigger(t *testing.T) {
+	rng := xrand.New(3)
+	_, _, rows, _ := Match(Axelrod(), Grim{}, Alternator{}, 6, rng)
+	// Alternator: C D C D C D. Grim: C C D D D D.
+	want := []Move{Cooperate, Cooperate, Defect, Defect, Defect, Defect}
+	for i, m := range rows {
+		if m != want[i] {
+			t.Errorf("Grim round %d = %v, want %v", i, m, want[i])
+		}
+	}
+}
+
+func TestPavlovWinStayLoseShift(t *testing.T) {
+	rng := xrand.New(4)
+	// Against AllD: Pavlov opens C (loses, S), shifts to D (P, loses),
+	// shifts to C... alternating.
+	_, _, rows, _ := Match(Axelrod(), Pavlov{}, AllD{}, 6, rng)
+	want := []Move{Cooperate, Defect, Cooperate, Defect, Cooperate, Defect}
+	for i, m := range rows {
+		if m != want[i] {
+			t.Errorf("Pavlov round %d = %v, want %v", i, m, want[i])
+		}
+	}
+	// Against AllC: mutual cooperation forever (always winning).
+	_, _, rows, _ = Match(Axelrod(), Pavlov{}, AllC{}, 6, rng)
+	for i, m := range rows {
+		if m != Cooperate {
+			t.Errorf("Pavlov vs AllC round %d = %v", i, m)
+		}
+	}
+}
+
+func TestTitForTwoTats(t *testing.T) {
+	rng := xrand.New(5)
+	// Against Alternator (C D C D...), TF2T never sees two consecutive
+	// defections, so it always cooperates.
+	_, _, rows, _ := Match(Axelrod(), TitForTwoTats{}, Alternator{}, 8, rng)
+	for i, m := range rows {
+		if m != Cooperate {
+			t.Errorf("TF2T round %d = %v, want C", i, m)
+		}
+	}
+	// Against AllD it defects from round 3 on.
+	_, _, rows, _ = Match(Axelrod(), TitForTwoTats{}, AllD{}, 6, rng)
+	want := []Move{Cooperate, Cooperate, Defect, Defect, Defect, Defect}
+	for i, m := range rows {
+		if m != want[i] {
+			t.Errorf("TF2T vs AllD round %d = %v, want %v", i, m, want[i])
+		}
+	}
+}
+
+func TestGenerousTFTForgivesEventually(t *testing.T) {
+	rng := xrand.New(6)
+	g := GenerousTFT{Generosity: 0.3}
+	// After an opponent defection GTFT cooperates ~30% of the time.
+	coop := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Move([]Move{Defect}, []Move{Defect}, rng) == Cooperate {
+			coop++
+		}
+	}
+	rate := float64(coop) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("forgiveness rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestTournamentTFTBeatsAllDInCooperativePool(t *testing.T) {
+	// Axelrod's qualitative result: in a pool with enough reciprocators,
+	// TFT outscores AllD on total payoff.
+	rng := xrand.New(7)
+	pool := []Strategy{TitForTat{}, TitForTat{}, TitForTat{}, AllC{}, AllD{}}
+	res, err := Tournament(Axelrod(), pool, 200, 0, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, r := range res {
+		if _, seen := pos[r.Name]; !seen {
+			pos[r.Name] = i
+		}
+	}
+	if pos["TFT"] > pos["AllD"] {
+		t.Errorf("TFT ranked below AllD: %+v", res)
+	}
+}
+
+func TestTournamentValidation(t *testing.T) {
+	rng := xrand.New(8)
+	if _, err := Tournament(Axelrod(), []Strategy{AllC{}}, 10, 0, false, rng); err == nil {
+		t.Error("single-strategy tournament should fail")
+	}
+	if _, err := Tournament(Axelrod(), Classic(), 0, 0, false, rng); err == nil {
+		t.Error("zero rounds should fail")
+	}
+	if _, err := Tournament(Payoff{T: 1, R: 2, P: 3, S: 4}, Classic(), 10, 0, false, rng); err == nil {
+		t.Error("invalid payoff should fail")
+	}
+}
+
+func TestTournamentWithNoiseRuns(t *testing.T) {
+	rng := xrand.New(9)
+	res, err := Tournament(Axelrod(), Classic(), 100, 0.05, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(Classic()) {
+		t.Errorf("result count = %d", len(res))
+	}
+	for _, r := range res {
+		if r.PerGame < 0 || r.PerGame > 5 {
+			t.Errorf("%s per-game payoff out of range: %v", r.Name, r.PerGame)
+		}
+	}
+}
+
+func TestPayoffMatrixDiagonalSelfPlay(t *testing.T) {
+	rng := xrand.New(10)
+	m, err := PayoffMatrix(Axelrod(), []Strategy{AllC{}, AllD{}}, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 3 { // AllC vs AllC: R every round
+		t.Errorf("AllC self-play = %v, want 3", m[0][0])
+	}
+	if m[1][1] != 1 { // AllD vs AllD: P
+		t.Errorf("AllD self-play = %v, want 1", m[1][1])
+	}
+	if m[0][1] != 0 || m[1][0] != 5 {
+		t.Errorf("off-diagonal = %v/%v, want 0/5", m[0][1], m[1][0])
+	}
+}
+
+func TestReplicatorAllDInvadesUnconditionalCooperators(t *testing.T) {
+	// In a population of AllC vs AllD with one-shot payoffs, defectors take
+	// over — the free-riding catastrophe of unprotected sharing systems.
+	rng := xrand.New(11)
+	m, _ := PayoffMatrix(Axelrod(), []Strategy{AllC{}, AllD{}}, 50, rng)
+	traj, err := Replicator(m, []float64{0.9, 0.1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := traj[len(traj)-1]
+	if final[1] < 0.99 {
+		t.Errorf("AllD share = %v, want ~1", final[1])
+	}
+}
+
+func TestReplicatorTFTResistsInvasion(t *testing.T) {
+	// With repeated play (long matches), a TFT majority resists AllD.
+	rng := xrand.New(12)
+	m, _ := PayoffMatrix(Axelrod(), []Strategy{TitForTat{}, AllD{}}, 200, rng)
+	traj, err := Replicator(m, []float64{0.9, 0.1}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := traj[len(traj)-1]
+	if final[0] < 0.99 {
+		t.Errorf("TFT share = %v, want ~1", final[0])
+	}
+}
+
+func TestReplicatorSimplexInvariant(t *testing.T) {
+	prop := func(seedRaw uint64, aRaw, bRaw float64) bool {
+		rng := xrand.New(seedRaw)
+		m, _ := PayoffMatrix(Axelrod(), []Strategy{TitForTat{}, AllD{}, AllC{}}, 20, rng)
+		a := math.Abs(math.Mod(aRaw, 1)) + 0.01
+		b := math.Abs(math.Mod(bRaw, 1)) + 0.01
+		traj, err := Replicator(m, []float64{a, b, 0.5}, 50)
+		if err != nil {
+			return false
+		}
+		for _, x := range traj {
+			sum := 0.0
+			for _, v := range x {
+				if v < -1e-12 || v > 1+1e-12 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplicatorValidation(t *testing.T) {
+	if _, err := Replicator(nil, nil, 10); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := Replicator([][]float64{{1, 2}}, []float64{1}, 10); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+	if _, err := Replicator([][]float64{{1, 2}, {3, 4}}, []float64{1}, 10); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestNashPrisonersDilemma(t *testing.T) {
+	g := PrisonersDilemma(Axelrod())
+	eqs := Nash(g)
+	if len(eqs) != 1 {
+		t.Fatalf("PD should have exactly one equilibrium, got %v", eqs)
+	}
+	e := eqs[0]
+	if !e.Pure || e.RowP0 != 0 || e.ColP0 != 0 {
+		t.Errorf("PD equilibrium should be pure (D,D): %v", e)
+	}
+	// Defection dominates.
+	if a, ok := DominantStrategy(g); !ok || a != 1 {
+		t.Errorf("Defect should strictly dominate, got (%d, %v)", a, ok)
+	}
+	// Social optimum is (C,C) with welfare 6 — the gap is the free-riding
+	// problem in one shot.
+	ra, ca, w := SocialOptimum(g)
+	if ra != 0 || ca != 0 || w != 6 {
+		t.Errorf("social optimum = (%d,%d,%v), want (0,0,6)", ra, ca, w)
+	}
+}
+
+func TestNashCoordinationGame(t *testing.T) {
+	// Pure coordination: two pure equilibria plus one mixed.
+	g := Bimatrix{
+		RowPay: [2][2]float64{{2, 0}, {0, 1}},
+		ColPay: [2][2]float64{{2, 0}, {0, 1}},
+	}
+	eqs := Nash(g)
+	pure := 0
+	mixed := 0
+	for _, e := range eqs {
+		if e.Pure {
+			pure++
+		} else {
+			mixed++
+			// Mixed: p = q = 1/3 on action 0 (indifference: 2p = 1-p).
+			if math.Abs(e.RowP0-1.0/3) > 1e-9 || math.Abs(e.ColP0-1.0/3) > 1e-9 {
+				t.Errorf("mixed equilibrium = %v, want 1/3", e)
+			}
+		}
+	}
+	if pure != 2 || mixed != 1 {
+		t.Errorf("coordination game equilibria: %d pure, %d mixed, want 2/1", pure, mixed)
+	}
+}
+
+func TestNashMatchingPenniesHasOnlyMixed(t *testing.T) {
+	g := Bimatrix{
+		RowPay: [2][2]float64{{1, -1}, {-1, 1}},
+		ColPay: [2][2]float64{{-1, 1}, {1, -1}},
+	}
+	eqs := Nash(g)
+	if len(eqs) != 1 || eqs[0].Pure {
+		t.Fatalf("matching pennies should have exactly one mixed equilibrium: %v", eqs)
+	}
+	if math.Abs(eqs[0].RowP0-0.5) > 1e-9 || math.Abs(eqs[0].ColP0-0.5) > 1e-9 {
+		t.Errorf("equilibrium = %v, want (0.5, 0.5)", eqs[0])
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if Cooperate.String() != "C" || Defect.String() != "D" {
+		t.Error("Move strings wrong")
+	}
+	if Move(5).String() == "" {
+		t.Error("unknown move should format")
+	}
+	if (Equilibrium{Pure: true}).String() == "" {
+		t.Error("Equilibrium should format")
+	}
+}
+
+func TestNoisyMatchZeroNoiseMatchesMatch(t *testing.T) {
+	r1, c1, _, _ := Match(Axelrod(), TitForTat{}, Pavlov{}, 100, xrand.New(42))
+	r2, c2 := NoisyMatch(Axelrod(), TitForTat{}, Pavlov{}, 100, 0, xrand.New(42))
+	if r1 != r2 || c1 != c2 {
+		t.Errorf("noise=0 mismatch: (%v,%v) vs (%v,%v)", r1, c1, r2, c2)
+	}
+}
+
+func TestClassicLineup(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range Classic() {
+		if names[s.Name()] {
+			t.Errorf("duplicate strategy name %s", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	if len(names) != 9 {
+		t.Errorf("Classic lineup size = %d, want 9", len(names))
+	}
+}

@@ -1,0 +1,109 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bimatrix is a two-player game in normal form with two actions per player.
+// RowPay[i][j] is the row player's payoff when row plays i and column plays
+// j; ColPay[i][j] is the column player's.
+type Bimatrix struct {
+	RowPay [2][2]float64
+	ColPay [2][2]float64
+}
+
+// PrisonersDilemma converts a Payoff into its bimatrix form with action 0 =
+// Cooperate, action 1 = Defect.
+func PrisonersDilemma(p Payoff) Bimatrix {
+	return Bimatrix{
+		RowPay: [2][2]float64{{p.R, p.S}, {p.T, p.P}},
+		ColPay: [2][2]float64{{p.R, p.T}, {p.S, p.P}},
+	}
+}
+
+// Equilibrium is one Nash equilibrium of a 2×2 game: probabilities of each
+// player choosing action 0. Pure equilibria have probabilities 0 or 1.
+type Equilibrium struct {
+	RowP0 float64 // probability row plays action 0
+	ColP0 float64 // probability column plays action 0
+	Pure  bool
+}
+
+// String implements fmt.Stringer.
+func (e Equilibrium) String() string {
+	kind := "mixed"
+	if e.Pure {
+		kind = "pure"
+	}
+	return fmt.Sprintf("%s(row p0=%.3f, col p0=%.3f)", kind, e.RowP0, e.ColP0)
+}
+
+// Nash enumerates all Nash equilibria of a 2×2 bimatrix game: the four pure
+// profiles checked directly, plus the interior mixed equilibrium when the
+// indifference conditions have a solution strictly inside (0, 1)².
+func Nash(g Bimatrix) []Equilibrium {
+	var eqs []Equilibrium
+	// Pure equilibria: profile (i, j) is Nash iff neither player gains by
+	// deviating unilaterally.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			rowOK := g.RowPay[i][j] >= g.RowPay[1-i][j]
+			colOK := g.ColPay[i][j] >= g.ColPay[i][1-j]
+			if rowOK && colOK {
+				eqs = append(eqs, Equilibrium{
+					RowP0: float64(1 - i),
+					ColP0: float64(1 - j),
+					Pure:  true,
+				})
+			}
+		}
+	}
+	// Mixed equilibrium: column mixes to make row indifferent and vice
+	// versa. Row indifferent when q·(R00−R10) + (1−q)·(R01−R11) = 0.
+	dr0 := g.RowPay[0][0] - g.RowPay[1][0]
+	dr1 := g.RowPay[0][1] - g.RowPay[1][1]
+	dc0 := g.ColPay[0][0] - g.ColPay[0][1]
+	dc1 := g.ColPay[1][0] - g.ColPay[1][1]
+	if den := dr1 - dr0; den != 0 {
+		q := dr1 / den
+		if den2 := dc1 - dc0; den2 != 0 {
+			p := dc1 / den2
+			if p > 1e-12 && p < 1-1e-12 && q > 1e-12 && q < 1-1e-12 {
+				eqs = append(eqs, Equilibrium{RowP0: p, ColP0: q, Pure: false})
+			}
+		}
+	}
+	return eqs
+}
+
+// DominantStrategy reports whether the row player has a strictly dominant
+// action and returns it (0 or 1). In the one-shot Prisoner's Dilemma, Defect
+// strictly dominates — the formalization of the free-riding temptation the
+// incentive scheme exists to counter.
+func DominantStrategy(g Bimatrix) (action int, ok bool) {
+	if g.RowPay[0][0] > g.RowPay[1][0] && g.RowPay[0][1] > g.RowPay[1][1] {
+		return 0, true
+	}
+	if g.RowPay[1][0] > g.RowPay[0][0] && g.RowPay[1][1] > g.RowPay[0][1] {
+		return 1, true
+	}
+	return 0, false
+}
+
+// SocialOptimum returns the action profile maximizing the payoff sum and that
+// sum. Comparing it against the Nash outcome quantifies the price of anarchy
+// in the one-shot game.
+func SocialOptimum(g Bimatrix) (rowAction, colAction int, welfare float64) {
+	welfare = math.Inf(-1)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			w := g.RowPay[i][j] + g.ColPay[i][j]
+			if w > welfare {
+				welfare = w
+				rowAction, colAction = i, j
+			}
+		}
+	}
+	return rowAction, colAction, welfare
+}

@@ -1,0 +1,126 @@
+// Package game implements the game-theoretic substrate of the paper's
+// related-work analysis (Section II-A): the Prisoner's Dilemma, repeated
+// play, the classic strategy zoo including Tit-for-Tat (the incentive scheme
+// BitTorrent builds on and the baseline the paper argues against for
+// collaboration networks), Axelrod-style round-robin tournaments, replicator
+// dynamics, and an exact solver for 2×2 bimatrix games.
+package game
+
+import (
+	"fmt"
+
+	"collabnet/internal/xrand"
+)
+
+// Move is one Prisoner's Dilemma action.
+type Move int
+
+// Moves.
+const (
+	Cooperate Move = iota
+	Defect
+)
+
+// String implements fmt.Stringer.
+func (m Move) String() string {
+	switch m {
+	case Cooperate:
+		return "C"
+	case Defect:
+		return "D"
+	default:
+		return fmt.Sprintf("Move(%d)", int(m))
+	}
+}
+
+// Payoff holds the four canonical Prisoner's Dilemma payoffs from the row
+// player's perspective: T(emptation) > R(eward) > P(unishment) > S(ucker),
+// and 2R > T+S so that mutual cooperation beats alternating exploitation.
+type Payoff struct {
+	T, R, P, S float64
+}
+
+// Axelrod is the payoff matrix of Axelrod's tournaments: T=5, R=3, P=1, S=0.
+func Axelrod() Payoff { return Payoff{T: 5, R: 3, P: 1, S: 0} }
+
+// Validate checks the Prisoner's Dilemma ordering conditions.
+func (p Payoff) Validate() error {
+	if !(p.T > p.R && p.R > p.P && p.P > p.S) {
+		return fmt.Errorf("game: need T > R > P > S, got T=%v R=%v P=%v S=%v", p.T, p.R, p.P, p.S)
+	}
+	if !(2*p.R > p.T+p.S) {
+		return fmt.Errorf("game: need 2R > T+S, got R=%v T=%v S=%v", p.R, p.T, p.S)
+	}
+	return nil
+}
+
+// Score returns the payoffs of the row and column players for one round.
+func (p Payoff) Score(row, col Move) (rowPay, colPay float64) {
+	switch {
+	case row == Cooperate && col == Cooperate:
+		return p.R, p.R
+	case row == Cooperate && col == Defect:
+		return p.S, p.T
+	case row == Defect && col == Cooperate:
+		return p.T, p.S
+	default:
+		return p.P, p.P
+	}
+}
+
+// Strategy decides a move given the full history of both players' past
+// moves. mine[i] and theirs[i] are the moves of round i. Implementations
+// must be deterministic given (history, rng) so tournaments are reproducible.
+type Strategy interface {
+	Name() string
+	Move(mine, theirs []Move, rng *xrand.Source) Move
+}
+
+// Match plays n rounds between row and col and returns the total payoffs and
+// the per-round move history. It is the repeated Prisoner's Dilemma the
+// paper cites as "an appropriate model of interaction among users in a P2P
+// network".
+func Match(payoff Payoff, row, col Strategy, n int, rng *xrand.Source) (rowTotal, colTotal float64, rows, cols []Move) {
+	rows = make([]Move, 0, n)
+	cols = make([]Move, 0, n)
+	for i := 0; i < n; i++ {
+		rm := row.Move(rows, cols, rng)
+		cm := col.Move(cols, rows, rng)
+		rows = append(rows, rm)
+		cols = append(cols, cm)
+		rp, cp := payoff.Score(rm, cm)
+		rowTotal += rp
+		colTotal += cp
+	}
+	return rowTotal, colTotal, rows, cols
+}
+
+// NoisyMatch plays like Match but flips each chosen move independently with
+// probability noise, modeling execution errors ("trembling hand"). Noise is
+// what separates forgiving strategies (GTFT, Pavlov) from grudging ones.
+func NoisyMatch(payoff Payoff, row, col Strategy, n int, noise float64, rng *xrand.Source) (rowTotal, colTotal float64) {
+	var rows, cols []Move
+	for i := 0; i < n; i++ {
+		rm := row.Move(rows, cols, rng)
+		cm := col.Move(cols, rows, rng)
+		if rng.Bool(noise) {
+			rm = flip(rm)
+		}
+		if rng.Bool(noise) {
+			cm = flip(cm)
+		}
+		rows = append(rows, rm)
+		cols = append(cols, cm)
+		rp, cp := payoff.Score(rm, cm)
+		rowTotal += rp
+		colTotal += cp
+	}
+	return rowTotal, colTotal
+}
+
+func flip(m Move) Move {
+	if m == Cooperate {
+		return Defect
+	}
+	return Cooperate
+}

@@ -1,0 +1,162 @@
+package game
+
+import "collabnet/internal/xrand"
+
+// AllC always cooperates — the altruist of the strategy zoo.
+type AllC struct{}
+
+// Name implements Strategy.
+func (AllC) Name() string { return "AllC" }
+
+// Move implements Strategy.
+func (AllC) Move(_, _ []Move, _ *xrand.Source) Move { return Cooperate }
+
+// AllD always defects — the pure free-rider.
+type AllD struct{}
+
+// Name implements Strategy.
+func (AllD) Name() string { return "AllD" }
+
+// Move implements Strategy.
+func (AllD) Move(_, _ []Move, _ *xrand.Source) Move { return Defect }
+
+// TitForTat cooperates first, then mirrors the opponent's previous move.
+// Axelrod's tournaments established it as "a very effective strategy", and
+// BitTorrent implements it for bandwidth exchange — the incentive scheme the
+// paper's Section I contrasts with its reputation approach.
+type TitForTat struct{}
+
+// Name implements Strategy.
+func (TitForTat) Name() string { return "TFT" }
+
+// Move implements Strategy.
+func (TitForTat) Move(_, theirs []Move, _ *xrand.Source) Move {
+	if len(theirs) == 0 {
+		return Cooperate
+	}
+	return theirs[len(theirs)-1]
+}
+
+// GenerousTFT mirrors like TFT but forgives a defection with probability
+// Generosity, which prevents endless mutual retaliation under noise.
+type GenerousTFT struct {
+	Generosity float64 // probability of cooperating after opponent defects
+}
+
+// Name implements Strategy.
+func (GenerousTFT) Name() string { return "GTFT" }
+
+// Move implements Strategy.
+func (g GenerousTFT) Move(_, theirs []Move, rng *xrand.Source) Move {
+	if len(theirs) == 0 || theirs[len(theirs)-1] == Cooperate {
+		return Cooperate
+	}
+	if rng.Bool(g.Generosity) {
+		return Cooperate
+	}
+	return Defect
+}
+
+// Pavlov (win-stay, lose-shift) repeats its previous move after a good
+// outcome (R or T) and switches after a bad one (P or S).
+type Pavlov struct{}
+
+// Name implements Strategy.
+func (Pavlov) Name() string { return "Pavlov" }
+
+// Move implements Strategy.
+func (Pavlov) Move(mine, theirs []Move, _ *xrand.Source) Move {
+	if len(mine) == 0 {
+		return Cooperate
+	}
+	last := mine[len(mine)-1]
+	if theirs[len(theirs)-1] == Cooperate {
+		return last // won: stay
+	}
+	return flip(last) // lost: shift
+}
+
+// Grim cooperates until the opponent defects once, then defects forever —
+// the harshest trigger strategy.
+type Grim struct{}
+
+// Name implements Strategy.
+func (Grim) Name() string { return "Grim" }
+
+// Move implements Strategy.
+func (Grim) Move(_, theirs []Move, _ *xrand.Source) Move {
+	for _, m := range theirs {
+		if m == Defect {
+			return Defect
+		}
+	}
+	return Cooperate
+}
+
+// RandomStrategy cooperates with probability P each round.
+type RandomStrategy struct {
+	P float64
+}
+
+// Name implements Strategy.
+func (RandomStrategy) Name() string { return "Random" }
+
+// Move implements Strategy.
+func (r RandomStrategy) Move(_, _ []Move, rng *xrand.Source) Move {
+	if rng.Bool(r.P) {
+		return Cooperate
+	}
+	return Defect
+}
+
+// Alternator cooperates on even rounds and defects on odd ones, probing the
+// exploitability of forgiving opponents.
+type Alternator struct{}
+
+// Name implements Strategy.
+func (Alternator) Name() string { return "Alternator" }
+
+// Move implements Strategy.
+func (a Alternator) Move(mine, _ []Move, _ *xrand.Source) Move {
+	if len(mine)%2 == 0 {
+		return Cooperate
+	}
+	return Defect
+}
+
+// TitForTwoTats defects only after two consecutive opponent defections; more
+// forgiving than TFT, it never starts a vendetta over a single slip.
+type TitForTwoTats struct{}
+
+// Name implements Strategy.
+func (TitForTwoTats) Name() string { return "TF2T" }
+
+// Move implements Strategy.
+func (TitForTwoTats) Move(_, theirs []Move, _ *xrand.Source) Move {
+	n := len(theirs)
+	if n >= 2 && theirs[n-1] == Defect && theirs[n-2] == Defect {
+		return Defect
+	}
+	return Cooperate
+}
+
+// Classic returns the standard tournament lineup.
+func Classic() []Strategy {
+	return []Strategy{
+		AllC{}, AllD{}, TitForTat{}, GenerousTFT{Generosity: 0.1},
+		Pavlov{}, Grim{}, RandomStrategy{P: 0.5}, Alternator{}, TitForTwoTats{},
+	}
+}
+
+// compile-time interface checks
+var (
+	_ Strategy = AllC{}
+	_ Strategy = AllD{}
+	_ Strategy = TitForTat{}
+	_ Strategy = GenerousTFT{}
+	_ Strategy = Pavlov{}
+	_ Strategy = Grim{}
+	_ Strategy = RandomStrategy{}
+	_ Strategy = Alternator{}
+	_ Strategy = TitForTwoTats{}
+)

@@ -1,0 +1,160 @@
+package game
+
+import (
+	"fmt"
+	"sort"
+
+	"collabnet/internal/xrand"
+)
+
+// TournamentResult holds one strategy's aggregate performance in a
+// round-robin tournament.
+type TournamentResult struct {
+	Name    string
+	Total   float64 // summed payoff over all matches
+	PerGame float64 // average payoff per round
+	Wins    int     // matches with strictly higher payoff than the opponent
+}
+
+// Tournament plays every strategy against every other (and, when selfPlay is
+// true, against a copy of itself) for rounds rounds per match, optionally
+// with execution noise. Results are sorted by total payoff, highest first —
+// Axelrod's famous setup in which Tit-for-Tat prevailed.
+func Tournament(payoff Payoff, strategies []Strategy, rounds int, noise float64, selfPlay bool, rng *xrand.Source) ([]TournamentResult, error) {
+	if err := payoff.Validate(); err != nil {
+		return nil, err
+	}
+	if len(strategies) < 2 {
+		return nil, fmt.Errorf("game: tournament needs >= 2 strategies, got %d", len(strategies))
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("game: tournament needs rounds > 0, got %d", rounds)
+	}
+	totals := make([]float64, len(strategies))
+	wins := make([]int, len(strategies))
+	games := make([]int, len(strategies))
+	for i := range strategies {
+		for j := i; j < len(strategies); j++ {
+			if i == j && !selfPlay {
+				continue
+			}
+			var ri, rj float64
+			if noise > 0 {
+				ri, rj = NoisyMatch(payoff, strategies[i], strategies[j], rounds, noise, rng)
+			} else {
+				ri, rj, _, _ = Match(payoff, strategies[i], strategies[j], rounds, rng)
+			}
+			totals[i] += ri
+			games[i] += rounds
+			if i != j {
+				totals[j] += rj
+				games[j] += rounds
+				if ri > rj {
+					wins[i]++
+				} else if rj > ri {
+					wins[j]++
+				}
+			}
+		}
+	}
+	results := make([]TournamentResult, len(strategies))
+	for i, s := range strategies {
+		results[i] = TournamentResult{
+			Name:    s.Name(),
+			Total:   totals[i],
+			PerGame: totals[i] / float64(games[i]),
+			Wins:    wins[i],
+		}
+	}
+	sort.SliceStable(results, func(a, b int) bool { return results[a].Total > results[b].Total })
+	return results, nil
+}
+
+// Replicator runs discrete-time replicator dynamics over a strategy
+// population: the share of strategy i grows in proportion to how its
+// expected payoff against the current mix compares to the population
+// average. payoffMatrix[i][j] is i's per-round payoff against j (computed by
+// PayoffMatrix). It returns the population share trajectory, one snapshot
+// per generation, starting with the initial shares.
+func Replicator(payoffMatrix [][]float64, initial []float64, generations int) ([][]float64, error) {
+	n := len(payoffMatrix)
+	if n == 0 || len(initial) != n {
+		return nil, fmt.Errorf("game: replicator dimension mismatch: matrix %d, initial %d", n, len(initial))
+	}
+	for i, row := range payoffMatrix {
+		if len(row) != n {
+			return nil, fmt.Errorf("game: payoff matrix row %d has length %d, want %d", i, len(row), n)
+		}
+	}
+	x := normalize(append([]float64(nil), initial...))
+	traj := make([][]float64, 0, generations+1)
+	traj = append(traj, append([]float64(nil), x...))
+	for g := 0; g < generations; g++ {
+		fitness := make([]float64, n)
+		avg := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				fitness[i] += payoffMatrix[i][j] * x[j]
+			}
+			avg += x[i] * fitness[i]
+		}
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Discrete replicator with payoff offset to keep fitness
+			// positive: x'_i ∝ x_i · f_i (payoffs assumed >= 0, true for PD).
+			next[i] = x[i] * fitness[i]
+		}
+		x = normalize(next)
+		_ = avg
+		traj = append(traj, append([]float64(nil), x...))
+	}
+	return traj, nil
+}
+
+// PayoffMatrix computes the pairwise per-round payoffs between strategies by
+// direct play of rounds rounds per pairing. Entry [i][j] is strategy i's
+// average per-round payoff against strategy j (including self-play on the
+// diagonal).
+func PayoffMatrix(payoff Payoff, strategies []Strategy, rounds int, rng *xrand.Source) ([][]float64, error) {
+	if err := payoff.Validate(); err != nil {
+		return nil, err
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("game: PayoffMatrix needs rounds > 0, got %d", rounds)
+	}
+	n := len(strategies)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ri, _, _, _ := Match(payoff, strategies[i], strategies[j], rounds, rng)
+			m[i][j] = ri / float64(rounds)
+		}
+	}
+	return m, nil
+}
+
+func normalize(x []float64) []float64 {
+	sum := 0.0
+	for _, v := range x {
+		if v > 0 {
+			sum += v
+		}
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(x))
+		for i := range x {
+			x[i] = u
+		}
+		return x
+	}
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+		x[i] /= sum
+	}
+	return x
+}

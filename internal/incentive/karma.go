@@ -1,0 +1,148 @@
+package incentive
+
+import "fmt"
+
+// KarmaConfig parameterizes the trade-based scheme.
+type KarmaConfig struct {
+	// InitialGrant is every peer's starting balance (newcomer liquidity).
+	InitialGrant float64
+	// Price is the karma cost per unit of bandwidth downloaded; the same
+	// amount is credited to the uploader, so total karma is conserved.
+	Price float64
+	// Floor is the minimum allocation weight, keeping broke peers barely
+	// alive rather than deadlocking the economy.
+	Floor float64
+}
+
+// DefaultKarmaConfig returns the configuration used by the reproduction.
+func DefaultKarmaConfig() KarmaConfig {
+	return KarmaConfig{InitialGrant: 10, Price: 1, Floor: 0.05}
+}
+
+// Karma is a trade-based incentive scheme in the spirit of Off-line Karma
+// (Section II-B1): uploading earns currency, downloading spends it, and a
+// source allocates bandwidth in proportion to its downloaders' balances.
+// The paper notes such schemes are economically efficient but need either a
+// central authority or heavy cryptographic overhead — here the ledger is
+// simply global, standing in for that machinery.
+type Karma struct {
+	cfg      KarmaConfig
+	balances []float64
+}
+
+// NewKarma builds the scheme for n peers.
+func NewKarma(n int, cfg KarmaConfig) (*Karma, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("incentive: Karma needs n > 0, got %d", n)
+	}
+	if cfg.InitialGrant < 0 || cfg.Price <= 0 || cfg.Floor < 0 {
+		return nil, fmt.Errorf("incentive: invalid karma config %+v", cfg)
+	}
+	k := &Karma{cfg: cfg, balances: make([]float64, n)}
+	for i := range k.balances {
+		k.balances[i] = cfg.InitialGrant
+	}
+	return k, nil
+}
+
+// Balance returns peer's current karma.
+func (k *Karma) Balance(peer int) float64 {
+	if peer < 0 || peer >= len(k.balances) {
+		return 0
+	}
+	return k.balances[peer]
+}
+
+// TotalSupply returns the sum of all balances — conserved across transfers,
+// the invariant the property tests pin down.
+func (k *Karma) TotalSupply() float64 {
+	sum := 0.0
+	for _, b := range k.balances {
+		sum += b
+	}
+	return sum
+}
+
+// Name implements Scheme.
+func (k *Karma) Name() string { return "karma" }
+
+// Allocate implements Scheme: weight ∝ floor + balance.
+func (k *Karma) Allocate(_ int, downloaders []int) []float64 {
+	if len(downloaders) == 0 {
+		return nil
+	}
+	weights := make([]float64, len(downloaders))
+	total := 0.0
+	for i, d := range downloaders {
+		w := k.cfg.Floor + k.Balance(d)
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return equalShares(len(downloaders))
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return weights
+}
+
+// CanEdit implements Scheme: trade-based schemes price bandwidth, not
+// conduct; editing is unrestricted.
+func (k *Karma) CanEdit(int) bool { return true }
+
+// CanVote implements Scheme.
+func (k *Karma) CanVote(int) bool { return true }
+
+// VoteWeight implements Scheme.
+func (k *Karma) VoteWeight(int) float64 { return 1 }
+
+// RequiredMajority implements Scheme.
+func (k *Karma) RequiredMajority(int) float64 { return 0.5 }
+
+// RecordSharing implements Scheme (no-op: karma pays for delivery, not for
+// offering).
+func (k *Karma) RecordSharing(int, float64, float64) {}
+
+// RecordTransfer implements Scheme: the downloader pays amount·Price to the
+// source, bounded by its balance (no debt). Conservation holds exactly.
+func (k *Karma) RecordTransfer(downloader, source int, amount float64) {
+	if downloader < 0 || downloader >= len(k.balances) ||
+		source < 0 || source >= len(k.balances) || amount <= 0 {
+		return
+	}
+	pay := amount * k.cfg.Price
+	if pay > k.balances[downloader] {
+		pay = k.balances[downloader]
+	}
+	k.balances[downloader] -= pay
+	k.balances[source] += pay
+}
+
+// RecordVoteOutcome implements Scheme (no-op).
+func (k *Karma) RecordVoteOutcome(int, bool) {}
+
+// RecordEditOutcome implements Scheme (no-op).
+func (k *Karma) RecordEditOutcome(int, bool) {}
+
+// EndStep implements Scheme (balances do not decay).
+func (k *Karma) EndStep() {}
+
+// Reset implements Scheme: everyone back to the initial grant.
+func (k *Karma) Reset() {
+	for i := range k.balances {
+		k.balances[i] = k.cfg.InitialGrant
+	}
+}
+
+// SharingScore implements Scheme: balance squashed into [0,1) relative to
+// the initial grant.
+func (k *Karma) SharingScore(peer int) float64 {
+	b := k.Balance(peer)
+	return b / (b + k.cfg.InitialGrant + 1e-9)
+}
+
+// EditingScore implements Scheme: karma has no editing dimension.
+func (k *Karma) EditingScore(int) float64 { return 0 }
+
+var _ Scheme = (*Karma)(nil)

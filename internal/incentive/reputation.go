@@ -1,0 +1,222 @@
+package incentive
+
+import (
+	"fmt"
+
+	"collabnet/internal/core"
+)
+
+// Reputation is the paper's incentive scheme: service differentiation driven
+// by the two logistic reputations RS and RE maintained in a core.Book.
+type Reputation struct {
+	book   *core.Book
+	params core.Params
+	// weightedVoting selects between v_i = RE_i/ΣRE and one-peer-one-vote
+	// (the weighted-voting ablation).
+	weightedVoting bool
+
+	// Per-step accumulators, applied at EndStep.
+	shareArticles []float64
+	shareBW       []float64
+	succVotes     []int
+	accEdits      []int
+}
+
+// NewReputation builds the scheme for n peers with the given parameters.
+func NewReputation(n int, p core.Params, weightedVoting bool) (*Reputation, error) {
+	book, err := core.NewBook(n, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Reputation{
+		book:           book,
+		params:         p,
+		weightedVoting: weightedVoting,
+		shareArticles:  make([]float64, n),
+		shareBW:        make([]float64, n),
+		succVotes:      make([]int, n),
+		accEdits:       make([]int, n),
+	}, nil
+}
+
+// Book exposes the underlying ledger book for metrics and tests.
+func (r *Reputation) Book() *core.Book { return r.book }
+
+// Name implements Scheme.
+func (r *Reputation) Name() string { return "reputation" }
+
+// Allocate implements Scheme: B_i = RS_i / Σ RS_k (Section III-C1).
+func (r *Reputation) Allocate(_ int, downloaders []int) []float64 {
+	if len(downloaders) == 0 {
+		return nil
+	}
+	return core.AllocateBandwidth(r.book.SharingReputations(downloaders))
+}
+
+// CanEdit implements Scheme: RS >= θ.
+func (r *Reputation) CanEdit(peer int) bool { return r.book.Ledger(peer).CanEdit() }
+
+// CanVote implements Scheme: not under the malicious-voter ban.
+func (r *Reputation) CanVote(peer int) bool { return r.book.Ledger(peer).CanVote() }
+
+// VoteWeight implements Scheme: RE under weighted voting, 1 otherwise.
+func (r *Reputation) VoteWeight(voter int) float64 {
+	if !r.weightedVoting {
+		return 1
+	}
+	return r.book.Ledger(voter).RE()
+}
+
+// RequiredMajority implements Scheme: inversely proportional to RE.
+func (r *Reputation) RequiredMajority(editor int) float64 {
+	return core.RequiredMajority(r.params, r.book.Ledger(editor).RE())
+}
+
+// RecordSharing implements Scheme.
+func (r *Reputation) RecordSharing(peer int, articles, bandwidth float64) {
+	r.shareArticles[peer] = articles
+	r.shareBW[peer] = bandwidth
+}
+
+// RecordTransfer implements Scheme. The reputation scheme keys on *offered*
+// bandwidth (the CS formula counts shared, not consumed, resources), so
+// transfers need no accounting here.
+func (r *Reputation) RecordTransfer(int, int, float64) {}
+
+// RecordVoteOutcome implements Scheme.
+func (r *Reputation) RecordVoteOutcome(voter int, success bool) {
+	r.book.Ledger(voter).RecordVoteOutcome(success)
+	if success {
+		r.succVotes[voter]++
+	}
+}
+
+// RecordEditOutcome implements Scheme.
+func (r *Reputation) RecordEditOutcome(editor int, accepted bool) {
+	r.book.Ledger(editor).RecordEditOutcome(accepted)
+	if accepted {
+		r.accEdits[editor]++
+	}
+}
+
+// EndStep implements Scheme: one decay/inflow step for both contribution
+// accumulators of every peer.
+func (r *Reputation) EndStep() {
+	for i := 0; i < r.book.Len(); i++ {
+		l := r.book.Ledger(i)
+		l.StepSharing(r.shareArticles[i], r.shareBW[i])
+		l.StepEditing(r.succVotes[i], r.accEdits[i])
+		r.shareArticles[i] = 0
+		r.shareBW[i] = 0
+		r.succVotes[i] = 0
+		r.accEdits[i] = 0
+	}
+}
+
+// Reset implements Scheme.
+func (r *Reputation) Reset() {
+	r.book.ResetAll()
+	for i := range r.shareArticles {
+		r.shareArticles[i] = 0
+		r.shareBW[i] = 0
+		r.succVotes[i] = 0
+		r.accEdits[i] = 0
+	}
+}
+
+// SharingScore implements Scheme.
+func (r *Reputation) SharingScore(peer int) float64 { return r.book.Ledger(peer).RS() }
+
+// EditingScore implements Scheme.
+func (r *Reputation) EditingScore(peer int) float64 { return r.book.Ledger(peer).RE() }
+
+// None is the no-incentive baseline: bandwidth is split equally, everyone
+// may edit and vote with equal weight, a simple majority decides, and
+// nothing is punished. A core.Book still tracks reputations so that agents
+// observe the same state space in both Figure 3 arms — the scores just have
+// no effect on service.
+type None struct {
+	rep *Reputation
+}
+
+// NewNone builds the baseline for n peers.
+func NewNone(n int, p core.Params) (*None, error) {
+	p.PunishmentsOff = true
+	rep, err := NewReputation(n, p, false)
+	if err != nil {
+		return nil, err
+	}
+	return &None{rep: rep}, nil
+}
+
+// Name implements Scheme.
+func (n *None) Name() string { return "none" }
+
+// Allocate implements Scheme: equal split regardless of behavior.
+func (n *None) Allocate(_ int, downloaders []int) []float64 {
+	return equalShares(len(downloaders))
+}
+
+// CanEdit implements Scheme: no threshold.
+func (n *None) CanEdit(int) bool { return true }
+
+// CanVote implements Scheme: no bans.
+func (n *None) CanVote(int) bool { return true }
+
+// VoteWeight implements Scheme: one peer, one vote.
+func (n *None) VoteWeight(int) float64 { return 1 }
+
+// RequiredMajority implements Scheme: simple majority for everyone.
+func (n *None) RequiredMajority(int) float64 { return 0.5 }
+
+// RecordSharing implements Scheme (tracked for the observable state only).
+func (n *None) RecordSharing(peer int, articles, bandwidth float64) {
+	n.rep.RecordSharing(peer, articles, bandwidth)
+}
+
+// RecordTransfer implements Scheme.
+func (n *None) RecordTransfer(int, int, float64) {}
+
+// RecordVoteOutcome implements Scheme.
+func (n *None) RecordVoteOutcome(voter int, success bool) {
+	n.rep.RecordVoteOutcome(voter, success)
+}
+
+// RecordEditOutcome implements Scheme.
+func (n *None) RecordEditOutcome(editor int, accepted bool) {
+	n.rep.RecordEditOutcome(editor, accepted)
+}
+
+// EndStep implements Scheme.
+func (n *None) EndStep() { n.rep.EndStep() }
+
+// Reset implements Scheme.
+func (n *None) Reset() { n.rep.Reset() }
+
+// SharingScore implements Scheme.
+func (n *None) SharingScore(peer int) float64 { return n.rep.SharingScore(peer) }
+
+// EditingScore implements Scheme.
+func (n *None) EditingScore(peer int) float64 { return n.rep.EditingScore(peer) }
+
+// New constructs a scheme of the given kind for n peers.
+func New(kind Kind, n int, p core.Params, weightedVoting bool) (Scheme, error) {
+	switch kind {
+	case KindNone:
+		return NewNone(n, p)
+	case KindReputation:
+		return NewReputation(n, p, weightedVoting)
+	case KindTitForTat:
+		return NewTitForTat(n)
+	case KindKarma:
+		return NewKarma(n, DefaultKarmaConfig())
+	default:
+		return nil, fmt.Errorf("incentive: unknown scheme kind %d", int(kind))
+	}
+}
+
+// compile-time interface checks
+var (
+	_ Scheme = (*Reputation)(nil)
+	_ Scheme = (*None)(nil)
+)

@@ -1,0 +1,102 @@
+// Package incentive defines the pluggable incentive-scheme interface the
+// simulation engine runs against, and its four implementations:
+//
+//   - Reputation — the paper's scheme (Section III), wrapping internal/core.
+//   - None — the no-incentive baseline of Figure 3: equal bandwidth split,
+//     unrestricted editing and voting, no punishments.
+//   - TitForTat — BitTorrent-style direct reciprocity (Section II-B), the
+//     scheme the paper argues fails for non-direct relations.
+//   - Karma — a trade-based scheme in the spirit of Off-line Karma
+//     (Section II-B1): a conserved currency earned by uploading and spent
+//     by downloading.
+package incentive
+
+import "fmt"
+
+// Scheme is the full service-differentiation surface the engine consults.
+// Implementations are stateful (they accumulate behavior across steps) and
+// are not safe for concurrent use; the parallel runner shards whole
+// simulations.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+
+	// Allocate divides a source's upload bandwidth among its current
+	// downloaders (sorted ids); fractions sum to 1 for non-empty input.
+	Allocate(source int, downloaders []int) []float64
+
+	// CanEdit reports whether peer currently holds the edit right.
+	CanEdit(peer int) bool
+	// CanVote reports whether peer's voting rights are intact (the
+	// per-article eligibility is enforced by the articles package).
+	CanVote(peer int) bool
+	// VoteWeight returns the raw ballot weight of voter; the vote session
+	// normalizes, so returning RE implements v_i = RE_i/ΣRE.
+	VoteWeight(voter int) float64
+	// RequiredMajority returns the acceptance fraction for an edit by
+	// editor.
+	RequiredMajority(editor int) float64
+
+	// RecordSharing books peer's sharing levels (fractions) for this step.
+	RecordSharing(peer int, articles, bandwidth float64)
+	// RecordTransfer books amount units of bandwidth that source delivered
+	// to downloader this step.
+	RecordTransfer(downloader, source int, amount float64)
+	// RecordVoteOutcome books one resolved vote by voter.
+	RecordVoteOutcome(voter int, success bool)
+	// RecordEditOutcome books one resolved edit by editor.
+	RecordEditOutcome(editor int, accepted bool)
+
+	// EndStep advances time-dependent state (contribution decay etc.) after
+	// all of a step's events have been recorded.
+	EndStep()
+	// Reset clears all accumulated state (the training→measurement phase
+	// boundary resets reputations but keeps Q-matrices).
+	Reset()
+
+	// SharingScore returns peer's sharing standing in [0,1] — the quantity
+	// the agents' state discretization observes (RS for the paper scheme).
+	SharingScore(peer int) float64
+	// EditingScore returns peer's editing standing in [0,1] (RE for the
+	// paper scheme).
+	EditingScore(peer int) float64
+}
+
+// Kind selects a scheme implementation in configurations.
+type Kind int
+
+// Scheme kinds.
+const (
+	KindNone Kind = iota
+	KindReputation
+	KindTitForTat
+	KindKarma
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindReputation:
+		return "reputation"
+	case KindTitForTat:
+		return "tit-for-tat"
+	case KindKarma:
+		return "karma"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+func equalShares(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	eq := 1 / float64(n)
+	for i := range out {
+		out[i] = eq
+	}
+	return out
+}

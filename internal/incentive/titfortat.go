@@ -1,0 +1,137 @@
+package incentive
+
+import "fmt"
+
+// TitForTat is BitTorrent-style direct reciprocity: a source favors
+// downloaders in proportion to the bandwidth they have previously uploaded
+// *to that same source*, plus a small optimistic-unchoke floor so newcomers
+// are not starved.
+//
+// This is the baseline the paper's introduction argues cannot work for
+// collaboration networks: "TFT provides incentives to share resources for
+// peers with direct relations and resources of same kind". In the
+// simulation, downloader/source pairs rarely repeat and editing/voting has
+// no bandwidth counterpart, so the reciprocity signal stays near the floor
+// and differentiation collapses toward the equal split — the experiment
+// AblationScheme makes that failure measurable.
+type TitForTat struct {
+	n         int
+	floor     float64
+	given     []map[int]float64 // given[a][b] = bandwidth a has uploaded to b
+	shareBW   []float64         // current sharing levels, for SharingScore
+	shareArts []float64
+	uploaded  []float64 // lifetime uploaded volume, for EditingScore proxy
+}
+
+// NewTitForTat builds the scheme for n peers.
+func NewTitForTat(n int) (*TitForTat, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("incentive: TitForTat needs n > 0, got %d", n)
+	}
+	t := &TitForTat{
+		n:         n,
+		floor:     0.1,
+		given:     make([]map[int]float64, n),
+		shareBW:   make([]float64, n),
+		shareArts: make([]float64, n),
+		uploaded:  make([]float64, n),
+	}
+	for i := range t.given {
+		t.given[i] = make(map[int]float64)
+	}
+	return t, nil
+}
+
+// Name implements Scheme.
+func (t *TitForTat) Name() string { return "tit-for-tat" }
+
+// Allocate implements Scheme: weight_d = floor + (bandwidth d previously
+// uploaded to this source).
+func (t *TitForTat) Allocate(source int, downloaders []int) []float64 {
+	if len(downloaders) == 0 {
+		return nil
+	}
+	weights := make([]float64, len(downloaders))
+	total := 0.0
+	for i, d := range downloaders {
+		w := t.floor
+		if d >= 0 && d < t.n {
+			w += t.given[d][source]
+		}
+		weights[i] = w
+		total += w
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return weights
+}
+
+// CanEdit implements Scheme. TFT has no notion of editing rights.
+func (t *TitForTat) CanEdit(int) bool { return true }
+
+// CanVote implements Scheme.
+func (t *TitForTat) CanVote(int) bool { return true }
+
+// VoteWeight implements Scheme: one peer, one vote — bandwidth reciprocity
+// carries no cross-resource information (the "different kind of resources"
+// failure).
+func (t *TitForTat) VoteWeight(int) float64 { return 1 }
+
+// RequiredMajority implements Scheme.
+func (t *TitForTat) RequiredMajority(int) float64 { return 0.5 }
+
+// RecordSharing implements Scheme.
+func (t *TitForTat) RecordSharing(peer int, articles, bandwidth float64) {
+	if peer < 0 || peer >= t.n {
+		return
+	}
+	t.shareArts[peer] = articles
+	t.shareBW[peer] = bandwidth
+}
+
+// RecordTransfer implements Scheme: source uploaded amount to downloader,
+// strengthening the downloader's future claim on... nothing (that is the
+// point) — it strengthens *source's* claim on *downloader*.
+func (t *TitForTat) RecordTransfer(downloader, source int, amount float64) {
+	if source < 0 || source >= t.n || downloader < 0 || downloader >= t.n || amount <= 0 {
+		return
+	}
+	t.given[source][downloader] += amount
+	t.uploaded[source] += amount
+}
+
+// RecordVoteOutcome implements Scheme (no-op: TFT has no vote state).
+func (t *TitForTat) RecordVoteOutcome(int, bool) {}
+
+// RecordEditOutcome implements Scheme (no-op).
+func (t *TitForTat) RecordEditOutcome(int, bool) {}
+
+// EndStep implements Scheme (TFT state does not decay).
+func (t *TitForTat) EndStep() {}
+
+// Reset implements Scheme.
+func (t *TitForTat) Reset() {
+	for i := range t.given {
+		t.given[i] = make(map[int]float64)
+		t.shareBW[i] = 0
+		t.shareArts[i] = 0
+		t.uploaded[i] = 0
+	}
+}
+
+// SharingScore implements Scheme: lifetime uploaded volume squashed into
+// [0,1). Used only as the agents' observable state.
+func (t *TitForTat) SharingScore(peer int) float64 {
+	if peer < 0 || peer >= t.n {
+		return 0
+	}
+	u := t.uploaded[peer]
+	return u / (u + 10)
+}
+
+// EditingScore implements Scheme: TFT tracks no editing state; a constant
+// keeps every agent in one state.
+func (t *TitForTat) EditingScore(int) float64 { return 0 }
+
+var _ Scheme = (*TitForTat)(nil)

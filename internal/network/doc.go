@@ -1,0 +1,8 @@
+// Package network provides the peer-to-peer substrate underneath the
+// collaboration network: peer records with normalized capacities, the
+// transfer manager that lets concurrent downloads compete for a source's
+// upload bandwidth (the arena where the incentive scheme's service
+// differentiation acts), and a consistent-hashing overlay ring with replica
+// placement, standing in for the "large-scale collaborative storage network"
+// of Bocek & Stiller (AIMS 2007) that the paper builds on.
+package network

@@ -1,0 +1,367 @@
+package network
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeerDefaults(t *testing.T) {
+	p := NewPeer(3)
+	if p.ID != 3 || !p.Online {
+		t.Error("NewPeer basics wrong")
+	}
+	if p.UploadShared() != 0 || p.ArticlesShared() != 0 {
+		t.Error("fresh peer should share nothing")
+	}
+	if p.IsSharing() {
+		t.Error("fresh peer should not count toward NS")
+	}
+	p.SharedBandwidth = 0.5
+	p.SharedArticles = 1
+	if p.UploadShared() != 0.5 || p.ArticlesShared() != 1 {
+		t.Error("sharing levels not reflected")
+	}
+	if !p.IsSharing() {
+		t.Error("peer offering files should count toward NS")
+	}
+	p.Online = false
+	if p.UploadShared() != 0 || p.IsSharing() {
+		t.Error("offline peer must not share")
+	}
+}
+
+func TestPeerLevelsClamped(t *testing.T) {
+	p := NewPeer(0)
+	p.SharedBandwidth = 7
+	p.SharedArticles = -2
+	if p.UploadShared() != 1 {
+		t.Errorf("over-capacity sharing should clamp to 1, got %v", p.UploadShared())
+	}
+	if p.ArticlesShared() != 0 {
+		t.Errorf("negative sharing should clamp to 0, got %v", p.ArticlesShared())
+	}
+}
+
+func TestNetworkJoinLeave(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join(1); err == nil {
+		t.Error("double join should fail")
+	}
+	if n.Len() != 1 || n.Peer(1) == nil {
+		t.Error("join not reflected")
+	}
+	if err := n.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Leave(1); err == nil {
+		t.Error("double leave should fail")
+	}
+	if n.Peer(1) != nil {
+		t.Error("left peer still present")
+	}
+}
+
+func TestNetworkSharingPeers(t *testing.T) {
+	n := NewNetwork()
+	for i := 0; i < 4; i++ {
+		p, _ := n.Join(i)
+		if i%2 == 0 {
+			p.SharedArticles = 0.5
+		}
+	}
+	sharing := n.SharingPeers()
+	if len(sharing) != 2 {
+		t.Errorf("sharing peers = %v, want 2 entries", sharing)
+	}
+}
+
+func TestTransferBasicLifecycle(t *testing.T) {
+	m, err := NewTransferManager(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Start(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 || m.Active() != 1 || !m.HasActive(1) {
+		t.Error("transfer not registered")
+	}
+	// Full bandwidth, sole downloader: 2-unit file finishes in 2 steps.
+	up := func(int) float64 { return 1 }
+	res := m.Step(up, EqualAllocator)
+	if len(res.Done) != 0 {
+		t.Fatal("finished too early")
+	}
+	if math.Abs(res.Received[1]-1) > 1e-12 {
+		t.Errorf("received = %v, want 1", res.Received[1])
+	}
+	res = m.Step(up, EqualAllocator)
+	if len(res.Done) != 1 {
+		t.Fatalf("transfer should be done: %+v", res)
+	}
+	d := res.Done[0]
+	if d.Downloader != 1 || d.Source != 2 || d.Steps != 2 {
+		t.Errorf("completion record = %+v", d)
+	}
+	if m.Active() != 0 || m.HasActive(1) {
+		t.Error("completed transfer still active")
+	}
+}
+
+func TestTransferCompetitionSplitsBandwidth(t *testing.T) {
+	m, _ := NewTransferManager(1)
+	m.Start(1, 9)
+	m.Start(2, 9)
+	res := m.Step(func(int) float64 { return 1 }, EqualAllocator)
+	if math.Abs(res.Received[1]-0.5) > 1e-12 || math.Abs(res.Received[2]-0.5) > 1e-12 {
+		t.Errorf("equal split violated: %v", res.Received)
+	}
+	if len(res.Done) != 0 {
+		t.Error("half a file is not done")
+	}
+	res = m.Step(func(int) float64 { return 1 }, EqualAllocator)
+	if len(res.Done) != 2 {
+		t.Errorf("both transfers should finish together, done=%d", len(res.Done))
+	}
+}
+
+func TestTransferWeightedAllocator(t *testing.T) {
+	m, _ := NewTransferManager(10)
+	m.Start(1, 9)
+	m.Start(2, 9)
+	// Reputation-proportional: peer 2 has 3x the share of peer 1.
+	alloc := func(_ int, ds []int) []float64 {
+		out := make([]float64, len(ds))
+		for i, d := range ds {
+			if d == 2 {
+				out[i] = 0.75
+			} else {
+				out[i] = 0.25
+			}
+		}
+		return out
+	}
+	res := m.Step(func(int) float64 { return 1 }, alloc)
+	if math.Abs(res.Received[2]/res.Received[1]-3) > 1e-9 {
+		t.Errorf("weighted split wrong: %v", res.Received)
+	}
+}
+
+func TestTransferStallsWithoutSourceBandwidth(t *testing.T) {
+	m, _ := NewTransferManager(1)
+	m.Start(1, 9)
+	res := m.Step(func(int) float64 { return 0 }, EqualAllocator)
+	if res.Received[1] != 0 || len(res.Done) != 0 {
+		t.Error("transfer should stall when source shares nothing")
+	}
+	if m.Active() != 1 {
+		t.Error("stalled transfer should remain active")
+	}
+	// Negative bandwidth from a miscomputed source must not corrupt progress.
+	res = m.Step(func(int) float64 { return -5 }, EqualAllocator)
+	if res.Received[1] != 0 {
+		t.Error("negative source bandwidth should be treated as zero")
+	}
+}
+
+func TestTransferStartValidation(t *testing.T) {
+	m, _ := NewTransferManager(1)
+	if _, err := m.Start(1, 1); err == nil {
+		t.Error("self-download should fail")
+	}
+	m.Start(1, 2)
+	if _, err := m.Start(1, 3); err == nil {
+		t.Error("second concurrent download should fail")
+	}
+	if _, err := NewTransferManager(0); err == nil {
+		t.Error("zero file size should fail")
+	}
+}
+
+func TestTransferCancel(t *testing.T) {
+	m, _ := NewTransferManager(5)
+	m.Start(1, 9)
+	m.Start(2, 9)
+	m.Cancel(1)
+	if m.HasActive(1) || !m.HasActive(2) || m.Active() != 1 {
+		t.Error("cancel removed the wrong transfer")
+	}
+	m.Cancel(1) // cancelling again is a no-op
+	m.CancelBySource(9)
+	if m.Active() != 0 {
+		t.Error("CancelBySource left transfers behind")
+	}
+}
+
+func TestTransferDownloadersSorted(t *testing.T) {
+	m, _ := NewTransferManager(1)
+	m.Start(5, 9)
+	m.Start(1, 9)
+	m.Start(3, 9)
+	ds := m.Downloaders(9)
+	want := []int{1, 3, 5}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("Downloaders = %v, want %v", ds, want)
+		}
+	}
+}
+
+func TestTransferAllocatorMismatchPanics(t *testing.T) {
+	m, _ := NewTransferManager(1)
+	m.Start(1, 9)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched allocator output should panic")
+		}
+	}()
+	m.Step(func(int) float64 { return 1 }, func(int, []int) []float64 { return nil })
+}
+
+func TestEqualAllocator(t *testing.T) {
+	if EqualAllocator(0, nil) != nil {
+		t.Error("no downloaders should yield nil")
+	}
+	sh := EqualAllocator(0, []int{1, 2, 3, 4})
+	for _, s := range sh {
+		if math.Abs(s-0.25) > 1e-12 {
+			t.Errorf("equal shares wrong: %v", sh)
+		}
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRing(0); err == nil {
+		t.Error("vnodes=0 should fail")
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Add(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Add(0); err == nil {
+		t.Error("re-add should fail")
+	}
+	if r.Len() != 5 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	n, err := r.Lookup("article-42")
+	if err != nil || n < 0 || n > 4 {
+		t.Errorf("Lookup = (%d, %v)", n, err)
+	}
+}
+
+func TestRingReplicasDistinct(t *testing.T) {
+	r, _ := NewRing(8)
+	for i := 0; i < 6; i++ {
+		r.Add(i)
+	}
+	reps, err := r.Replicas("some-article", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("replicas = %v", reps)
+	}
+	seen := map[int]bool{}
+	for _, n := range reps {
+		if seen[n] {
+			t.Fatalf("duplicate replica in %v", reps)
+		}
+		seen[n] = true
+	}
+	// Asking for more replicas than peers returns all peers.
+	all, _ := r.Replicas("k", 100)
+	if len(all) != 6 {
+		t.Errorf("oversized k should return all peers, got %d", len(all))
+	}
+	if _, err := r.Replicas("k", 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestRingLookupStableUnderUnrelatedChurn(t *testing.T) {
+	// Consistent hashing: removing one peer must not move keys that it did
+	// not own.
+	r, _ := NewRing(32)
+	for i := 0; i < 10; i++ {
+		r.Add(i)
+	}
+	keys := make([]string, 200)
+	owners := make([]int, 200)
+	for i := range keys {
+		keys[i] = HashKeyName(i)
+		owners[i], _ = r.Lookup(keys[i])
+	}
+	const victim = 7
+	r.Remove(victim)
+	moved := 0
+	for i, k := range keys {
+		n, _ := r.Lookup(k)
+		if owners[i] == victim {
+			if n == victim {
+				t.Fatal("key still mapped to removed peer")
+			}
+			continue
+		}
+		if n != owners[i] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved despite owner unaffected", moved)
+	}
+}
+
+// HashKeyName builds a deterministic test key.
+func HashKeyName(i int) string {
+	return "article-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i%10))
+}
+
+func TestRingRemoveErrors(t *testing.T) {
+	r, _ := NewRing(4)
+	if err := r.Remove(1); err == nil {
+		t.Error("removing unknown peer should fail")
+	}
+	if _, err := r.Lookup("k"); err == nil {
+		t.Error("lookup on empty ring should fail")
+	}
+	if _, err := r.LoadDistribution(10); err == nil {
+		t.Error("load distribution on empty ring should fail")
+	}
+}
+
+func TestRingLoadBalance(t *testing.T) {
+	r, _ := NewRing(64)
+	const peers = 8
+	for i := 0; i < peers; i++ {
+		r.Add(i)
+	}
+	dist, err := r.LoadDistribution(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8000.0 / peers
+	for n, c := range dist {
+		if float64(c) < want*0.5 || float64(c) > want*1.7 {
+			t.Errorf("peer %d load %d deviates wildly from %v", n, c, want)
+		}
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey("abc") != HashKey("abc") {
+		t.Error("hash must be deterministic")
+	}
+	if HashKey("abc") == HashKey("abd") {
+		t.Error("distinct keys should almost surely differ")
+	}
+}

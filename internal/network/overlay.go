@@ -1,0 +1,144 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hashing overlay: peers own segments of a 64-bit hash
+// ring and article keys are stored on the k successors of their hash. It is
+// the storage substrate of the "fully decentralized" collaboration network —
+// articles live on peers, not servers — with virtual nodes for load balance.
+// Ring is not safe for concurrent mutation.
+type Ring struct {
+	vnodes  int
+	entries []ringEntry // sorted by hash
+	members map[int]bool
+}
+
+type ringEntry struct {
+	hash uint64
+	node int
+}
+
+// NewRing creates an empty ring with the given number of virtual nodes per
+// peer (more vnodes, smoother load).
+func NewRing(vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		return nil, fmt.Errorf("network: vnodes must be > 0, got %d", vnodes)
+	}
+	return &Ring{vnodes: vnodes, members: make(map[int]bool)}, nil
+}
+
+// HashKey hashes an article key onto the ring: FNV-1a 64 followed by a
+// murmur-style finalizer. The finalizer matters — raw FNV of short, similar
+// keys ("node-1#2", "node-1#3", …) clusters on the ring and ruins balance.
+func HashKey(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// fmix64 finalizer (MurmurHash3).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func vnodeHash(node, replica int) uint64 {
+	return HashKey(fmt.Sprintf("node-%d#%d", node, replica))
+}
+
+// Add joins a peer to the ring. Re-adding is an error.
+func (r *Ring) Add(node int) error {
+	if r.members[node] {
+		return fmt.Errorf("network: node %d already on ring", node)
+	}
+	r.members[node] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.entries = append(r.entries, ringEntry{hash: vnodeHash(node, v), node: node})
+	}
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].hash < r.entries[j].hash })
+	return nil
+}
+
+// Remove departs a peer from the ring. Unknown peers are an error.
+func (r *Ring) Remove(node int) error {
+	if !r.members[node] {
+		return fmt.Errorf("network: node %d not on ring", node)
+	}
+	delete(r.members, node)
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if e.node != node {
+			kept = append(kept, e)
+		}
+	}
+	r.entries = kept
+	return nil
+}
+
+// Len returns the number of peers on the ring.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Lookup returns the peer responsible for key (its primary replica). An
+// empty ring returns an error.
+func (r *Ring) Lookup(key string) (int, error) {
+	nodes, err := r.Replicas(key, 1)
+	if err != nil {
+		return 0, err
+	}
+	return nodes[0], nil
+}
+
+// Replicas returns the k distinct peers that store key: the owners of the
+// first k distinct-node virtual nodes at or after the key's hash, wrapping
+// around. If the ring has fewer than k peers, all peers are returned.
+func (r *Ring) Replicas(key string, k int) ([]int, error) {
+	if len(r.entries) == 0 {
+		return nil, fmt.Errorf("network: ring is empty")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("network: k must be > 0, got %d", k)
+	}
+	if k > len(r.members) {
+		k = len(r.members)
+	}
+	h := HashKey(key)
+	// Binary search for the first vnode >= h.
+	idx := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].hash >= h })
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for i := 0; len(out) < k && i < len(r.entries); i++ {
+		e := r.entries[(idx+i)%len(r.entries)]
+		if !seen[e.node] {
+			seen[e.node] = true
+			out = append(out, e.node)
+		}
+	}
+	return out, nil
+}
+
+// LoadDistribution counts, for a sample of numKeys synthetic keys, how many
+// land on each peer as primary — a balance diagnostic for the vnode count.
+func (r *Ring) LoadDistribution(numKeys int) (map[int]int, error) {
+	if len(r.entries) == 0 {
+		return nil, fmt.Errorf("network: ring is empty")
+	}
+	out := make(map[int]int, len(r.members))
+	for i := 0; i < numKeys; i++ {
+		n, err := r.Lookup(fmt.Sprintf("key-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		out[n]++
+	}
+	return out, nil
+}

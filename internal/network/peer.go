@@ -1,0 +1,111 @@
+package network
+
+import "fmt"
+
+// Peer is one participant's static capacities and dynamic sharing levels.
+// Following Section III-D, download and upload bandwidth are normalized to 1
+// and files have unit size, so all levels are fractions of capacity.
+type Peer struct {
+	ID int
+	// Capacities (normalized; kept as fields so heterogeneous-network
+	// extensions only need to set them).
+	UploadCapacity   float64
+	DownloadCapacity float64
+	DiskCapacity     float64
+	// Current sharing levels in [0, 1], chosen each step by the peer's agent.
+	SharedBandwidth float64 // fraction of UploadCapacity offered
+	SharedArticles  float64 // fraction of DiskCapacity offered
+	// Online tracks churn; offline peers neither share nor download.
+	Online bool
+}
+
+// NewPeer returns an online peer with unit capacities, sharing nothing.
+func NewPeer(id int) *Peer {
+	return &Peer{
+		ID:               id,
+		UploadCapacity:   1,
+		DownloadCapacity: 1,
+		DiskCapacity:     1,
+		Online:           true,
+	}
+}
+
+// UploadShared returns the absolute upload bandwidth the peer currently
+// offers (0 when offline).
+func (p *Peer) UploadShared() float64 {
+	if !p.Online {
+		return 0
+	}
+	return p.UploadCapacity * clamp01(p.SharedBandwidth)
+}
+
+// ArticlesShared returns the absolute article capacity the peer currently
+// offers (0 when offline).
+func (p *Peer) ArticlesShared() float64 {
+	if !p.Online {
+		return 0
+	}
+	return p.DiskCapacity * clamp01(p.SharedArticles)
+}
+
+// IsSharing reports whether the peer offers any files for download — the
+// membership test for the paper's NS, "the number of peers that offer any
+// files for download".
+func (p *Peer) IsSharing() bool { return p.Online && p.SharedArticles > 0 }
+
+// Network is a registry of peers supporting churn. It is the container the
+// examples and the overlay operate on; the simulation engine uses its own
+// flat arrays for speed but mirrors the same semantics.
+type Network struct {
+	peers map[int]*Peer
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{peers: make(map[int]*Peer)} }
+
+// Join adds a peer with the given id. Rejoining an existing id is an error.
+func (n *Network) Join(id int) (*Peer, error) {
+	if _, ok := n.peers[id]; ok {
+		return nil, fmt.Errorf("network: peer %d already joined", id)
+	}
+	p := NewPeer(id)
+	n.peers[id] = p
+	return p, nil
+}
+
+// Leave removes a peer. Unknown ids are an error.
+func (n *Network) Leave(id int) error {
+	if _, ok := n.peers[id]; !ok {
+		return fmt.Errorf("network: peer %d not in network", id)
+	}
+	delete(n.peers, id)
+	return nil
+}
+
+// Peer returns the peer with the given id, or nil.
+func (n *Network) Peer(id int) *Peer { return n.peers[id] }
+
+// Len returns the number of joined peers.
+func (n *Network) Len() int { return len(n.peers) }
+
+// SharingPeers returns the ids of all peers currently offering files,
+// in unspecified order.
+func (n *Network) SharingPeers() []int {
+	var out []int
+	for id, p := range n.peers {
+		if p.IsSharing() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,224 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator decides how a source's shared upload bandwidth is divided among
+// the peers currently downloading from it. downloaders is sorted ascending;
+// the returned fractions correspond positionally and must sum to at most 1.
+// The paper's scheme returns reputation-proportional shares (Section
+// III-C1); the no-incentive baseline returns equal shares.
+type Allocator func(source int, downloaders []int) []float64
+
+// Transfer is one in-flight download.
+type Transfer struct {
+	ID         int
+	Downloader int
+	Source     int
+	Remaining  float64 // units of the file left to receive
+	StartStep  int
+}
+
+// Completed describes a finished download.
+type Completed struct {
+	ID         int
+	Downloader int
+	Source     int
+	Steps      int // time steps the transfer took
+}
+
+// TransferManager tracks in-flight downloads and advances them step by
+// step. Downloads of the same source compete for its bandwidth — the manager
+// is the mechanism through which reputation turns into download speed.
+type TransferManager struct {
+	fileSize float64
+	nextID   int
+	step     int
+	active   map[int]*Transfer   // by transfer id
+	bySource map[int][]*Transfer // source -> active transfers
+	byDown   map[int]*Transfer   // downloader -> its single active transfer
+}
+
+// NewTransferManager creates a manager for files of the given size (in
+// bandwidth·steps; the paper normalizes file size to 1, larger values let
+// transfers span steps so that competition actually builds up).
+func NewTransferManager(fileSize float64) (*TransferManager, error) {
+	if !(fileSize > 0) {
+		return nil, fmt.Errorf("network: file size must be > 0, got %v", fileSize)
+	}
+	return &TransferManager{
+		fileSize: fileSize,
+		active:   make(map[int]*Transfer),
+		bySource: make(map[int][]*Transfer),
+		byDown:   make(map[int]*Transfer),
+	}, nil
+}
+
+// FileSize returns the configured file size.
+func (m *TransferManager) FileSize() float64 { return m.fileSize }
+
+// Active returns the number of in-flight transfers.
+func (m *TransferManager) Active() int { return len(m.active) }
+
+// HasActive reports whether the downloader already has a transfer running;
+// the engine starts at most one download per peer at a time.
+func (m *TransferManager) HasActive(downloader int) bool {
+	_, ok := m.byDown[downloader]
+	return ok
+}
+
+// SourceOf returns the source of the downloader's active transfer, if any.
+func (m *TransferManager) SourceOf(downloader int) (source int, ok bool) {
+	t, ok := m.byDown[downloader]
+	if !ok {
+		return 0, false
+	}
+	return t.Source, true
+}
+
+// Downloaders returns the sorted ids of peers downloading from source.
+func (m *TransferManager) Downloaders(source int) []int {
+	ts := m.bySource[source]
+	out := make([]int, len(ts))
+	for i, t := range ts {
+		out[i] = t.Downloader
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Start begins a download. It fails if the downloader already has an active
+// transfer or is its own source.
+func (m *TransferManager) Start(downloader, source int) (int, error) {
+	if downloader == source {
+		return 0, fmt.Errorf("network: peer %d cannot download from itself", downloader)
+	}
+	if m.HasActive(downloader) {
+		return 0, fmt.Errorf("network: peer %d already downloading", downloader)
+	}
+	m.nextID++
+	t := &Transfer{
+		ID:         m.nextID,
+		Downloader: downloader,
+		Source:     source,
+		Remaining:  m.fileSize,
+		StartStep:  m.step,
+	}
+	m.active[t.ID] = t
+	m.bySource[source] = append(m.bySource[source], t)
+	m.byDown[downloader] = t
+	return t.ID, nil
+}
+
+// Cancel aborts the downloader's active transfer, if any (peer churn).
+func (m *TransferManager) Cancel(downloader int) {
+	t, ok := m.byDown[downloader]
+	if !ok {
+		return
+	}
+	m.remove(t)
+}
+
+// CancelBySource aborts every transfer served by source (source went
+// offline or stopped sharing).
+func (m *TransferManager) CancelBySource(source int) {
+	for _, t := range append([]*Transfer(nil), m.bySource[source]...) {
+		m.remove(t)
+	}
+}
+
+// StepResult reports one step of transfer progress.
+type StepResult struct {
+	// Received[d] is the bandwidth peer d received this step — the B·UP_source
+	// term of the sharing utility.
+	Received map[int]float64
+	// Done lists transfers that completed this step.
+	Done []Completed
+}
+
+// Step advances every transfer by one time step. upShared(source) must
+// return the source's currently shared upload bandwidth; alloc divides it.
+// Transfers from sources that currently share no bandwidth stall (receive 0)
+// but stay active — the source may resume sharing later.
+func (m *TransferManager) Step(upShared func(source int) float64, alloc Allocator) StepResult {
+	m.step++
+	res := StepResult{Received: make(map[int]float64)}
+	// Deterministic iteration order over sources.
+	sources := make([]int, 0, len(m.bySource))
+	for s := range m.bySource {
+		sources = append(sources, s)
+	}
+	sort.Ints(sources)
+	for _, s := range sources {
+		ts := m.bySource[s]
+		if len(ts) == 0 {
+			continue
+		}
+		up := upShared(s)
+		if up < 0 {
+			up = 0
+		}
+		downloaders := m.Downloaders(s)
+		shares := alloc(s, downloaders)
+		if len(shares) != len(downloaders) {
+			panic(fmt.Sprintf("network: allocator returned %d shares for %d downloaders",
+				len(shares), len(downloaders)))
+		}
+		// Index transfers by downloader for this source.
+		byDown := make(map[int]*Transfer, len(ts))
+		for _, t := range ts {
+			byDown[t.Downloader] = t
+		}
+		for i, d := range downloaders {
+			bw := shares[i] * up
+			if bw <= 0 {
+				continue
+			}
+			t := byDown[d]
+			t.Remaining -= bw
+			res.Received[d] += bw
+			if t.Remaining <= 1e-12 {
+				res.Done = append(res.Done, Completed{
+					ID:         t.ID,
+					Downloader: t.Downloader,
+					Source:     t.Source,
+					Steps:      m.step - t.StartStep,
+				})
+				m.remove(t)
+			}
+		}
+	}
+	return res
+}
+
+func (m *TransferManager) remove(t *Transfer) {
+	delete(m.active, t.ID)
+	delete(m.byDown, t.Downloader)
+	ts := m.bySource[t.Source]
+	for i, u := range ts {
+		if u.ID == t.ID {
+			ts[i] = ts[len(ts)-1]
+			m.bySource[t.Source] = ts[:len(ts)-1]
+			break
+		}
+	}
+	if len(m.bySource[t.Source]) == 0 {
+		delete(m.bySource, t.Source)
+	}
+}
+
+// EqualAllocator divides bandwidth equally among downloaders — the
+// no-incentive baseline of Figure 3.
+func EqualAllocator(_ int, downloaders []int) []float64 {
+	if len(downloaders) == 0 {
+		return nil
+	}
+	shares := make([]float64, len(downloaders))
+	eq := 1 / float64(len(downloaders))
+	for i := range shares {
+		shares[i] = eq
+	}
+	return shares
+}

@@ -1,0 +1,135 @@
+package reputation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenTrustConfig parameterizes the EigenTrust computation (Kamvar,
+// Schlosser, Garcia-Molina, WWW '03), the algorithm Section II-C describes as
+// "an elegant and efficient way of computing global trust values … similar to
+// the PageRank algorithm".
+type EigenTrustConfig struct {
+	// PreTrusted is the set of a-priori trusted peers (the paper's founders).
+	// Peers with no outgoing trust, and a fraction Damping of everyone's
+	// walk, defer to this set. When empty, the uniform distribution over all
+	// peers takes its place.
+	PreTrusted []int
+	// Damping is the probability mass teleported to the pre-trusted
+	// distribution each iteration (EigenTrust's "a", PageRank's 1−d).
+	Damping float64
+	// Epsilon is the L1 convergence threshold.
+	Epsilon float64
+	// MaxIter bounds the number of power iterations.
+	MaxIter int
+}
+
+// DefaultEigenTrust returns the configuration used by the reproduction:
+// damping 0.15, epsilon 1e-10, at most 200 iterations.
+func DefaultEigenTrust() EigenTrustConfig {
+	return EigenTrustConfig{Damping: 0.15, Epsilon: 1e-10, MaxIter: 200}
+}
+
+// EigenTrust computes the global trust vector t = (C^T)^∞ applied to the
+// pre-trust distribution: the left principal eigenvector of the normalized
+// local-trust matrix C, with teleportation for convergence and collusion
+// resistance. The result is a probability distribution over peers (sums
+// to 1). An error is reported for invalid configurations.
+func EigenTrust(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
+	n := g.Len()
+	if cfg.Damping < 0 || cfg.Damping >= 1 {
+		return nil, fmt.Errorf("reputation: damping must be in [0,1), got %v", cfg.Damping)
+	}
+	if cfg.Epsilon <= 0 {
+		return nil, fmt.Errorf("reputation: epsilon must be > 0, got %v", cfg.Epsilon)
+	}
+	if cfg.MaxIter <= 0 {
+		return nil, fmt.Errorf("reputation: MaxIter must be > 0, got %d", cfg.MaxIter)
+	}
+	// Pre-trust distribution p.
+	p := make([]float64, n)
+	if len(cfg.PreTrusted) > 0 {
+		for _, id := range cfg.PreTrusted {
+			if id < 0 || id >= n {
+				return nil, fmt.Errorf("reputation: pre-trusted peer %d out of range [0,%d)", id, n)
+			}
+			p[id] = 1 / float64(len(cfg.PreTrusted))
+		}
+	} else {
+		for i := range p {
+			p[i] = 1 / float64(n)
+		}
+	}
+	// Precompute normalized rows once, as sorted edge lists so the
+	// floating-point accumulation order is deterministic run-to-run
+	// (map iteration order is not).
+	rows := normalizedRows(g)
+	t := append([]float64(nil), p...)
+	next := make([]float64, n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		dangling := 0.0
+		for i := 0; i < n; i++ {
+			if rows[i] == nil {
+				// Peers with no outgoing trust defer entirely to p.
+				dangling += t[i]
+				continue
+			}
+			for _, e := range rows[i] {
+				next[e.to] += t[i] * e.c
+			}
+		}
+		for j := 0; j < n; j++ {
+			next[j] = (1-cfg.Damping)*(next[j]+dangling*p[j]) + cfg.Damping*p[j]
+		}
+		delta := 0.0
+		for j := 0; j < n; j++ {
+			delta += math.Abs(next[j] - t[j])
+		}
+		t, next = next, t
+		if delta < cfg.Epsilon {
+			break
+		}
+	}
+	return t, nil
+}
+
+// edge is one normalized trust edge in a deterministic row representation.
+type edge struct {
+	to int
+	c  float64
+}
+
+// normalizedRows converts the graph's rows into sorted, normalized edge
+// lists. nil entries mark peers with no outgoing trust (dangling rows).
+// Sorting happens BEFORE the normalizing sum so that every floating-point
+// operation runs in a fixed order — results are then bit-identical across
+// runs and worker counts.
+func normalizedRows(g *TrustGraph) [][]edge {
+	n := g.Len()
+	rows := make([][]edge, n)
+	for i := 0; i < n; i++ {
+		es := make([]edge, 0, g.OutDegree(i))
+		g.OutEdges(i, func(to int, w float64) {
+			if w > 0 {
+				es = append(es, edge{to: to, c: w})
+			}
+		})
+		if len(es) == 0 {
+			continue
+		}
+		sort.Slice(es, func(a, b int) bool { return es[a].to < es[b].to })
+		sum := 0.0
+		for _, e := range es {
+			sum += e.c
+		}
+		for k := range es {
+			es[k].c /= sum
+		}
+		rows[i] = es
+	}
+	return rows
+}

@@ -1,0 +1,238 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collabnet/internal/xrand"
+)
+
+func simplexSum(t *testing.T, v []float64) {
+	t.Helper()
+	sum := 0.0
+	for i, x := range v {
+		if x < -1e-12 || math.IsNaN(x) {
+			t.Fatalf("component %d invalid: %v", i, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("trust vector sums to %v, want 1", sum)
+	}
+}
+
+func TestEigenTrustUniformOnSymmetricGraph(t *testing.T) {
+	// Complete symmetric trust: everyone equally trusted.
+	g, _ := NewTrustGraph(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				g.SetTrust(i, j, 1)
+			}
+		}
+	}
+	tv, err := EigenTrust(g, DefaultEigenTrust())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplexSum(t, tv)
+	for i, x := range tv {
+		if math.Abs(x-0.25) > 1e-6 {
+			t.Errorf("peer %d trust = %v, want 0.25", i, x)
+		}
+	}
+}
+
+func TestEigenTrustRewardsTrustedPeer(t *testing.T) {
+	// Star: everyone trusts peer 0, peer 0 trusts everyone weakly.
+	const n = 10
+	g, _ := NewTrustGraph(n)
+	for i := 1; i < n; i++ {
+		g.SetTrust(i, 0, 10)
+		g.SetTrust(0, i, 1)
+	}
+	tv, err := EigenTrust(g, DefaultEigenTrust())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplexSum(t, tv)
+	for i := 1; i < n; i++ {
+		if tv[0] <= tv[i] {
+			t.Errorf("hub trust %v not above peer %d's %v", tv[0], i, tv[i])
+		}
+	}
+}
+
+func TestEigenTrustDanglingPeersDeferToPreTrusted(t *testing.T) {
+	// Peers 1 and 2 have no outgoing trust at all; the walk must not leak.
+	g, _ := NewTrustGraph(3)
+	g.SetTrust(0, 1, 1)
+	cfg := DefaultEigenTrust()
+	cfg.PreTrusted = []int{0}
+	tv, err := EigenTrust(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplexSum(t, tv)
+	if tv[0] <= tv[2] {
+		t.Errorf("pre-trusted peer should accumulate dangling mass: %v", tv)
+	}
+}
+
+func TestEigenTrustCollusionDampedByPreTrust(t *testing.T) {
+	// A 3-peer collusion clique trusts only itself with huge weights; the
+	// honest region (5 peers) trusts internally and gets the pre-trust.
+	// Section II-C: EigenTrust alone is collusion-prone; pre-trusted peers
+	// plus damping bound the clique's take.
+	const n = 8
+	g, _ := NewTrustGraph(n)
+	// Colluders 5,6,7.
+	for _, i := range []int{5, 6, 7} {
+		for _, j := range []int{5, 6, 7} {
+			if i != j {
+				g.SetTrust(i, j, 1000)
+			}
+		}
+	}
+	// Honest 0..4 trust each other moderately.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				g.SetTrust(i, j, 1)
+			}
+		}
+	}
+	cfg := DefaultEigenTrust()
+	cfg.PreTrusted = []int{0, 1}
+	cfg.Damping = 0.2
+	tv, err := EigenTrust(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplexSum(t, tv)
+	colluders := tv[5] + tv[6] + tv[7]
+	honest := tv[0] + tv[1] + tv[2] + tv[3] + tv[4]
+	if colluders >= honest {
+		t.Errorf("colluders captured %v vs honest %v; damping failed", colluders, honest)
+	}
+}
+
+func TestEigenTrustWithoutDampingCollusionWins(t *testing.T) {
+	// The converse: with no teleportation and no incoming honest edges, the
+	// colluding sink clique absorbs nearly all trust mass — the attack the
+	// paper cites from Lian et al.
+	const n = 6
+	g, _ := NewTrustGraph(n)
+	for _, i := range []int{3, 4, 5} {
+		for _, j := range []int{3, 4, 5} {
+			if i != j {
+				g.SetTrust(i, j, 100)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j {
+				g.SetTrust(i, j, 1) // honest peers naively trust everyone
+			}
+		}
+	}
+	cfg := EigenTrustConfig{Damping: 0, Epsilon: 1e-12, MaxIter: 2000}
+	tv, err := EigenTrust(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colluders := tv[3] + tv[4] + tv[5]
+	if colluders < 0.95 {
+		t.Errorf("undamped colluding sink should absorb ~all trust, got %v", colluders)
+	}
+}
+
+func TestEigenTrustFixedPoint(t *testing.T) {
+	// The returned vector must be a fixed point of the damped iteration.
+	rng := xrand.New(5)
+	const n = 12
+	g, _ := NewTrustGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bool(0.4) {
+				g.SetTrust(i, j, rng.Float64()*5)
+			}
+		}
+	}
+	cfg := DefaultEigenTrust()
+	tv, err := EigenTrust(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One more hand-rolled iteration must reproduce tv within tolerance.
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	dangling := 0.0
+	for i := 0; i < n; i++ {
+		row := g.NormalizedRow(i)
+		if row == nil {
+			dangling += tv[i]
+			continue
+		}
+		for j, c := range row {
+			next[j] += tv[i] * c
+		}
+	}
+	for j := 0; j < n; j++ {
+		next[j] = (1-cfg.Damping)*(next[j]+dangling*p[j]) + cfg.Damping*p[j]
+		if math.Abs(next[j]-tv[j]) > 1e-6 {
+			t.Fatalf("not a fixed point at %d: %v vs %v", j, next[j], tv[j])
+		}
+	}
+}
+
+func TestEigenTrustSimplexProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(10)
+		g, _ := NewTrustGraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Bool(0.3) {
+					g.SetTrust(i, j, rng.Float64()*10)
+				}
+			}
+		}
+		tv, err := EigenTrust(g, DefaultEigenTrust())
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, x := range tv {
+			if x < -1e-12 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenTrustConfigValidation(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	bad := []EigenTrustConfig{
+		{Damping: -0.1, Epsilon: 1e-9, MaxIter: 10},
+		{Damping: 1.0, Epsilon: 1e-9, MaxIter: 10},
+		{Damping: 0.1, Epsilon: 0, MaxIter: 10},
+		{Damping: 0.1, Epsilon: 1e-9, MaxIter: 0},
+		{Damping: 0.1, Epsilon: 1e-9, MaxIter: 10, PreTrusted: []int{7}},
+	}
+	for i, cfg := range bad {
+		if _, err := EigenTrust(g, cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package reputation
+
+import (
+	"fmt"
+
+	"collabnet/internal/xrand"
+)
+
+// GossipConfig parameterizes the epidemic dissemination of reputation
+// values. Every round, each informed peer pushes its current view to Fanout
+// uniformly chosen peers. This is the "efficient propagation" leg of the
+// reputation mechanism (Section I, part 2), which the paper assumes and we
+// make concrete.
+type GossipConfig struct {
+	Fanout   int // peers contacted per round per informed peer
+	MaxRound int // safety bound on rounds
+}
+
+// DefaultGossip returns fanout 2 with a generous round bound.
+func DefaultGossip() GossipConfig { return GossipConfig{Fanout: 2, MaxRound: 100} }
+
+// GossipResult describes one dissemination run.
+type GossipResult struct {
+	Rounds   int // rounds until every peer was informed (or MaxRound)
+	Messages int // total push messages sent
+	Informed int // peers informed at the end
+}
+
+// Spread simulates push gossip of a single reputation update originating at
+// origin through a network of n peers and reports how long full dissemination
+// took. The simulation engine itself reads reputations from the shared
+// ledger directly (the paper's oracle assumption); Spread quantifies what
+// that assumption costs in a real network — O(log n) rounds and O(n·fanout)
+// messages.
+func Spread(n, origin int, cfg GossipConfig, rng *xrand.Source) (GossipResult, error) {
+	if n <= 0 {
+		return GossipResult{}, fmt.Errorf("reputation: gossip needs n > 0, got %d", n)
+	}
+	if origin < 0 || origin >= n {
+		return GossipResult{}, fmt.Errorf("reputation: origin %d out of range [0,%d)", origin, n)
+	}
+	if cfg.Fanout <= 0 {
+		return GossipResult{}, fmt.Errorf("reputation: fanout must be > 0, got %d", cfg.Fanout)
+	}
+	if cfg.MaxRound <= 0 {
+		return GossipResult{}, fmt.Errorf("reputation: MaxRound must be > 0, got %d", cfg.MaxRound)
+	}
+	informed := make([]bool, n)
+	informed[origin] = true
+	count := 1
+	res := GossipResult{}
+	for round := 0; round < cfg.MaxRound && count < n; round++ {
+		res.Rounds = round + 1
+		// Collect the currently informed set first so that this round's new
+		// recipients start pushing only next round (synchronous rounds).
+		var senders []int
+		for i, ok := range informed {
+			if ok {
+				senders = append(senders, i)
+			}
+		}
+		for _, s := range senders {
+			for k := 0; k < cfg.Fanout; k++ {
+				target := rng.Intn(n)
+				res.Messages++
+				if !informed[target] && target != s {
+					informed[target] = true
+					count++
+				}
+			}
+		}
+	}
+	res.Informed = count
+	return res, nil
+}
+
+// AntiEntropyRounds estimates the expected number of synchronous push rounds
+// for full dissemination with the given fanout: ceil(log_{1+fanout}(n)) plus
+// the epidemic tail. It is the analytic companion to Spread used in tests
+// and documentation.
+func AntiEntropyRounds(n, fanout int) int {
+	if n <= 1 {
+		return 0
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	rounds := 0
+	informed := 1.0
+	fn := float64(n)
+	for informed < fn && rounds < 10000 {
+		// Each informed peer infects up to fanout targets; a fraction of
+		// pushes hit already-informed peers.
+		newly := informed * float64(fanout) * (1 - informed/fn)
+		if newly < 0.5 {
+			newly = 0.5 // epidemic tail progresses at least slowly
+		}
+		informed += newly
+		rounds++
+	}
+	return rounds
+}

@@ -1,0 +1,125 @@
+// Package reputation implements the reputation-management substrate the
+// paper assumes to exist ("The existence of a mechanism to safely propagate
+// reputation values in a P2P network is assumed", Section I), plus the two
+// propagation algorithms its related work discusses (Section II-C): the
+// EigenTrust algorithm of Kamvar et al. and the maximum-flow trust metric of
+// Feldman et al. It also provides the shared- and private-history stores of
+// the trust-based incentive taxonomy (Section II-B2) and a gossip protocol
+// that disseminates reputation values with tunable fanout.
+package reputation
+
+import "fmt"
+
+// TrustGraph is a directed weighted graph of local trust statements:
+// Weight(i, j) is how much peer i trusts peer j, derived from i's direct
+// experience. It is the common input to EigenTrust and MaxFlow.
+type TrustGraph struct {
+	n     int
+	edges []map[int]float64 // edges[i][j] = local trust of i in j
+}
+
+// NewTrustGraph creates an empty trust graph over n peers.
+func NewTrustGraph(n int) (*TrustGraph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reputation: graph needs n > 0, got %d", n)
+	}
+	g := &TrustGraph{n: n, edges: make([]map[int]float64, n)}
+	for i := range g.edges {
+		g.edges[i] = make(map[int]float64)
+	}
+	return g, nil
+}
+
+// Len returns the number of peers.
+func (g *TrustGraph) Len() int { return g.n }
+
+// SetTrust sets the local trust of from in to. Negative trust is clamped to
+// zero (EigenTrust's normalization discards negative evidence); self-trust
+// is ignored. Out-of-range ids return an error.
+func (g *TrustGraph) SetTrust(from, to int, w float64) error {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return fmt.Errorf("reputation: edge (%d,%d) out of range [0,%d)", from, to, g.n)
+	}
+	if from == to {
+		return nil
+	}
+	if w < 0 {
+		w = 0
+	}
+	if w == 0 {
+		delete(g.edges[from], to)
+		return nil
+	}
+	g.edges[from][to] = w
+	return nil
+}
+
+// AddTrust accumulates w onto the existing local trust of from in to.
+func (g *TrustGraph) AddTrust(from, to int, w float64) error {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return fmt.Errorf("reputation: edge (%d,%d) out of range [0,%d)", from, to, g.n)
+	}
+	if from == to || w <= 0 {
+		return nil
+	}
+	g.edges[from][to] += w
+	return nil
+}
+
+// Trust returns the local trust of from in to (0 when absent).
+func (g *TrustGraph) Trust(from, to int) float64 {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return 0
+	}
+	return g.edges[from][to]
+}
+
+// OutEdges calls fn for every outgoing edge of peer i in unspecified order.
+func (g *TrustGraph) OutEdges(i int, fn func(to int, w float64)) {
+	if i < 0 || i >= g.n {
+		return
+	}
+	for to, w := range g.edges[i] {
+		fn(to, w)
+	}
+}
+
+// OutDegree returns the number of peers i directly trusts.
+func (g *TrustGraph) OutDegree(i int) int {
+	if i < 0 || i >= g.n {
+		return 0
+	}
+	return len(g.edges[i])
+}
+
+// NormalizedRow returns peer i's local trust distribution c_ij = w_ij / Σw_i,
+// the row of the EigenTrust matrix C. A peer with no outgoing trust returns
+// nil (EigenTrust redistributes such rows to the pre-trusted set).
+func (g *TrustGraph) NormalizedRow(i int) map[int]float64 {
+	if i < 0 || i >= g.n || len(g.edges[i]) == 0 {
+		return nil
+	}
+	sum := 0.0
+	for _, w := range g.edges[i] {
+		sum += w
+	}
+	if sum <= 0 {
+		return nil
+	}
+	row := make(map[int]float64, len(g.edges[i]))
+	for j, w := range g.edges[i] {
+		row[j] = w / sum
+	}
+	return row
+}
+
+// Clone returns a deep copy of the graph.
+func (g *TrustGraph) Clone() *TrustGraph {
+	cp, _ := NewTrustGraph(g.n)
+	for i, row := range g.edges {
+		for j, w := range row {
+			cp.edges[i][j] = w
+		}
+	}
+	return cp
+}

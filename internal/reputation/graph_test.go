@@ -1,0 +1,116 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrustGraphBasics(t *testing.T) {
+	g, err := NewTrustGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if err := g.SetTrust(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Trust(0, 1); got != 2.5 {
+		t.Errorf("Trust(0,1) = %v", got)
+	}
+	if got := g.Trust(1, 0); got != 0 {
+		t.Errorf("reverse edge should be absent, got %v", got)
+	}
+}
+
+func TestTrustGraphRejectsOutOfRange(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	if err := g.SetTrust(-1, 0, 1); err == nil {
+		t.Error("negative from should error")
+	}
+	if err := g.SetTrust(0, 3, 1); err == nil {
+		t.Error("to out of range should error")
+	}
+	if err := g.AddTrust(5, 0, 1); err == nil {
+		t.Error("AddTrust out of range should error")
+	}
+	if _, err := NewTrustGraph(0); err == nil {
+		t.Error("empty graph should error")
+	}
+}
+
+func TestTrustGraphSelfAndNegative(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	if err := g.SetTrust(1, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Trust(1, 1) != 0 {
+		t.Error("self trust should be ignored")
+	}
+	g.SetTrust(0, 1, -4)
+	if g.Trust(0, 1) != 0 {
+		t.Error("negative trust should clamp to 0")
+	}
+	g.SetTrust(0, 1, 3)
+	g.SetTrust(0, 1, 0)
+	if g.OutDegree(0) != 0 {
+		t.Error("zero trust should remove the edge")
+	}
+}
+
+func TestTrustGraphAddAccumulates(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	g.AddTrust(0, 1, 1)
+	g.AddTrust(0, 1, 2)
+	if got := g.Trust(0, 1); got != 3 {
+		t.Errorf("accumulated trust = %v, want 3", got)
+	}
+	g.AddTrust(0, 2, -1) // ignored
+	if g.Trust(0, 2) != 0 {
+		t.Error("negative AddTrust should be ignored")
+	}
+}
+
+func TestNormalizedRow(t *testing.T) {
+	g, _ := NewTrustGraph(4)
+	g.SetTrust(0, 1, 1)
+	g.SetTrust(0, 2, 3)
+	row := g.NormalizedRow(0)
+	if math.Abs(row[1]-0.25) > 1e-12 || math.Abs(row[2]-0.75) > 1e-12 {
+		t.Errorf("normalized row = %v", row)
+	}
+	if g.NormalizedRow(3) != nil {
+		t.Error("isolated peer should have nil row")
+	}
+	if g.NormalizedRow(-1) != nil {
+		t.Error("out of range should have nil row")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	g.SetTrust(0, 1, 1)
+	cp := g.Clone()
+	cp.SetTrust(0, 1, 9)
+	if g.Trust(0, 1) != 1 {
+		t.Error("Clone shares storage")
+	}
+	if cp.Trust(0, 1) != 9 {
+		t.Error("Clone missing data")
+	}
+}
+
+func TestOutEdgesVisitsAll(t *testing.T) {
+	g, _ := NewTrustGraph(5)
+	g.SetTrust(2, 0, 1)
+	g.SetTrust(2, 3, 2)
+	g.SetTrust(2, 4, 3)
+	sum := 0.0
+	n := 0
+	g.OutEdges(2, func(to int, w float64) { sum += w; n++ })
+	if n != 3 || sum != 6 {
+		t.Errorf("visited %d edges with total %v", n, sum)
+	}
+	g.OutEdges(99, func(int, float64) { t.Error("out of range should visit nothing") })
+}

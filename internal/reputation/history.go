@@ -1,0 +1,171 @@
+package reputation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ActionKind labels an entry in a history store with the resource family it
+// belongs to, mirroring the paper's two contribution values.
+type ActionKind int
+
+// Action kinds.
+const (
+	ActionShareArticles ActionKind = iota // offered articles for download
+	ActionShareBandwidth
+	ActionSuccessfulVote
+	ActionAcceptedEdit
+	ActionFailedVote
+	ActionDeclinedEdit
+)
+
+// String implements fmt.Stringer.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionShareArticles:
+		return "share-articles"
+	case ActionShareBandwidth:
+		return "share-bandwidth"
+	case ActionSuccessfulVote:
+		return "successful-vote"
+	case ActionAcceptedEdit:
+		return "accepted-edit"
+	case ActionFailedVote:
+		return "failed-vote"
+	case ActionDeclinedEdit:
+		return "declined-edit"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Record is one observed action: subject performed Kind with the given
+// magnitude at the given time step, as witnessed by Observer.
+type Record struct {
+	Step     int
+	Subject  int
+	Observer int
+	Kind     ActionKind
+	Amount   float64
+}
+
+// SharedHistory is the shared-history reputation store of Section II-B2:
+// "the actions of all peers are known, i.e. a peer can adapt its policy to
+// any other peer even without direct relation". It is safe for concurrent
+// use so the overlay demo can append from several peer goroutines.
+type SharedHistory struct {
+	mu      sync.RWMutex
+	records []Record
+	bySubj  map[int][]int // subject -> indices into records
+}
+
+// NewSharedHistory returns an empty store.
+func NewSharedHistory() *SharedHistory {
+	return &SharedHistory{bySubj: make(map[int][]int)}
+}
+
+// Append adds a record.
+func (h *SharedHistory) Append(r Record) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.bySubj[r.Subject] = append(h.bySubj[r.Subject], len(h.records))
+	h.records = append(h.records, r)
+}
+
+// Len returns the number of records.
+func (h *SharedHistory) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.records)
+}
+
+// Subject returns all records about one peer, in append order.
+func (h *SharedHistory) Subject(id int) []Record {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	idxs := h.bySubj[id]
+	out := make([]Record, len(idxs))
+	for i, idx := range idxs {
+		out[i] = h.records[idx]
+	}
+	return out
+}
+
+// Since returns every record with Step >= step, ordered by step. It backs
+// incremental gossip: a peer asks only for what it has not seen.
+func (h *SharedHistory) Since(step int) []Record {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []Record
+	for _, r := range h.records {
+		if r.Step >= step {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// Totals aggregates the per-kind magnitude sums for one subject — the raw
+// material for a contribution value.
+func (h *SharedHistory) Totals(id int) map[ActionKind]float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make(map[ActionKind]float64)
+	for _, idx := range h.bySubj[id] {
+		r := h.records[idx]
+		out[r.Kind] += r.Amount
+	}
+	return out
+}
+
+// PrivateHistory is the private-history variant: "every peer keeps track of
+// the behavior of other peers in direct relation". Each observer sees only
+// its own records, which is why private histories cannot support the
+// non-direct relations of a collaboration network — the limitation that
+// motivates the paper's shared-reputation design.
+type PrivateHistory struct {
+	mu       sync.RWMutex
+	observer int
+	records  map[int][]Record // subject -> records witnessed by observer
+}
+
+// NewPrivateHistory returns an empty store owned by the given observer.
+func NewPrivateHistory(observer int) *PrivateHistory {
+	return &PrivateHistory{observer: observer, records: make(map[int][]Record)}
+}
+
+// Observe adds a record; records claiming a different observer are rejected
+// with an error, modeling that a private history only ever contains
+// first-hand experience.
+func (h *PrivateHistory) Observe(r Record) error {
+	if r.Observer != h.observer {
+		return fmt.Errorf("reputation: private history of %d cannot store observation by %d",
+			h.observer, r.Observer)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.records[r.Subject] = append(h.records[r.Subject], r)
+	return nil
+}
+
+// Subject returns the observer's first-hand records about one peer.
+func (h *PrivateHistory) Subject(id int) []Record {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]Record(nil), h.records[id]...)
+}
+
+// KnownSubjects returns the ids of all peers the observer has records about,
+// in ascending order.
+func (h *PrivateHistory) KnownSubjects() []int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]int, 0, len(h.records))
+	for id := range h.records {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package reputation
+
+import (
+	"sync"
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+func TestSharedHistoryAppendAndQuery(t *testing.T) {
+	h := NewSharedHistory()
+	h.Append(Record{Step: 1, Subject: 3, Observer: 0, Kind: ActionShareBandwidth, Amount: 0.5})
+	h.Append(Record{Step: 2, Subject: 3, Observer: 1, Kind: ActionAcceptedEdit, Amount: 1})
+	h.Append(Record{Step: 3, Subject: 7, Observer: 0, Kind: ActionFailedVote, Amount: 1})
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	recs := h.Subject(3)
+	if len(recs) != 2 {
+		t.Fatalf("Subject(3) = %d records", len(recs))
+	}
+	if recs[0].Kind != ActionShareBandwidth || recs[1].Kind != ActionAcceptedEdit {
+		t.Error("records out of order")
+	}
+	if len(h.Subject(99)) != 0 {
+		t.Error("unknown subject should have no records")
+	}
+}
+
+func TestSharedHistorySince(t *testing.T) {
+	h := NewSharedHistory()
+	for step := 5; step >= 1; step-- {
+		h.Append(Record{Step: step, Subject: step})
+	}
+	out := h.Since(3)
+	if len(out) != 3 {
+		t.Fatalf("Since(3) = %d records", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Step < out[i-1].Step {
+			t.Error("Since output not sorted by step")
+		}
+	}
+}
+
+func TestSharedHistoryTotals(t *testing.T) {
+	h := NewSharedHistory()
+	h.Append(Record{Subject: 1, Kind: ActionShareArticles, Amount: 2})
+	h.Append(Record{Subject: 1, Kind: ActionShareArticles, Amount: 3})
+	h.Append(Record{Subject: 1, Kind: ActionSuccessfulVote, Amount: 1})
+	tot := h.Totals(1)
+	if tot[ActionShareArticles] != 5 || tot[ActionSuccessfulVote] != 1 {
+		t.Errorf("totals = %v", tot)
+	}
+}
+
+func TestSharedHistoryConcurrentAppend(t *testing.T) {
+	h := NewSharedHistory()
+	var wg sync.WaitGroup
+	const writers = 8
+	const per = 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Append(Record{Step: i, Subject: w, Kind: ActionShareBandwidth, Amount: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() != writers*per {
+		t.Errorf("Len = %d, want %d", h.Len(), writers*per)
+	}
+	for w := 0; w < writers; w++ {
+		if got := len(h.Subject(w)); got != per {
+			t.Errorf("subject %d has %d records, want %d", w, got, per)
+		}
+	}
+}
+
+func TestPrivateHistoryFirstHandOnly(t *testing.T) {
+	h := NewPrivateHistory(4)
+	if err := h.Observe(Record{Observer: 4, Subject: 1, Kind: ActionShareArticles}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Observe(Record{Observer: 5, Subject: 1}); err == nil {
+		t.Error("foreign observation should be rejected")
+	}
+	if got := len(h.Subject(1)); got != 1 {
+		t.Errorf("Subject(1) = %d records", got)
+	}
+}
+
+func TestPrivateHistoryKnownSubjects(t *testing.T) {
+	h := NewPrivateHistory(0)
+	for _, s := range []int{5, 2, 9, 2} {
+		h.Observe(Record{Observer: 0, Subject: s})
+	}
+	got := h.KnownSubjects()
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("KnownSubjects = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("KnownSubjects = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	kinds := []ActionKind{
+		ActionShareArticles, ActionShareBandwidth, ActionSuccessfulVote,
+		ActionAcceptedEdit, ActionFailedVote, ActionDeclinedEdit, ActionKind(99),
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Errorf("empty string for %d", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestGossipSpreadReachesEveryone(t *testing.T) {
+	rng := xrand.New(1)
+	res, err := Spread(100, 0, DefaultGossip(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 100 {
+		t.Errorf("informed = %d/100", res.Informed)
+	}
+	// Push gossip with fanout 2 should finish in O(log n) rounds.
+	if res.Rounds > 25 {
+		t.Errorf("took %d rounds, expected O(log n)", res.Rounds)
+	}
+	if res.Messages <= 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestGossipSingletonNetwork(t *testing.T) {
+	rng := xrand.New(2)
+	res, err := Spread(1, 0, DefaultGossip(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 1 || res.Rounds != 0 {
+		t.Errorf("singleton result = %+v", res)
+	}
+}
+
+func TestGossipValidation(t *testing.T) {
+	rng := xrand.New(3)
+	if _, err := Spread(0, 0, DefaultGossip(), rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Spread(10, 10, DefaultGossip(), rng); err == nil {
+		t.Error("origin out of range should fail")
+	}
+	if _, err := Spread(10, 0, GossipConfig{Fanout: 0, MaxRound: 10}, rng); err == nil {
+		t.Error("fanout 0 should fail")
+	}
+	if _, err := Spread(10, 0, GossipConfig{Fanout: 1, MaxRound: 0}, rng); err == nil {
+		t.Error("MaxRound 0 should fail")
+	}
+}
+
+func TestGossipRoundBoundRespected(t *testing.T) {
+	rng := xrand.New(4)
+	res, err := Spread(10000, 0, GossipConfig{Fanout: 1, MaxRound: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 3 {
+		t.Errorf("rounds = %d, bound was 3", res.Rounds)
+	}
+	if res.Informed >= 10000 {
+		t.Error("cannot fully inform 10000 peers in 3 rounds at fanout 1")
+	}
+}
+
+func TestAntiEntropyRoundsMonotone(t *testing.T) {
+	if AntiEntropyRounds(1, 2) != 0 {
+		t.Error("single peer needs 0 rounds")
+	}
+	small := AntiEntropyRounds(100, 2)
+	large := AntiEntropyRounds(10000, 2)
+	if small <= 0 || large <= small {
+		t.Errorf("rounds should grow with n: %d vs %d", small, large)
+	}
+	fastFanout := AntiEntropyRounds(10000, 8)
+	if fastFanout >= large {
+		t.Errorf("higher fanout should need fewer rounds: %d vs %d", fastFanout, large)
+	}
+	// The estimate should be in the same ballpark as simulation.
+	rng := xrand.New(9)
+	res, _ := Spread(1000, 0, GossipConfig{Fanout: 2, MaxRound: 1000}, rng)
+	est := AntiEntropyRounds(1000, 2)
+	if est < res.Rounds/3 || est > res.Rounds*3 {
+		t.Errorf("estimate %d far from simulated %d", est, res.Rounds)
+	}
+}

@@ -1,0 +1,208 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"collabnet/internal/xrand"
+)
+
+func TestMaxFlowTextbookGraph(t *testing.T) {
+	// Classic CLRS-style example with known max flow.
+	//   0 -> 1 (16), 0 -> 2 (13), 1 -> 3 (12), 2 -> 1 (4),
+	//   2 -> 4 (14), 3 -> 2 (9), 3 -> 5 (20), 4 -> 3 (7), 4 -> 5 (4)
+	// Max flow 0 -> 5 is 23.
+	g, _ := NewTrustGraph(6)
+	edges := []struct {
+		u, v int
+		c    float64
+	}{
+		{0, 1, 16}, {0, 2, 13}, {1, 3, 12}, {2, 1, 4},
+		{2, 4, 14}, {3, 2, 9}, {3, 5, 20}, {4, 3, 7}, {4, 5, 4},
+	}
+	for _, e := range edges {
+		g.SetTrust(e.u, e.v, e.c)
+	}
+	f, err := MaxFlow(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-23) > 1e-9 {
+		t.Errorf("max flow = %v, want 23", f)
+	}
+}
+
+func TestMaxFlowSimplePath(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	g.SetTrust(0, 1, 5)
+	g.SetTrust(1, 2, 3)
+	f, err := MaxFlow(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 3 {
+		t.Errorf("bottleneck flow = %v, want 3", f)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g, _ := NewTrustGraph(4)
+	g.SetTrust(0, 1, 5)
+	g.SetTrust(2, 3, 5)
+	f, err := MaxFlow(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("disconnected flow = %v, want 0", f)
+	}
+}
+
+func TestMaxFlowSelfAndErrors(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	if f, err := MaxFlow(g, 1, 1); err != nil || f != 0 {
+		t.Errorf("self flow = (%v, %v), want (0, nil)", f, err)
+	}
+	if _, err := MaxFlow(g, -1, 2); err == nil {
+		t.Error("negative source should error")
+	}
+	if _, err := MaxFlow(g, 0, 3); err == nil {
+		t.Error("sink out of range should error")
+	}
+}
+
+func TestMaxFlowParallelPaths(t *testing.T) {
+	// Two disjoint paths of capacity 2 and 3: total 5.
+	g, _ := NewTrustGraph(6)
+	g.SetTrust(0, 1, 2)
+	g.SetTrust(1, 5, 2)
+	g.SetTrust(0, 2, 3)
+	g.SetTrust(2, 5, 3)
+	f, _ := MaxFlow(g, 0, 5)
+	if f != 5 {
+		t.Errorf("parallel path flow = %v, want 5", f)
+	}
+}
+
+func TestMaxFlowCollusionResistance(t *testing.T) {
+	// A colluding clique with enormous internal trust gains nothing: the
+	// flow from an honest evaluator is limited by the single weak edge into
+	// the clique — the property Section II-C credits to the MaxFlow metric.
+	g, _ := NewTrustGraph(5)
+	g.SetTrust(0, 1, 1)    // honest -> honest
+	g.SetTrust(1, 2, 0.1)  // the only edge into the clique
+	g.SetTrust(2, 3, 1000) // clique self-promotion
+	g.SetTrust(3, 2, 1000)
+	g.SetTrust(2, 4, 1000)
+	g.SetTrust(3, 4, 1000)
+	f, _ := MaxFlow(g, 0, 4)
+	if math.Abs(f-0.1) > 1e-9 {
+		t.Errorf("collusion flow = %v, want 0.1 (bounded by honest cut)", f)
+	}
+}
+
+func TestMaxFlowBoundedByCuts(t *testing.T) {
+	// Property: flow never exceeds total capacity out of the source nor
+	// total capacity into the sink (weak duality with any cut).
+	prop := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(8)
+		g, _ := NewTrustGraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Bool(0.35) {
+					g.SetTrust(i, j, rng.Float64()*10)
+				}
+			}
+		}
+		src, sink := 0, n-1
+		f, err := MaxFlow(g, src, sink)
+		if err != nil || f < 0 {
+			return false
+		}
+		outCap, inCap := 0.0, 0.0
+		for j := 0; j < n; j++ {
+			outCap += g.Trust(src, j)
+			inCap += g.Trust(j, sink)
+		}
+		return f <= outCap+1e-9 && f <= inCap+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxFlowSymmetryOnUndirectedStyleGraph(t *testing.T) {
+	// With symmetric capacities, flow(a,b) == flow(b,a).
+	rng := xrand.New(77)
+	const n = 8
+	g, _ := NewTrustGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Bool(0.5) {
+				w := rng.Float64() * 5
+				g.SetTrust(i, j, w)
+				g.SetTrust(j, i, w)
+			}
+		}
+	}
+	f1, _ := MaxFlow(g, 0, n-1)
+	f2, _ := MaxFlow(g, n-1, 0)
+	if math.Abs(f1-f2) > 1e-9 {
+		t.Errorf("symmetric graph flows differ: %v vs %v", f1, f2)
+	}
+}
+
+func TestMinCutEqualsMaxFlow(t *testing.T) {
+	g, _ := NewTrustGraph(4)
+	g.SetTrust(0, 1, 3)
+	g.SetTrust(0, 2, 2)
+	g.SetTrust(1, 3, 2)
+	g.SetTrust(2, 3, 3)
+	f, _ := MaxFlow(g, 0, 3)
+	c, _ := MinCut(g, 0, 3)
+	if f != c {
+		t.Errorf("max-flow %v != min-cut %v", f, c)
+	}
+	if f != 4 {
+		t.Errorf("flow = %v, want 4", f)
+	}
+}
+
+func TestMaxFlowTrustVector(t *testing.T) {
+	g, _ := NewTrustGraph(4)
+	g.SetTrust(0, 1, 4)
+	g.SetTrust(0, 2, 1)
+	g.SetTrust(1, 3, 2)
+	tv, err := MaxFlowTrust(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv[0] != 0 {
+		t.Errorf("self trust = %v, want 0", tv[0])
+	}
+	// Peer 1 reachable with flow 4 (max), peer 2 with 1, peer 3 with 2.
+	if tv[1] != 1 {
+		t.Errorf("normalized max = %v, want 1", tv[1])
+	}
+	if math.Abs(tv[2]-0.25) > 1e-9 || math.Abs(tv[3]-0.5) > 1e-9 {
+		t.Errorf("vector = %v, want [0 1 0.25 0.5]", tv)
+	}
+	if _, err := MaxFlowTrust(g, 9); err == nil {
+		t.Error("out-of-range evaluator should error")
+	}
+}
+
+func TestMaxFlowTrustAllZeroWhenIsolated(t *testing.T) {
+	g, _ := NewTrustGraph(3)
+	tv, err := MaxFlowTrust(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range tv {
+		if x != 0 {
+			t.Errorf("isolated evaluator trust[%d] = %v", i, x)
+		}
+	}
+}

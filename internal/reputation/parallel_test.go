@@ -1,0 +1,118 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+func randomGraph(t *testing.T, n int, density float64, seed uint64) *TrustGraph {
+	t.Helper()
+	rng := xrand.New(seed)
+	g, err := NewTrustGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bool(density) {
+				g.SetTrust(i, j, rng.Float64()*5)
+			}
+		}
+	}
+	return g
+}
+
+func TestEigenTrustParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{5, 23, 64} {
+		g := randomGraph(t, n, 0.2, uint64(n))
+		cfg := DefaultEigenTrust()
+		serial, err := EigenTrust(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			par, err := EigenTrustParallel(g, cfg, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range serial {
+				if math.Abs(par[i]-serial[i]) > 1e-12 {
+					t.Fatalf("n=%d workers=%d: component %d differs: %v vs %v",
+						n, workers, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEigenTrustParallelDeterministicAcrossRuns(t *testing.T) {
+	// Bit-identical results across repeated parallel runs — the fixed-order
+	// reduction guarantee.
+	g := randomGraph(t, 50, 0.25, 7)
+	cfg := DefaultEigenTrust()
+	first, err := EigenTrustParallel(g, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		again, err := EigenTrustParallel(g, cfg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: component %d not bit-identical", run, i)
+			}
+		}
+	}
+}
+
+func TestEigenTrustParallelValidation(t *testing.T) {
+	g := randomGraph(t, 5, 0.3, 1)
+	if _, err := EigenTrustParallel(g, EigenTrustConfig{Damping: 1, Epsilon: 1e-9, MaxIter: 5}, 2); err == nil {
+		t.Error("bad damping should fail")
+	}
+	if _, err := EigenTrustParallel(g, EigenTrustConfig{Damping: 0.1, Epsilon: 0, MaxIter: 5}, 2); err == nil {
+		t.Error("bad epsilon should fail")
+	}
+	if _, err := EigenTrustParallel(g, EigenTrustConfig{Damping: 0.1, Epsilon: 1e-9, MaxIter: 0}, 2); err == nil {
+		t.Error("bad MaxIter should fail")
+	}
+	cfg := DefaultEigenTrust()
+	cfg.PreTrusted = []int{99}
+	if _, err := EigenTrustParallel(g, cfg, 2); err == nil {
+		t.Error("out-of-range pre-trusted should fail")
+	}
+	// More workers than peers must be fine.
+	if _, err := EigenTrustParallel(g, DefaultEigenTrust(), 64); err != nil {
+		t.Errorf("workers > n should clamp: %v", err)
+	}
+	// workers <= 0 uses GOMAXPROCS.
+	if _, err := EigenTrustParallel(g, DefaultEigenTrust(), 0); err != nil {
+		t.Errorf("workers=0 should default: %v", err)
+	}
+}
+
+func TestMaxFlowTrustParallelMatchesSerial(t *testing.T) {
+	g := randomGraph(t, 30, 0.2, 11)
+	serial, err := MaxFlowTrust(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		par, err := MaxFlowTrustParallel(g, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if math.Abs(par[i]-serial[i]) > 1e-12 {
+				t.Fatalf("workers=%d: component %d differs", workers, i)
+			}
+		}
+	}
+	if _, err := MaxFlowTrustParallel(g, -1, 2); err == nil {
+		t.Error("bad evaluator should fail")
+	}
+}

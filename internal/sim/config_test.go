@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+
+	"collabnet/internal/incentive"
+)
+
+func TestMixtureValidate(t *testing.T) {
+	good := []Mixture{
+		AllRational(),
+		{Rational: 0.3, Altruistic: 0.35, Irrational: 0.35},
+		{Altruistic: 1},
+	}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%+v should validate: %v", m, err)
+		}
+	}
+	bad := []Mixture{
+		{Rational: 0.5}, // sums to 0.5
+		{Rational: -0.5, Altruistic: 1.5},
+		{Rational: 0.5, Altruistic: 0.5, Irrational: 0.5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v should fail", m)
+		}
+	}
+}
+
+func TestMixtureCountsExact(t *testing.T) {
+	cases := []struct {
+		m       Mixture
+		n       int
+		r, a, i int
+	}{
+		{AllRational(), 100, 100, 0, 0},
+		{Mixture{Rational: 0.1, Altruistic: 0.45, Irrational: 0.45}, 100, 10, 45, 45},
+		{Mixture{Rational: 0.3, Altruistic: 0.35, Irrational: 0.35}, 100, 30, 35, 35},
+		{Mixture{Rational: 1.0 / 3, Altruistic: 1.0 / 3, Irrational: 1.0 / 3}, 10, 4, 3, 3},
+		{Mixture{Rational: 0.5, Altruistic: 0.25, Irrational: 0.25}, 2, 1, 1, 0},
+	}
+	for _, c := range cases {
+		r, a, i := c.m.Counts(c.n)
+		if r+a+i != c.n {
+			t.Fatalf("%+v: counts %d+%d+%d != %d", c.m, r, a, i, c.n)
+		}
+		if r != c.r || a != c.a || i != c.i {
+			t.Errorf("%+v over %d: got (%d,%d,%d), want (%d,%d,%d)",
+				c.m, c.n, r, a, i, c.r, c.a, c.i)
+		}
+	}
+}
+
+func TestMixtureCountsAlwaysSumToN(t *testing.T) {
+	// The paper's sweep: varied type x%, others split the remainder.
+	for x := 10; x <= 90; x += 10 {
+		f := float64(x) / 100
+		m := Mixture{Altruistic: f, Rational: (1 - f) / 2, Irrational: (1 - f) / 2}
+		r, a, i := m.Counts(100)
+		if r+a+i != 100 {
+			t.Errorf("x=%d: %d+%d+%d != 100", x, r, a, i)
+		}
+		if a != x {
+			t.Errorf("x=%d: altruistic count %d", x, a)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default config must validate: %v", err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Fatalf("Quick config must validate: %v", err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := Default()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.Peers = 1 }),
+		mut(func(c *Config) { c.Mix = Mixture{Rational: 0.5} }),
+		mut(func(c *Config) { c.TrainSteps = -1 }),
+		mut(func(c *Config) { c.MeasureSteps = 0 }),
+		mut(func(c *Config) { c.TrainTemp = 0 }),
+		mut(func(c *Config) { c.MeasureTemp = -1 }),
+		mut(func(c *Config) { c.Params.G = 0 }),
+		mut(func(c *Config) { c.Agent.States = 0 }),
+		mut(func(c *Config) { c.FileSize = 0 }),
+		mut(func(c *Config) { c.DownloadDemand = 0 }),
+		mut(func(c *Config) { c.EditProb = 1.5 }),
+		mut(func(c *Config) { c.VoteParticipation = -0.1 }),
+		mut(func(c *Config) { c.SeedArticles = -1 }),
+		mut(func(c *Config) { c.ChurnProb = 1.0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := Default()
+	cfg.Peers = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("New should surface validation errors")
+	}
+	cfg = Default()
+	cfg.Scheme = incentive.Kind(99)
+	if _, err := New(cfg); err == nil {
+		t.Error("New should surface unknown scheme errors")
+	}
+}
+
+func TestBehaviorAssignment(t *testing.T) {
+	cfg := Quick()
+	cfg.Mix = Mixture{Rational: 0.5, Altruistic: 0.25, Irrational: 0.25}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := eng.BehaviorCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != cfg.Peers {
+		t.Errorf("behavior counts sum to %d, want %d", total, cfg.Peers)
+	}
+	wantR, wantA, wantI := cfg.Mix.Counts(cfg.Peers)
+	if counts[0] != wantR {
+		t.Errorf("rational count = %d, want %d", counts[0], wantR)
+	}
+	_ = wantA
+	_ = wantI
+}

@@ -1,0 +1,415 @@
+package sim
+
+import (
+	"fmt"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/articles"
+	"collabnet/internal/core"
+	"collabnet/internal/incentive"
+	"collabnet/internal/network"
+	"collabnet/internal/xrand"
+)
+
+// Engine runs one simulation: a population of agents over an incentive
+// scheme, a transfer manager, and an article store, advanced in discrete
+// time steps. Engines are single-goroutine; the parallel runner shards whole
+// engines across workers.
+type Engine struct {
+	cfg    Config
+	rng    *xrand.Source
+	scheme incentive.Scheme
+	agents []*agent.Agent
+	online []bool
+	store  *articles.Store
+	tm     *network.TransferManager
+
+	// Per-step scratch state (indexed by peer).
+	shareFiles []float64
+	shareBW    []float64
+	evAction   []agent.EditVoteAction
+	prevRS     []float64
+	prevRE     []float64
+	shareAct   []agent.SharingAction
+	succEdits  []int
+	failEdits  []int
+	succVotes  []int
+	failVotes  []int
+
+	step    int
+	metrics *collector // nil while not collecting
+}
+
+// New builds an engine from cfg. The configuration is validated and the
+// article store seeded.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scheme, err := incentive.New(cfg.Scheme, cfg.Peers, cfg.Params, cfg.WeightedVoting)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := network.NewTransferManager(cfg.FileSize)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		rng:        xrand.New(cfg.Seed),
+		scheme:     scheme,
+		agents:     make([]*agent.Agent, cfg.Peers),
+		online:     make([]bool, cfg.Peers),
+		tm:         tm,
+		shareFiles: make([]float64, cfg.Peers),
+		shareBW:    make([]float64, cfg.Peers),
+		evAction:   make([]agent.EditVoteAction, cfg.Peers),
+		prevRS:     make([]float64, cfg.Peers),
+		prevRE:     make([]float64, cfg.Peers),
+		shareAct:   make([]agent.SharingAction, cfg.Peers),
+		succEdits:  make([]int, cfg.Peers),
+		failEdits:  make([]int, cfg.Peers),
+		succVotes:  make([]int, cfg.Peers),
+		failVotes:  make([]int, cfg.Peers),
+	}
+	nr, na, _ := cfg.Mix.Counts(cfg.Peers)
+	rmin := cfg.Params.RMin()
+	for i := range e.agents {
+		b := agent.Irrational
+		switch {
+		case i < nr:
+			b = agent.Rational
+		case i < nr+na:
+			b = agent.Altruistic
+		}
+		a, err := agent.New(b, cfg.Agent, rmin)
+		if err != nil {
+			return nil, err
+		}
+		e.agents[i] = a
+		e.online[i] = true
+	}
+	e.seedArticles()
+	return e, nil
+}
+
+// seedArticles creates the initial articles with random creators.
+func (e *Engine) seedArticles() {
+	e.store = articles.NewStore()
+	for k := 0; k < e.cfg.SeedArticles; k++ {
+		creator := e.rng.Intn(e.cfg.Peers)
+		e.store.Create(fmt.Sprintf("seed-article-%d", k), creator, 0)
+	}
+}
+
+// Scheme exposes the incentive scheme (for metrics and tests).
+func (e *Engine) Scheme() incentive.Scheme { return e.scheme }
+
+// Store exposes the article store.
+func (e *Engine) Store() *articles.Store { return e.store }
+
+// Agents exposes the agent slice (read-only use).
+func (e *Engine) Agents() []*agent.Agent { return e.agents }
+
+// BehaviorCounts returns how many peers of each behavior the engine runs.
+func (e *Engine) BehaviorCounts() map[agent.Behavior]int {
+	out := make(map[agent.Behavior]int)
+	for _, a := range e.agents {
+		out[a.Behavior]++
+	}
+	return out
+}
+
+// Run executes the full experiment: training phase, reset, measurement
+// phase. It returns the measurement-phase metrics.
+//
+// Training is episodic: every TrainEpisode steps the reputation values are
+// reset while traffic keeps flowing. Without this, the low-reputation states
+// would be visited only during the initial empty-pipeline burn-in, when no
+// downloads deliver rewards, and the Q-values would conflate "low state"
+// with "no traffic yet" — a temporal confound that inflates sharing in
+// every arm and masks the incentive effect.
+func (e *Engine) Run() (Result, error) {
+	episode := e.cfg.TrainEpisode
+	if episode <= 0 {
+		episode = e.cfg.TrainSteps + 1 // single episode
+	}
+	for s := 0; s < e.cfg.TrainSteps; s++ {
+		if s > 0 && s%episode == 0 {
+			e.scheme.Reset()
+		}
+		e.stepOnce(e.cfg.TrainTemp, true)
+	}
+	// Phase boundary: "the reputation values are reset but the agents keep
+	// their Q-Matrices". Transfers and the article community persist — only
+	// the reputation state starts over.
+	e.scheme.Reset()
+	e.metrics = newCollector()
+	for s := 0; s < e.cfg.MeasureSteps; s++ {
+		e.stepOnce(e.cfg.MeasureTemp, e.cfg.LearnDuringMeasure)
+	}
+	// Punishment-machinery counters live in the reputation scheme's book.
+	if rep, ok := e.scheme.(interface{ Book() *core.Book }); ok {
+		for i := 0; i < rep.Book().Len(); i++ {
+			l := rep.Book().Ledger(i)
+			e.metrics.voteBans += l.VoteBans
+			e.metrics.punishments += l.Punished
+		}
+	}
+	res := e.metrics.result(e.scheme.Name(), e.cfg.Peers, e.BehaviorCounts())
+	e.metrics = nil
+	return res, nil
+}
+
+// StepOnce advances the simulation by a single step at the given
+// temperature — exposed for tests; Run is the normal entry point.
+func (e *Engine) StepOnce(temp float64, learn bool) { e.stepOnce(temp, learn) }
+
+func (e *Engine) stepOnce(temp float64, learn bool) {
+	e.step++
+	n := e.cfg.Peers
+
+	// 1. Churn: decide who is online this step; cancel transfers of peers
+	// that dropped.
+	if e.cfg.ChurnProb > 0 {
+		for i := 0; i < n; i++ {
+			wasOnline := e.online[i]
+			e.online[i] = !e.rng.Bool(e.cfg.ChurnProb)
+			if wasOnline && !e.online[i] {
+				e.tm.Cancel(i)
+				e.tm.CancelBySource(i)
+			}
+		}
+	}
+
+	// 2. Action selection: every online peer picks sharing levels and
+	// edit/vote conduct from its current state.
+	for i := 0; i < n; i++ {
+		e.prevRS[i] = e.scheme.SharingScore(i)
+		e.prevRE[i] = e.scheme.EditingScore(i)
+		if !e.online[i] {
+			e.shareFiles[i] = 0
+			e.shareBW[i] = 0
+			e.scheme.RecordSharing(i, 0, 0)
+			continue
+		}
+		act := e.agents[i].ChooseSharing(e.prevRS[i], temp, e.rng)
+		e.shareAct[i] = act
+		e.shareFiles[i] = act.Files().Fraction()
+		e.shareBW[i] = act.Bandwidth().Fraction()
+		e.scheme.RecordSharing(i, e.shareFiles[i], e.shareBW[i])
+		e.evAction[i] = e.agents[i].ChooseEditVote(e.prevRE[i], temp, e.rng)
+	}
+
+	// 3. Download starts: with probability DownloadDemand/NS a peer begins
+	// one download from a sharing peer (Section IV). The source is chosen in
+	// proportion to its shared article level — a peer offering 100 files
+	// attracts twice the requests of one offering 50 — which concentrates
+	// demand the way real content popularity does.
+	sharers := e.sharers()
+	if len(sharers) > 0 {
+		weights := make([]float64, len(sharers))
+		for k, s := range sharers {
+			weights[k] = e.shareFiles[s]
+		}
+		p := e.cfg.DownloadDemand / float64(len(sharers))
+		if p > 1 {
+			p = 1
+		}
+		for i := 0; i < n; i++ {
+			if !e.online[i] || e.tm.HasActive(i) || !e.rng.Bool(p) {
+				continue
+			}
+			src := sharers[e.rng.Choice(weights)]
+			if src == i {
+				continue // no self-downloads; skip this opportunity
+			}
+			if _, err := e.tm.Start(i, src); err != nil {
+				// Cannot happen given the guards above; skip defensively.
+				continue
+			}
+		}
+	}
+
+	// 4. Transfer progress under the scheme's allocation.
+	sourceOf := make(map[int]int)
+	for i := 0; i < n; i++ {
+		if s, ok := e.tm.SourceOf(i); ok {
+			sourceOf[i] = s
+		}
+	}
+	stepRes := e.tm.Step(e.upShared, e.scheme.Allocate)
+	for d, amount := range stepRes.Received {
+		e.scheme.RecordTransfer(d, sourceOf[d], amount)
+	}
+	if e.metrics != nil {
+		for _, done := range stepRes.Done {
+			e.metrics.downloads++
+			e.metrics.downloadSteps += done.Steps
+		}
+	}
+
+	// 5. Editing and voting.
+	for i := range e.succEdits {
+		e.succEdits[i], e.failEdits[i], e.succVotes[i], e.failVotes[i] = 0, 0, 0, 0
+	}
+	if e.store.Len() > 0 && e.cfg.EditProb > 0 {
+		for i := 0; i < n; i++ {
+			if !e.online[i] || !e.rng.Bool(e.cfg.EditProb) {
+				continue
+			}
+			if !e.cfg.OpenEditing && !e.scheme.CanEdit(i) {
+				continue
+			}
+			e.runEditSession(i)
+		}
+	}
+
+	// 6. Rewards, contribution accrual, learning.
+	received := stepRes.Received
+	e.scheme.EndStep()
+	for i := 0; i < n; i++ {
+		if !e.online[i] {
+			continue
+		}
+		us := e.cfg.Utility.SharingUtilityReceived(received[i], e.shareFiles[i], e.shareBW[i])
+		if learn {
+			e.agents[i].LearnSharing(e.prevRS[i], e.shareAct[i], us, e.scheme.SharingScore(i))
+			// Conduct learners update only on steps where the corresponding
+			// event actually resolved. Edit opportunities are rare (EditProb
+			// per step); updating on every silent step would dilute the
+			// conduct signal by ~1/EditProb and the policy would never
+			// leave the uniform — the majority-following of Figures 6–7
+			// only emerges with event-driven credit.
+			newRE := e.scheme.EditingScore(i)
+			if e.succEdits[i]+e.failEdits[i] > 0 {
+				r := e.cfg.Utility.EditReward(e.succEdits[i], e.failEdits[i])
+				e.agents[i].LearnEditConduct(e.prevRE[i], e.evAction[i].Edit(), r, newRE)
+			}
+			if e.succVotes[i]+e.failVotes[i] > 0 {
+				r := e.cfg.Utility.VoteReward(e.succVotes[i], e.failVotes[i])
+				e.agents[i].LearnVoteConduct(e.prevRE[i], e.evAction[i].Vote(), r, newRE)
+			}
+		}
+		if e.metrics != nil {
+			b := e.agents[i].Behavior
+			e.metrics.fileSum[b] += e.shareFiles[i]
+			e.metrics.bwSum[b] += e.shareBW[i]
+			e.metrics.usSum[b] += us
+			e.metrics.peerN[b]++
+		}
+	}
+	e.metricsStepDone()
+}
+
+func (e *Engine) metricsStepDone() {
+	if e.metrics != nil {
+		e.metrics.steps++
+	}
+}
+
+// sharers returns the ids of online peers currently offering files — the
+// paper's NS set.
+func (e *Engine) sharers() []int {
+	out := make([]int, 0, e.cfg.Peers)
+	for i := 0; i < e.cfg.Peers; i++ {
+		if e.online[i] && e.shareFiles[i] > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// upShared returns a source's currently offered upload bandwidth.
+func (e *Engine) upShared(source int) float64 {
+	if source < 0 || source >= e.cfg.Peers || !e.online[source] {
+		return 0
+	}
+	return e.shareBW[source]
+}
+
+// runEditSession executes one edit proposal by editor: conduct from the
+// editor's chosen action, a weighted vote among the article's other
+// successful editors, resolution against the editor-dependent majority, and
+// the booking of all outcomes.
+func (e *Engine) runEditSession(editor int) {
+	art := e.store.At(e.rng.Intn(e.store.Len()))
+	conduct := e.evAction[editor].Edit()
+	quality := articles.Good
+	if conduct == agent.Destructive {
+		quality = articles.Bad
+	}
+	prop := articles.Proposal{Article: art.ID, Editor: editor, Quality: quality, Step: e.step}
+	eligible := func(v int) bool {
+		return v != editor && v >= 0 && v < e.cfg.Peers &&
+			e.online[v] && art.IsEditor(v) && e.scheme.CanVote(v)
+	}
+	sess := articles.NewSession(prop, eligible)
+	for _, v := range art.Editors() {
+		if !eligible(v) || !e.rng.Bool(e.cfg.VoteParticipation) {
+			continue
+		}
+		honest := e.evAction[v].Vote() == agent.Constructive
+		approve := (quality == articles.Good) == honest
+		w := e.scheme.VoteWeight(v)
+		if !(w > 0) {
+			w = 1e-9 // degenerate weights never block a ballot
+		}
+		if err := sess.Cast(articles.Ballot{Voter: v, Approve: approve, Weight: w}); err != nil {
+			// Eligibility was checked; a cast failure is a programming error.
+			panic(err)
+		}
+	}
+	out, err := sess.Resolve(e.scheme.RequiredMajority(editor), art.IsEditor(editor))
+	if err != nil {
+		panic(err)
+	}
+	// Book the editor's outcome.
+	e.scheme.RecordEditOutcome(editor, out.Accepted)
+	if out.Accepted {
+		e.succEdits[editor]++
+		if err := e.store.ApplyAccepted(art.ID, editor, e.step, quality); err != nil {
+			panic(err)
+		}
+	} else {
+		e.failEdits[editor]++
+	}
+	// Book the voters' outcomes.
+	for _, v := range out.Winners {
+		e.scheme.RecordVoteOutcome(v, true)
+		e.succVotes[v]++
+	}
+	for _, v := range out.Losers {
+		e.scheme.RecordVoteOutcome(v, false)
+		e.failVotes[v]++
+	}
+	// Metrics.
+	if e.metrics == nil {
+		return
+	}
+	b := e.agents[editor].Behavior
+	if quality == articles.Good {
+		e.metrics.constructive[b]++
+		if out.Accepted {
+			e.metrics.acceptedGood++
+		} else {
+			e.metrics.declinedGood++
+		}
+	} else {
+		e.metrics.destructive[b]++
+		if out.Accepted {
+			e.metrics.acceptedBad++
+		} else {
+			e.metrics.declinedBad++
+		}
+	}
+	if out.Accepted {
+		e.metrics.accepted[b]++
+	}
+	for _, v := range out.Winners {
+		e.metrics.succVotes[e.agents[v].Behavior]++
+	}
+	for _, v := range out.Losers {
+		e.metrics.failVotes[e.agents[v].Behavior]++
+	}
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+
+	"collabnet/internal/agent"
+)
+
+// BehaviorStats aggregates the measured behavior of one user type.
+type BehaviorStats struct {
+	Peers int
+	// SharedArticles and SharedBandwidth are mean sharing fractions per
+	// peer-step — the y-axes of Figures 3–5.
+	SharedArticles  float64
+	SharedBandwidth float64
+	// ConstructiveEdits / DestructiveEdits count edit *proposals* by ground
+	// truth conduct — the quantities of Figures 6–7.
+	ConstructiveEdits int
+	DestructiveEdits  int
+	// AcceptedEdits counts proposals the community accepted.
+	AcceptedEdits int
+	// SuccessfulVotes / FailedVotes count ballots with/against the majority.
+	SuccessfulVotes int
+	FailedVotes     int
+	// MeanUtilityS is the average per-step sharing utility US.
+	MeanUtilityS float64
+}
+
+// ConstructiveFraction returns the share of this type's edit proposals that
+// were constructive (0 when it proposed nothing).
+func (b BehaviorStats) ConstructiveFraction() float64 {
+	total := b.ConstructiveEdits + b.DestructiveEdits
+	if total == 0 {
+		return 0
+	}
+	return float64(b.ConstructiveEdits) / float64(total)
+}
+
+// Result is the outcome of one simulation run's measurement phase.
+type Result struct {
+	Scheme string
+	Steps  int
+	Peers  int
+
+	// Network-wide per-peer-step sharing fractions (Figure 4).
+	SharedArticles  float64
+	SharedBandwidth float64
+
+	// PerBehavior holds the per-type breakdown (Figures 5–7).
+	PerBehavior map[agent.Behavior]BehaviorStats
+
+	// Community verdict quality: how often the vote reached the
+	// ground-truth-correct decision.
+	AcceptedGood int // constructive edits accepted (correct)
+	AcceptedBad  int // destructive edits accepted  (incorrect)
+	DeclinedGood int // constructive edits declined (incorrect)
+	DeclinedBad  int // destructive edits declined  (correct)
+
+	// Download activity.
+	Downloads        int     // completed downloads
+	MeanDownloadTime float64 // steps per completed download
+
+	// Punishment machinery activity.
+	VoteBans    int
+	Punishments int
+}
+
+// Rational returns the rational-type stats (zero value when none present).
+func (r Result) Rational() BehaviorStats { return r.PerBehavior[agent.Rational] }
+
+// VerdictAccuracy returns the fraction of community decisions that matched
+// ground truth (accepted good + declined bad over all proposals).
+func (r Result) VerdictAccuracy() float64 {
+	total := r.AcceptedGood + r.AcceptedBad + r.DeclinedGood + r.DeclinedBad
+	if total == 0 {
+		return 0
+	}
+	return float64(r.AcceptedGood+r.DeclinedBad) / float64(total)
+}
+
+// String gives a one-line summary for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: articles=%.3f bandwidth=%.3f downloads=%d accuracy=%.2f",
+		r.Scheme, r.SharedArticles, r.SharedBandwidth, r.Downloads, r.VerdictAccuracy())
+}
+
+// collector accumulates raw sums during the measurement phase.
+type collector struct {
+	steps int
+
+	fileSum map[agent.Behavior]float64
+	bwSum   map[agent.Behavior]float64
+	usSum   map[agent.Behavior]float64
+	peerN   map[agent.Behavior]int // peer-steps observed
+
+	constructive map[agent.Behavior]int
+	destructive  map[agent.Behavior]int
+	accepted     map[agent.Behavior]int
+	succVotes    map[agent.Behavior]int
+	failVotes    map[agent.Behavior]int
+
+	acceptedGood, acceptedBad, declinedGood, declinedBad int
+
+	downloads     int
+	downloadSteps int
+
+	voteBans, punishments int
+}
+
+func newCollector() *collector {
+	return &collector{
+		fileSum:      make(map[agent.Behavior]float64),
+		bwSum:        make(map[agent.Behavior]float64),
+		usSum:        make(map[agent.Behavior]float64),
+		peerN:        make(map[agent.Behavior]int),
+		constructive: make(map[agent.Behavior]int),
+		destructive:  make(map[agent.Behavior]int),
+		accepted:     make(map[agent.Behavior]int),
+		succVotes:    make(map[agent.Behavior]int),
+		failVotes:    make(map[agent.Behavior]int),
+	}
+}
+
+func (c *collector) result(scheme string, peers int, counts map[agent.Behavior]int) Result {
+	res := Result{
+		Scheme:       scheme,
+		Steps:        c.steps,
+		Peers:        peers,
+		PerBehavior:  make(map[agent.Behavior]BehaviorStats),
+		AcceptedGood: c.acceptedGood,
+		AcceptedBad:  c.acceptedBad,
+		DeclinedGood: c.declinedGood,
+		DeclinedBad:  c.declinedBad,
+		Downloads:    c.downloads,
+		VoteBans:     c.voteBans,
+		Punishments:  c.punishments,
+	}
+	if c.downloads > 0 {
+		res.MeanDownloadTime = float64(c.downloadSteps) / float64(c.downloads)
+	}
+	var fileTotal, bwTotal float64
+	var nTotal int
+	for b, n := range counts {
+		stats := BehaviorStats{
+			Peers:             n,
+			ConstructiveEdits: c.constructive[b],
+			DestructiveEdits:  c.destructive[b],
+			AcceptedEdits:     c.accepted[b],
+			SuccessfulVotes:   c.succVotes[b],
+			FailedVotes:       c.failVotes[b],
+		}
+		if pn := c.peerN[b]; pn > 0 {
+			stats.SharedArticles = c.fileSum[b] / float64(pn)
+			stats.SharedBandwidth = c.bwSum[b] / float64(pn)
+			stats.MeanUtilityS = c.usSum[b] / float64(pn)
+		}
+		res.PerBehavior[b] = stats
+		fileTotal += c.fileSum[b]
+		bwTotal += c.bwSum[b]
+		nTotal += c.peerN[b]
+	}
+	if nTotal > 0 {
+		res.SharedArticles = fileTotal / float64(nTotal)
+		res.SharedBandwidth = bwTotal / float64(nTotal)
+	}
+	return res
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/xrand"
+)
+
+// Job is one named simulation configuration in a sweep.
+type Job struct {
+	Name   string
+	Config Config
+}
+
+// JobResult pairs a job with its replica results, in replica order.
+type JobResult struct {
+	Name    string
+	Results []Result
+	Err     error
+}
+
+// RunReplicas runs the same configuration replicas times with derived seeds
+// and returns the results in replica order. workers <= 0 uses GOMAXPROCS.
+// Seeds are derived deterministically from cfg.Seed before any goroutine
+// starts, so the output is identical regardless of scheduling.
+func RunReplicas(cfg Config, replicas, workers int) ([]Result, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("sim: replicas must be > 0, got %d", replicas)
+	}
+	jobs := make([]Job, replicas)
+	seedSrc := xrand.New(cfg.Seed)
+	for i := range jobs {
+		c := cfg
+		c.Seed = seedSrc.Uint64()
+		jobs[i] = Job{Name: fmt.Sprintf("replica-%d", i), Config: c}
+	}
+	jrs := RunJobs(jobs, workers)
+	out := make([]Result, replicas)
+	for i, jr := range jrs {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", jr.Name, jr.Err)
+		}
+		out[i] = jr.Results[0]
+	}
+	return out, nil
+}
+
+// RunJobs executes every job across a worker pool and returns results in
+// job order. Each job runs one engine with its own RNG stream; no state is
+// shared between workers, so the concurrency is embarrassingly parallel.
+func RunJobs(jobs []Job, workers int) []JobResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func runOne(job Job) JobResult {
+	eng, err := New(job.Config)
+	if err != nil {
+		return JobResult{Name: job.Name, Err: err}
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return JobResult{Name: job.Name, Err: err}
+	}
+	return JobResult{Name: job.Name, Results: []Result{res}}
+}
+
+// MeanResult averages the headline sharing metrics over replica results —
+// the per-point aggregation of the figure sweeps. Count fields are summed.
+// It panics on an empty slice (programmer error in the harness).
+func MeanResult(rs []Result) Result {
+	if len(rs) == 0 {
+		panic("sim: MeanResult of no results")
+	}
+	agg := rs[0]
+	agg.PerBehavior = nil
+	for _, r := range rs[1:] {
+		agg.SharedArticles += r.SharedArticles
+		agg.SharedBandwidth += r.SharedBandwidth
+		agg.MeanDownloadTime += r.MeanDownloadTime
+		agg.AcceptedGood += r.AcceptedGood
+		agg.AcceptedBad += r.AcceptedBad
+		agg.DeclinedGood += r.DeclinedGood
+		agg.DeclinedBad += r.DeclinedBad
+		agg.Downloads += r.Downloads
+		agg.VoteBans += r.VoteBans
+		agg.Punishments += r.Punishments
+	}
+	k := float64(len(rs))
+	agg.SharedArticles /= k
+	agg.SharedBandwidth /= k
+	agg.MeanDownloadTime /= k
+	// Per-behavior stats: average shares, sum counts.
+	agg.PerBehavior = make(map[agent.Behavior]BehaviorStats)
+	for _, r := range rs {
+		for b, s := range r.PerBehavior {
+			acc := agg.PerBehavior[b]
+			acc.Peers = s.Peers
+			acc.SharedArticles += s.SharedArticles / k
+			acc.SharedBandwidth += s.SharedBandwidth / k
+			acc.MeanUtilityS += s.MeanUtilityS / k
+			acc.ConstructiveEdits += s.ConstructiveEdits
+			acc.DestructiveEdits += s.DestructiveEdits
+			acc.AcceptedEdits += s.AcceptedEdits
+			acc.SuccessfulVotes += s.SuccessfulVotes
+			acc.FailedVotes += s.FailedVotes
+			agg.PerBehavior[b] = acc
+		}
+	}
+	return agg
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"collabnet/internal/agent"
+)
+
+func TestRunReplicasDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := Quick()
+	cfg.TrainSteps = 200
+	cfg.MeasureSteps = 100
+	serial, err := RunReplicas(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunReplicas(cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].SharedArticles != parallel[i].SharedArticles ||
+			serial[i].Downloads != parallel[i].Downloads {
+			t.Errorf("replica %d differs between serial and parallel execution", i)
+		}
+	}
+}
+
+func TestRunReplicasDistinctSeeds(t *testing.T) {
+	cfg := Quick()
+	cfg.TrainSteps = 200
+	cfg.MeasureSteps = 100
+	rs, err := RunReplicas(cfg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].SharedArticles == rs[1].SharedArticles &&
+		rs[1].SharedArticles == rs[2].SharedArticles &&
+		rs[0].Downloads == rs[1].Downloads {
+		t.Error("replicas should use distinct derived seeds")
+	}
+}
+
+func TestRunReplicasValidation(t *testing.T) {
+	if _, err := RunReplicas(Quick(), 0, 1); err == nil {
+		t.Error("zero replicas should fail")
+	}
+	bad := Quick()
+	bad.Peers = 0
+	if _, err := RunReplicas(bad, 2, 1); err == nil {
+		t.Error("invalid config should surface from workers")
+	}
+}
+
+func TestRunJobsOrderPreserved(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		cfg := Quick()
+		cfg.TrainSteps = 100
+		cfg.MeasureSteps = 50
+		cfg.Seed = uint64(i + 1)
+		jobs = append(jobs, Job{Name: string(rune('a' + i)), Config: cfg})
+	}
+	out := RunJobs(jobs, 3)
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d results", len(out))
+	}
+	for i, jr := range out {
+		if jr.Name != jobs[i].Name {
+			t.Errorf("result %d has name %q, want %q", i, jr.Name, jobs[i].Name)
+		}
+		if jr.Err != nil {
+			t.Errorf("job %s failed: %v", jr.Name, jr.Err)
+		}
+	}
+}
+
+func TestRunJobsEmpty(t *testing.T) {
+	if out := RunJobs(nil, 4); len(out) != 0 {
+		t.Error("empty jobs should return empty results")
+	}
+}
+
+func TestRunJobsReportsErrors(t *testing.T) {
+	bad := Quick()
+	bad.MeasureSteps = 0
+	out := RunJobs([]Job{{Name: "bad", Config: bad}}, 1)
+	if out[0].Err == nil {
+		t.Error("invalid job should carry its error")
+	}
+}
+
+func TestMeanResult(t *testing.T) {
+	a := Result{
+		SharedArticles:  0.2,
+		SharedBandwidth: 0.4,
+		Downloads:       10,
+		AcceptedGood:    4,
+		PerBehavior: map[agent.Behavior]BehaviorStats{
+			agent.Rational: {Peers: 5, SharedArticles: 0.2, ConstructiveEdits: 2},
+		},
+	}
+	b := Result{
+		SharedArticles:  0.4,
+		SharedBandwidth: 0.6,
+		Downloads:       20,
+		AcceptedGood:    6,
+		PerBehavior: map[agent.Behavior]BehaviorStats{
+			agent.Rational: {Peers: 5, SharedArticles: 0.4, ConstructiveEdits: 4},
+		},
+	}
+	m := MeanResult([]Result{a, b})
+	const eps = 1e-12
+	if math.Abs(m.SharedArticles-0.3) > eps || math.Abs(m.SharedBandwidth-0.5) > eps {
+		t.Errorf("means wrong: %+v", m)
+	}
+	if m.Downloads != 30 || m.AcceptedGood != 10 {
+		t.Errorf("counts should sum: %+v", m)
+	}
+	r := m.PerBehavior[agent.Rational]
+	if math.Abs(r.SharedArticles-0.3) > eps || r.ConstructiveEdits != 6 {
+		t.Errorf("per-behavior aggregation wrong: %+v", r)
+	}
+}
+
+func TestMeanResultPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MeanResult(nil) should panic")
+		}
+	}()
+	MeanResult(nil)
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"collabnet/internal/incentive"
+	"collabnet/internal/stats"
+)
+
+// TestSmokeCalibration reports the Figure 3 comparison at a reduced scale.
+// It is informational (skipped with -short); the assertions live in
+// engine_test.go and the experiments package.
+func TestSmokeCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration smoke test")
+	}
+	const reps = 6
+	means := map[incentive.Kind][2]float64{}
+	for _, kind := range []incentive.Kind{incentive.KindReputation, incentive.KindNone} {
+		cfg := Default()
+		cfg.Scheme = kind
+		cfg.TrainSteps = 8000
+		cfg.MeasureSteps = 3000
+		cfg.Seed = 42
+		rs, err := RunReplicas(cfg, reps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var art, bw stats.Summary
+		for _, r := range rs {
+			art.Add(r.SharedArticles)
+			bw.Add(r.SharedBandwidth)
+		}
+		means[kind] = [2]float64{art.Mean(), bw.Mean()}
+		fmt.Printf("%s: articles=%.3f±%.3f bw=%.3f±%.3f\n", kind, art.Mean(), art.CI95(), bw.Mean(), bw.CI95())
+	}
+	rep, base := means[incentive.KindReputation], means[incentive.KindNone]
+	fmt.Printf("tilt: articles %+.1f%%, bandwidth %+.1f%% (paper: +8%%, +11%%)\n",
+		100*(rep[0]/base[0]-1), 100*(rep[1]/base[1]-1))
+	if rep[0] <= base[0] {
+		t.Errorf("incentive scheme should raise article sharing: %.3f vs %.3f", rep[0], base[0])
+	}
+	if rep[1] <= base[1] {
+		t.Errorf("incentive scheme should raise bandwidth sharing: %.3f vs %.3f", rep[1], base[1])
+	}
+}

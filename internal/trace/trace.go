@@ -1,0 +1,87 @@
+// Package trace persists experiment output as CSV and JSON so figure data
+// can be re-plotted with external tools.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Table is a rectangular data set with a header row.
+type Table struct {
+	Header []string
+	Rows   [][]float64
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// Append adds one row; its length must match the header.
+func (t *Table) Append(row ...float64) error {
+	if len(row) != len(t.Header) {
+		return fmt.Errorf("trace: row has %d cells, header has %d", len(row), len(t.Header))
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// WriteCSV streams the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	cells := make([]string, len(t.Header))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			cells[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(cells); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON streams the table as a JSON object {header: [...], rows: [...]}.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Header []string    `json:"header"`
+		Rows   [][]float64 `json:"rows"`
+	}{Header: t.Header, Rows: t.Rows})
+}
+
+// ReadCSV parses a table previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	t := NewTable(records[0]...)
+	for _, rec := range records[1:] {
+		row := make([]float64, len(rec))
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: parse cell %q: %w", cell, err)
+			}
+			row[i] = v
+		}
+		if err := t.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

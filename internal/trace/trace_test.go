@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRoundTripCSV(t *testing.T) {
+	tab := NewTable("x", "y", "z")
+	if err := tab.Append(1, 2.5, -3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append(4, 5, 6.25); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Header) != 3 || got.Header[1] != "y" {
+		t.Errorf("header = %v", got.Header)
+	}
+	if len(got.Rows) != 2 || got.Rows[0][1] != 2.5 || got.Rows[1][2] != 6.25 {
+		t.Errorf("rows = %v", got.Rows)
+	}
+}
+
+func TestTableAppendValidates(t *testing.T) {
+	tab := NewTable("a", "b")
+	if err := tab.Append(1); err == nil {
+		t.Error("short row should fail")
+	}
+	if err := tab.Append(1, 2, 3); err == nil {
+		t.Error("long row should fail")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tab := NewTable("x")
+	tab.Append(1)
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"header"`) || !strings.Contains(s, `"rows"`) {
+		t.Errorf("json = %s", s)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("x,y\n1,notanumber\n")); err == nil {
+		t.Error("non-numeric cell should fail")
+	}
+}
+
+func TestEmptyTableCSV(t *testing.T) {
+	tab := NewTable("only", "header")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 {
+		t.Errorf("rows = %v", got.Rows)
+	}
+}

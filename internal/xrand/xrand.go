@@ -1,0 +1,185 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator with explicit state and cheap stream splitting.
+//
+// The simulation engine needs reproducible runs: the same seed must produce
+// the same trajectory regardless of goroutine scheduling. math/rand's global
+// source is locked and unseedable per stream, so every simulation component
+// owns an *xrand.Source instead. Sources are NOT safe for concurrent use;
+// give each goroutine its own stream via Split.
+//
+// The generator is xoshiro256**, seeded through SplitMix64 as recommended by
+// its authors. Both algorithms are public domain.
+package xrand
+
+import "math"
+
+// Source is a deterministic PRNG stream. The zero value is not usable; create
+// one with New or Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next SplitMix64 output. It is used
+// only to expand seeds into full generator state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield uncorrelated
+// streams.
+func New(seed uint64) *Source {
+	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed resets the stream to the state derived from seed.
+func (s *Source) Reseed(seed uint64) {
+	x := seed
+	for i := range s.s {
+		s.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Split derives an independent child stream from the current state. The
+// parent advances, so successive Splits yield distinct children. Splitting is
+// how the parallel runner hands every replica and every peer its own
+// deterministic stream.
+func (s *Source) Split() *Source {
+	seed := s.Uint64() ^ 0xa0761d6478bd642f
+	return New(seed)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high bits give a uniform dyadic rational in [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and branch-light.
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (polar Box-Muller without
+// caching, to keep Source state minimal and splitting exact).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a uniformly random index weighted by w; w must contain at
+// least one positive weight. Negative weights are treated as zero.
+func (s *Source) Choice(w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total <= 0 {
+		panic("xrand: Choice with no positive weights")
+	}
+	r := s.Float64() * total
+	acc := 0.0
+	last := -1
+	for i, x := range w {
+		if x <= 0 {
+			continue
+		}
+		acc += x
+		last = i
+		if r < acc {
+			return i
+		}
+	}
+	return last // floating-point slack: fall back to the final positive entry
+}

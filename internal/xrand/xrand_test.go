@@ -1,0 +1,246 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds matched %d/100 times", same)
+	}
+}
+
+func TestReseedRestoresStream(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Reseed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("reseeded stream diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	// Children must differ from each other.
+	diff := false
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("split children produced identical streams")
+	}
+	// Splitting must be deterministic given the parent seed.
+	p2 := New(99)
+	d1 := p2.Split()
+	c1b := New(99).Split()
+	_ = d1
+	x, y := c1b.Uint64(), New(99).Split().Uint64()
+	if x != y {
+		t.Error("split is not deterministic")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(11)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d count %d deviates >10%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(1); v != 0 {
+			t.Fatalf("Intn(1) = %d", v)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestBool(t *testing.T) {
+	s := New(17)
+	if s.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) must be true")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", float64(hits)/n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(19)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	s := New(29)
+	counts := [3]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Choice([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	r := float64(counts[2]) / float64(counts[0])
+	if math.Abs(r-3) > 0.2 {
+		t.Errorf("weight ratio = %v, want ~3", r)
+	}
+}
+
+func TestChoiceNegativeWeightsIgnored(t *testing.T) {
+	s := New(31)
+	for i := 0; i < 1000; i++ {
+		if got := s.Choice([]float64{-1, 2, -3}); got != 1 {
+			t.Fatalf("Choice picked index %d with negative weight", got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Choice with no positive weights should panic")
+		}
+	}()
+	s.Choice([]float64{0, -1})
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(37)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
