@@ -1,0 +1,35 @@
+# Collabnet build/test/bench entry points. `make check` is what CI (and the
+# next PR) should run; `make bench` records the benchmark trajectory file
+# BENCH_<n>.json (bump BENCH_N per PR to keep history).
+
+GO      ?= go
+BENCH_N ?= 1
+
+.PHONY: build test vet fmt-check check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet fmt-check test
+
+# bench runs every benchmark once with allocation stats and converts the raw
+# output into BENCH_$(BENCH_N).json for cross-PR comparison.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count=1 . > bench.out
+	@cat bench.out
+	$(GO) run ./cmd/collabsim -benchparse bench.out -benchjson BENCH_$(BENCH_N).json
+
+clean:
+	rm -f bench.out BENCH_*.json

@@ -61,59 +61,68 @@ func BenchmarkFig3IncentiveVsNone(b *testing.B) {
 	}
 }
 
-// BenchmarkFig4MixtureSweep runs the Figure 4 population sweep (18 runs
-// per iteration: 9 mixture points × 2 varied types).
-func BenchmarkFig4MixtureSweep(b *testing.B) {
+// sweepScale is the shared size of the Figure 4-7 sweep benchmarks.
+func sweepScale() experiments.Scale {
 	sc := benchScale()
 	sc.TrainSteps = 400
 	sc.MeasureSteps = 200
-	sc.Workers = 0
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig4(sc); err != nil {
-			b.Fatal(err)
-		}
+	return sc
+}
+
+// sweepWorkerCounts are the worker settings each sweep benchmark compares:
+// serial (workers=1) against the full machine (workers=0 → GOMAXPROCS). On
+// multi-core hardware the parallel sub-benchmark should beat the serial one
+// roughly linearly — sweep points are embarrassingly parallel.
+func sweepWorkerCounts(b *testing.B, f func(sc experiments.Scale) error) {
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			sc := sweepScale()
+			sc.Workers = w.workers
+			for i := 0; i < b.N; i++ {
+				if err := f(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+}
+
+// BenchmarkFig4MixtureSweep runs the Figure 4 population sweep (18 runs
+// per iteration: 9 mixture points × 2 varied types), serial vs parallel.
+func BenchmarkFig4MixtureSweep(b *testing.B) {
+	sweepWorkerCounts(b, func(sc experiments.Scale) error {
+		_, _, err := experiments.Fig4(sc)
+		return err
+	})
 }
 
 // BenchmarkFig5RationalSweep runs the Figure 5 per-rational sweep.
 func BenchmarkFig5RationalSweep(b *testing.B) {
-	sc := benchScale()
-	sc.TrainSteps = 400
-	sc.MeasureSteps = 200
-	sc.Workers = 0
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig5(sc); err != nil {
-			b.Fatal(err)
-		}
-	}
+	sweepWorkerCounts(b, func(sc experiments.Scale) error {
+		_, _, err := experiments.Fig5(sc)
+		return err
+	})
 }
 
 // BenchmarkFig6BalancedEdits runs the Figure 6 sweep (balanced altruistic
 // and irrational populations).
 func BenchmarkFig6BalancedEdits(b *testing.B) {
-	sc := benchScale()
-	sc.TrainSteps = 400
-	sc.MeasureSteps = 200
-	sc.Workers = 0
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(sc); err != nil {
-			b.Fatal(err)
-		}
-	}
+	sweepWorkerCounts(b, func(sc experiments.Scale) error {
+		_, err := experiments.Fig6(sc)
+		return err
+	})
 }
 
 // BenchmarkFig7MajorityFollowing runs the Figure 7 sweeps (varying
 // altruistic and irrational shares).
 func BenchmarkFig7MajorityFollowing(b *testing.B) {
-	sc := benchScale()
-	sc.TrainSteps = 400
-	sc.MeasureSteps = 200
-	sc.Workers = 0
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig7(sc); err != nil {
-			b.Fatal(err)
-		}
-	}
+	sweepWorkerCounts(b, func(sc experiments.Scale) error {
+		_, _, err := experiments.Fig7(sc)
+		return err
+	})
 }
 
 // BenchmarkAblationReputationShape runs the reputation-shape ablation
@@ -150,6 +159,27 @@ func BenchmarkBoltzmannSample(b *testing.B) {
 	}
 }
 
+func BenchmarkBoltzmannInto(b *testing.B) {
+	q := []float64{0.5, 1.2, -0.3, 2.0, 0.0, 1.1, 0.7, -1.0, 0.9}
+	dst := make([]float64, len(q))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkSlice = agent.BoltzmannInto(dst, q, 1)
+	}
+}
+
+func BenchmarkQSelect(b *testing.B) {
+	l, err := agent.NewQLearner(10, 9, 0.25, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkInt = l.Select(i%10, 1, rng)
+	}
+}
+
 func BenchmarkQUpdate(b *testing.B) {
 	l, err := agent.NewQLearner(10, 9, 0.25, 0.9)
 	if err != nil {
@@ -183,10 +213,11 @@ func BenchmarkTransferStep(b *testing.B) {
 		}
 	}
 	up := func(int) float64 { return 1 }
+	var res network.StepResult
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tm.Step(up, network.EqualAllocator)
+		tm.Step(up, network.EqualAllocator, &res)
 	}
 }
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchRecord is one benchmark measurement in the BENCH_*.json trajectory
+// files future PRs diff against. NsPerOp is always present; the allocation
+// fields are zero unless the source reported them (-benchmem).
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Procs       int     `json:"procs,omitempty"`
+}
+
+// parseBenchLine decodes one `go test -bench` result line of the form
+//
+//	BenchmarkName-8   1234   98.7 ns/op   120 B/op   3 allocs/op
+//
+// Reports ok=false for non-benchmark lines (headers, PASS, ok ...).
+func parseBenchLine(line string) (benchRecord, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchRecord{}, false
+	}
+	rec := benchRecord{Name: fields[0]}
+	if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+			rec.Name = rec.Name[:i]
+			rec.Procs = procs
+		}
+	}
+	runs, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return benchRecord{}, false
+	}
+	rec.Runs = runs
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			rec.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			rec.BytesPerOp = int64(val)
+		case "allocs/op":
+			rec.AllocsPerOp = int64(val)
+		}
+	}
+	return rec, sawNs
+}
+
+// parseBenchFile converts a `go test -bench` output file into a JSON record
+// list at outPath.
+func parseBenchFile(inPath, outPath string) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var recs []benchRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if rec, ok := parseBenchLine(sc.Text()); ok {
+			recs = append(recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", inPath)
+	}
+	if err := writeBenchJSON(outPath, recs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", outPath, len(recs))
+	return nil
+}
+
+func writeBenchJSON(path string, recs []benchRecord) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

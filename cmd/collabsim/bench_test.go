@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	rec, ok := parseBenchLine("BenchmarkEngineStep-8   \t10000\t    114620 ns/op\t   25092 B/op\t      42 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	want := benchRecord{Name: "BenchmarkEngineStep", Runs: 10000, NsPerOp: 114620,
+		BytesPerOp: 25092, AllocsPerOp: 42, Procs: 8}
+	if rec != want {
+		t.Errorf("parsed %+v, want %+v", rec, want)
+	}
+	// Without -benchmem and without the -procs suffix; fractional ns/op and
+	// sub-ns values must survive unrounded.
+	rec, ok = parseBenchLine("BenchmarkTransferStep \t2615940\t       414.5 ns/op")
+	if !ok || rec.Name != "BenchmarkTransferStep" || rec.NsPerOp != 414.5 || rec.AllocsPerOp != 0 {
+		t.Errorf("plain line parsed as %+v (ok=%v)", rec, ok)
+	}
+	rec, ok = parseBenchLine("BenchmarkRotl-4 \t1000000000\t       0.48 ns/op")
+	if !ok || rec.NsPerOp != 0.48 {
+		t.Errorf("sub-ns line parsed as %+v (ok=%v)", rec, ok)
+	}
+	for _, line := range []string{"", "PASS", "ok  \tcollabnet\t4.062s", "goos: linux", "Benchmark"} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("non-benchmark line %q accepted", line)
+		}
+	}
+}
+
+func TestParseBenchFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	out := filepath.Join(dir, "BENCH_1.json")
+	raw := `goos: linux
+goarch: amd64
+pkg: collabnet
+BenchmarkBoltzmannSample \t 6994660\t       186.9 ns/op\t       0 B/op\t       0 allocs/op
+BenchmarkEngineStep      \t   10000\t    114620 ns/op\t   25092 B/op\t      42 allocs/op
+PASS
+`
+	if err := os.WriteFile(in, []byte(replaceTabs(raw)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseBenchFile(in, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Name != "BenchmarkEngineStep" || recs[1].AllocsPerOp != 42 {
+		t.Errorf("round-trip records = %+v", recs)
+	}
+}
+
+func TestParseBenchFileRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.out")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseBenchFile(in, filepath.Join(dir, "out.json")); err == nil {
+		t.Error("file without benchmark lines should error")
+	}
+}
+
+// replaceTabs turns the literal two-character \t sequences of the test
+// fixture into real tabs, keeping the fixture readable.
+func replaceTabs(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && s[i+1] == 't' {
+			out = append(out, '\t')
+			i++
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

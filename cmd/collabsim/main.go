@@ -6,11 +6,17 @@
 //	collabsim -fig 1            # analytic Figure 1 (reputation function)
 //	collabsim -fig 3 -scale quick
 //	collabsim -fig 7 -csv out/  # also dump the series as CSV
+//	collabsim -fig 4 -workers 8 # shard sweep points across 8 workers
 //	collabsim -ablation shape
+//	collabsim -fig 4 -benchjson BENCH_1.json   # also record wall-clock JSON
+//	collabsim -benchparse bench.out -benchjson BENCH_1.json
 //	collabsim -list
 //
 // Figures are rendered as ASCII charts; -csv writes the raw series next to
-// them for external plotting.
+// them for external plotting. -benchjson records the wall-clock of this
+// invocation's experiment as one JSON benchmark record; -benchparse instead
+// converts `go test -bench` text output into the same JSON schema, so CI can
+// track benchmark trajectories across PRs (BENCH_<n>.json files).
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"collabnet/internal/asciiplot"
 	"collabnet/internal/experiments"
@@ -26,12 +34,15 @@ import (
 
 func main() {
 	var (
-		figNum   = flag.Int("fig", 0, "paper figure to regenerate (1-7)")
-		ablation = flag.String("ablation", "", "ablation to run: shape|temperature|voting|punishment|scheme|histogram")
-		scale    = flag.String("scale", "quick", "experiment scale: quick|paper")
-		csvDir   = flag.String("csv", "", "directory to write CSV series into")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		list     = flag.Bool("list", false, "list available experiments")
+		figNum     = flag.Int("fig", 0, "paper figure to regenerate (1-7)")
+		ablation   = flag.String("ablation", "", "ablation to run: shape|temperature|voting|punishment|scheme|histogram")
+		scale      = flag.String("scale", "quick", "experiment scale: quick|paper")
+		csvDir     = flag.String("csv", "", "directory to write CSV series into")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "worker goroutines for sweeps (0 = GOMAXPROCS)")
+		benchJSON  = flag.String("benchjson", "", "write benchmark records as JSON to this file")
+		benchParse = flag.String("benchparse", "", "parse `go test -bench` output from this file into -benchjson (default BENCH_1.json)")
+		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -39,6 +50,19 @@ func main() {
 		fmt.Println("figures:    -fig 1 … -fig 7  (Figures 1-7 of the paper)")
 		fmt.Println("ablations:  -ablation shape | temperature | voting | punishment | scheme | histogram")
 		fmt.Println("scales:     -scale quick (reduced) | -scale paper (full 100 peers, 10k training steps)")
+		fmt.Println("tooling:    -workers N | -benchjson FILE | -benchparse FILE")
+		return
+	}
+
+	if *benchParse != "" {
+		out := *benchJSON
+		if out == "" {
+			out = "BENCH_1.json"
+		}
+		if err := parseBenchFile(*benchParse, out); err != nil {
+			fmt.Fprintln(os.Stderr, "collabsim:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -47,8 +71,11 @@ func main() {
 		sc = experiments.PaperScale()
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
+	start := time.Now()
 	figs, err := run(*figNum, *ablation, sc)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "collabsim:", err)
 		os.Exit(1)
@@ -68,6 +95,22 @@ func main() {
 				fmt.Fprintln(os.Stderr, "collabsim:", err)
 				os.Exit(1)
 			}
+		}
+	}
+	if *benchJSON != "" {
+		name := fmt.Sprintf("fig%d", *figNum)
+		if *figNum == 0 {
+			name = "ablation-" + *ablation
+		}
+		recs := []benchRecord{{
+			Name:    fmt.Sprintf("%s/scale=%s/workers=%d", name, *scale, *workers),
+			Runs:    1,
+			NsPerOp: float64(elapsed.Nanoseconds()),
+			Procs:   runtime.GOMAXPROCS(0),
+		}}
+		if err := writeBenchJSON(*benchJSON, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "collabsim:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -57,17 +57,20 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		shares := scheme.Allocate(source, []int{generous, moderate, freeRider})
+		downloaders := []int{generous, moderate, freeRider}
+		shares := make([]float64, len(downloaders))
+		scheme.Allocate(source, downloaders, shares)
 
 		fmt.Printf("== scheme: %s ==\n", scheme.Name())
 		fmt.Printf("bandwidth split for simultaneous downloaders of %q:\n", names[source])
-		for i, d := range []int{generous, moderate, freeRider} {
+		for i, d := range downloaders {
 			fmt.Printf("  %-10s %5.1f%%\n", names[d], shares[i]*100)
 		}
 		// Run the transfers to completion and report finish times.
 		finished := map[int]int{}
+		var res network.StepResult
 		for step := 1; step <= 400 && tm.Active() > 0; step++ {
-			res := tm.Step(func(int) float64 { return 1 }, scheme.Allocate)
+			tm.Step(func(int) float64 { return 1 }, scheme.Allocate, &res)
 			for _, done := range res.Done {
 				finished[done.Downloader] = step
 			}

@@ -1,0 +1,3 @@
+module collabnet
+
+go 1.24

@@ -6,6 +6,7 @@
 package agent
 
 import (
+	"fmt"
 	"math"
 
 	"collabnet/internal/xrand"
@@ -26,13 +27,26 @@ func Boltzmann(q []float64, T float64) []float64 {
 	if len(q) == 0 {
 		return nil
 	}
-	p := make([]float64, len(q))
+	return BoltzmannInto(make([]float64, len(q)), q, T)
+}
+
+// BoltzmannInto writes the Boltzmann distribution over q at temperature T
+// into dst, which must satisfy len(dst) == len(q), and returns dst. It never
+// allocates — the simulation hot path calls it with a per-learner scratch
+// buffer reused across steps.
+func BoltzmannInto(dst, q []float64, T float64) []float64 {
+	if len(dst) != len(q) {
+		panic(fmt.Sprintf("agent: BoltzmannInto buffer length %d != %d actions", len(dst), len(q)))
+	}
+	if len(q) == 0 {
+		return dst
+	}
 	if math.IsInf(T, 1) || T == math.MaxFloat64 {
 		u := 1 / float64(len(q))
-		for i := range p {
-			p[i] = u
+		for i := range dst {
+			dst[i] = u
 		}
-		return p
+		return dst
 	}
 	if T <= 0 || math.IsNaN(T) {
 		panic("agent: Boltzmann temperature must be positive (use Greedy for T→0)")
@@ -46,19 +60,56 @@ func Boltzmann(q []float64, T float64) []float64 {
 	sum := 0.0
 	for i, v := range q {
 		e := math.Exp((v - maxQ) / T)
-		p[i] = e
+		dst[i] = e
 		sum += e
 	}
 	// sum >= 1 always because the max contributes exp(0) = 1.
-	for i := range p {
-		p[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return p
+	return dst
 }
 
-// SampleBoltzmann draws one action index from the Boltzmann distribution.
+// SampleBoltzmann draws one action index from the Boltzmann distribution
+// without materializing it: a streaming two-pass weighted pick over the
+// unnormalized exp terms. It allocates nothing.
 func SampleBoltzmann(q []float64, T float64, rng *xrand.Source) int {
-	return rng.Choice(Boltzmann(q, T))
+	if len(q) == 0 {
+		panic("agent: SampleBoltzmann over empty action set")
+	}
+	if math.IsInf(T, 1) || T == math.MaxFloat64 {
+		// Uniform limit: a single clean draw.
+		return rng.Intn(len(q))
+	}
+	if T <= 0 || math.IsNaN(T) {
+		panic("agent: Boltzmann temperature must be positive (use Greedy for T→0)")
+	}
+	maxQ := math.Inf(-1)
+	for _, v := range q {
+		if v > maxQ {
+			maxQ = v
+		}
+	}
+	total := 0.0
+	for _, v := range q {
+		total += math.Exp((v - maxQ) / T)
+	}
+	// total >= 1 always because the max contributes exp(0) = 1.
+	r := rng.Float64() * total
+	acc := 0.0
+	last := 0
+	for i, v := range q {
+		e := math.Exp((v - maxQ) / T)
+		if e <= 0 {
+			continue
+		}
+		acc += e
+		last = i
+		if r < acc {
+			return i
+		}
+	}
+	return last // floating-point slack: fall back to the final positive term
 }
 
 // Greedy returns the index of the maximal Q-value, breaking ties uniformly at

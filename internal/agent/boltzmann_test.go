@@ -122,6 +122,86 @@ func TestSampleBoltzmannDistribution(t *testing.T) {
 	}
 }
 
+func TestSampleBoltzmannUniformAtMaxTemperature(t *testing.T) {
+	rng := xrand.New(4)
+	q := []float64{-7, 0, 12}
+	counts := [3]int{}
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[SampleBoltzmann(q, math.MaxFloat64, rng)]++
+	}
+	for i, c := range counts {
+		if f := float64(c) / n; math.Abs(f-1.0/3) > 0.01 {
+			t.Errorf("max-T sampling not uniform: p[%d] ≈ %v", i, f)
+		}
+	}
+}
+
+func TestSampleBoltzmannDeterministic(t *testing.T) {
+	// Same stream, same Q-values → same action sequence: the streaming
+	// sampler must consume exactly one draw per call.
+	a, b := xrand.New(17), xrand.New(17)
+	q := []float64{0.5, -1, 2, 0}
+	for i := 0; i < 1000; i++ {
+		if SampleBoltzmann(q, 1.5, a) != SampleBoltzmann(q, 1.5, b) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestBoltzmannIntoMatchesBoltzmann(t *testing.T) {
+	q := []float64{0.5, 1.2, -0.3, 2.0, 0.0}
+	dst := make([]float64, len(q))
+	for _, T := range []float64{0.1, 1, 10, math.MaxFloat64} {
+		want := Boltzmann(q, T)
+		got := BoltzmannInto(dst, q, T)
+		if &got[0] != &dst[0] {
+			t.Fatal("BoltzmannInto must write into the provided buffer")
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-15 {
+				t.Errorf("T=%v: Into[%d] = %v, want %v", T, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBoltzmannIntoPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	BoltzmannInto(make([]float64, 2), []float64{1, 2, 3}, 1)
+}
+
+func TestQLearnerSelectSamplesPolicy(t *testing.T) {
+	// Select must follow the same Boltzmann policy while allocating nothing
+	// (the scratch buffer is reused across calls).
+	l, err := NewQLearner(1, 2, 0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Update(0, 1, math.Log(3), 0) // drives Q(0,1) toward log 3 over updates
+	for i := 0; i < 200; i++ {
+		l.Update(0, 1, math.Log(3), 0)
+	}
+	rng := xrand.New(8)
+	counts := [2]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[l.Select(0, 1, rng)]++
+	}
+	p := Boltzmann(l.Row(0), 1)
+	got := float64(counts[1]) / n
+	if math.Abs(got-p[1]) > 0.01 {
+		t.Errorf("empirical p[1] = %v, want ~%v", got, p[1])
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { l.Select(0, 1, rng) }); allocs != 0 {
+		t.Errorf("Select allocates %v times per call, want 0", allocs)
+	}
+}
+
 func TestGreedy(t *testing.T) {
 	rng := xrand.New(2)
 	if got := Greedy([]float64{1, 5, 3}, rng); got != 1 {

@@ -21,6 +21,7 @@ type QLearner struct {
 	alpha   float64 // learning rate
 	gamma   float64 // discount factor
 	q       []float64
+	probs   []float64 // scratch for Select's Boltzmann distribution
 }
 
 // NewQLearner creates a zero-initialized Q-matrix with the given dimensions,
@@ -41,6 +42,7 @@ func NewQLearner(states, actions int, alpha, gamma float64) (*QLearner, error) {
 		alpha:   alpha,
 		gamma:   gamma,
 		q:       make([]float64, states*actions),
+		probs:   make([]float64, actions),
 	}, nil
 }
 
@@ -86,9 +88,16 @@ func (l *QLearner) Update(state, action int, reward float64, next int) {
 }
 
 // Select samples an action in state from the Boltzmann distribution at
-// temperature T.
+// temperature T. The distribution is written into the learner's scratch
+// buffer, so selection allocates nothing.
 func (l *QLearner) Select(state int, T float64, rng *xrand.Source) int {
-	return SampleBoltzmann(l.Row(state), T, rng)
+	p := BoltzmannInto(l.probs, l.Row(state), T)
+	if i := rng.Choice(p); i >= 0 {
+		return i
+	}
+	// Unreachable for a well-formed distribution (the max-Q term always has
+	// positive mass); fall back to greedy rather than corrupt the caller.
+	return Greedy(l.Row(state), rng)
 }
 
 // Best returns the greedy action in state, ties broken at random.
@@ -108,6 +117,7 @@ func (l *QLearner) Reset() {
 func (l *QLearner) Clone() *QLearner {
 	cp := *l
 	cp.q = append([]float64(nil), l.q...)
+	cp.probs = make([]float64, l.actions)
 	return &cp
 }
 

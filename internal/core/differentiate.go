@@ -2,34 +2,46 @@ package core
 
 import "math"
 
-// ProportionalShares converts non-negative weights into shares summing to 1.
-// It is the common kernel behind bandwidth differentiation and weighted
-// voting: share_i = w_i / Σ w_k. Non-finite or negative weights count as
-// zero. When every weight is zero the mass is split equally — a network of
-// all-newcomer peers still has to function. A nil or empty input returns nil.
+// NormalizeShares converts non-negative weights into shares summing to 1,
+// in place. It is the common kernel behind bandwidth differentiation and
+// weighted voting: share_i = w_i / Σ w_k. Non-finite or negative weights
+// count as zero. When every weight is zero the mass is split equally — a
+// network of all-newcomer peers still has to function. The hot allocation
+// path calls this on a reused scratch buffer, so it must not allocate.
+func NormalizeShares(w []float64) {
+	if len(w) == 0 {
+		return
+	}
+	total := 0.0
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+			w[i] = 0
+		}
+		total += x
+	}
+	if total <= 0 {
+		eq := 1 / float64(len(w))
+		for i := range w {
+			w[i] = eq
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= total
+	}
+}
+
+// ProportionalShares is the allocating convenience form of NormalizeShares:
+// it leaves weights untouched and returns a fresh share slice. A nil or
+// empty input returns nil.
 func ProportionalShares(weights []float64) []float64 {
 	if len(weights) == 0 {
 		return nil
 	}
 	shares := make([]float64, len(weights))
-	total := 0.0
-	for i, w := range weights {
-		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			w = 0
-		}
-		shares[i] = w
-		total += w
-	}
-	if total <= 0 {
-		eq := 1 / float64(len(weights))
-		for i := range shares {
-			shares[i] = eq
-		}
-		return shares
-	}
-	for i := range shares {
-		shares[i] /= total
-	}
+	copy(shares, weights)
+	NormalizeShares(shares)
 	return shares
 }
 

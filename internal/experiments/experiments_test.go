@@ -2,10 +2,44 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"collabnet/internal/stats"
 )
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	// The figure sweeps shard whole simulations across workers; the worker
+	// count must never change the figures. Run the full Figure 4 and 7
+	// pipelines serial and parallel at tiny scale and require identical
+	// output.
+	sc := Scale{TrainSteps: 120, MeasureSteps: 60, Peers: 20, Replicas: 2, Seed: 5}
+	serial, parallel := sc, sc
+	serial.Workers = 1
+	parallel.Workers = 4
+	sa, sb, err := Fig4(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb, err := Fig4(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sa, pa) || !reflect.DeepEqual(sb, pb) {
+		t.Error("Fig4 differs between serial and parallel execution")
+	}
+	s7a, s7b, err := Fig7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p7a, p7b, err := Fig7(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s7a, p7a) || !reflect.DeepEqual(s7b, p7b) {
+		t.Error("Fig7 differs between serial and parallel execution")
+	}
+}
 
 func TestFig1MatchesPaperCurves(t *testing.T) {
 	fig, err := Fig1()

@@ -8,6 +8,14 @@ import (
 	"collabnet/internal/core"
 )
 
+// allocate adapts the buffer-writing Allocate contract for tests that want
+// a fresh share slice.
+func allocate(s Scheme, source int, downloaders []int) []float64 {
+	shares := make([]float64, len(downloaders))
+	s.Allocate(source, downloaders, shares)
+	return shares
+}
+
 func sumsToOne(t *testing.T, shares []float64) {
 	t.Helper()
 	sum := 0.0
@@ -31,7 +39,7 @@ func TestReputationSchemeLifecycle(t *testing.T) {
 		t.Error("name wrong")
 	}
 	// Fresh peers: equal allocation (all at RMin).
-	shares := r.Allocate(0, []int{1, 2, 3})
+	shares := allocate(r, 0, []int{1, 2, 3})
 	sumsToOne(t, shares)
 	for _, s := range shares {
 		if math.Abs(s-1.0/3) > 1e-9 {
@@ -43,7 +51,7 @@ func TestReputationSchemeLifecycle(t *testing.T) {
 		r.RecordSharing(1, 1, 1)
 		r.EndStep()
 	}
-	shares = r.Allocate(0, []int{1, 2, 3})
+	shares = allocate(r, 0, []int{1, 2, 3})
 	sumsToOne(t, shares)
 	if shares[0] <= shares[1] {
 		t.Errorf("sharer should outrank free-riders: %v", shares)
@@ -147,7 +155,7 @@ func TestNoneSchemeFlatService(t *testing.T) {
 		n.RecordSharing(0, 1, 1)
 		n.EndStep()
 	}
-	shares := n.Allocate(9, []int{0, 1, 2})
+	shares := allocate(n, 9, []int{0, 1, 2})
 	sumsToOne(t, shares)
 	for _, s := range shares {
 		if math.Abs(s-1.0/3) > 1e-12 {
@@ -193,7 +201,7 @@ func TestTitForTatReciprocity(t *testing.T) {
 	// And at source... the reciprocal credit is given[2][3]? No: given[2][3]
 	// is what 2 gave to 3 — zero. given[2] got credit toward 3? The transfer
 	// booked given[2][3] += 8 (source 2 gave 8 to peer 3).
-	shares := tft.Allocate(3, []int{1, 2})
+	shares := allocate(tft, 3, []int{1, 2})
 	sumsToOne(t, shares)
 	if shares[1] <= shares[0] {
 		t.Errorf("peer 2 (prior uploader to 3) should outrank peer 1: %v", shares)
@@ -206,7 +214,7 @@ func TestTitForTatNonDirectRelationFailure(t *testing.T) {
 	tft, _ := NewTitForTat(4)
 	tft.RecordTransfer(1, 0, 100) // peer 0 uploaded hugely — to peer 1
 	// At source 2 (no direct relation), peer 0 gets no credit.
-	shares := tft.Allocate(2, []int{0, 3})
+	shares := allocate(tft, 2, []int{0, 3})
 	if math.Abs(shares[0]-shares[1]) > 1e-12 {
 		t.Errorf("credit must not transfer to non-direct relation: %v", shares)
 	}
@@ -265,7 +273,7 @@ func TestKarmaAllocationFavorsEarners(t *testing.T) {
 	k, _ := NewKarma(3, DefaultKarmaConfig())
 	// Peer 1 earns by uploading to peer 2.
 	k.RecordTransfer(2, 1, 8)
-	shares := k.Allocate(0, []int{1, 2})
+	shares := allocate(k, 0, []int{1, 2})
 	sumsToOne(t, shares)
 	if shares[0] <= shares[1] {
 		t.Errorf("earner should outrank spender: %v", shares)
@@ -310,7 +318,7 @@ func TestNewFactory(t *testing.T) {
 		if s.Name() != kind.String() {
 			t.Errorf("New(%v).Name() = %q", kind, s.Name())
 		}
-		shares := s.Allocate(0, []int{1, 2})
+		shares := allocate(s, 0, []int{1, 2})
 		sumsToOne(t, shares)
 	}
 	if _, err := New(Kind(99), 5, core.Default(), true); err == nil {
@@ -324,8 +332,25 @@ func TestNewFactory(t *testing.T) {
 func TestSchemesHandleEmptyDownloaderSet(t *testing.T) {
 	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma} {
 		s, _ := New(kind, 3, core.Default(), true)
-		if got := s.Allocate(0, nil); got != nil {
-			t.Errorf("%v: empty downloader set should yield nil, got %v", kind, got)
+		s.Allocate(0, nil, nil) // must be a safe no-op
+	}
+}
+
+func TestSchemesAllocateIntoReusedBuffer(t *testing.T) {
+	// The transfer manager hands every scheme the same scratch buffer each
+	// step; stale contents from a previous (larger) call must never leak.
+	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma} {
+		s, _ := New(kind, 5, core.Default(), true)
+		buf := make([]float64, 5)
+		s.Allocate(0, []int{1, 2, 3, 4}, buf[:4])
+		first := append([]float64(nil), buf[:4]...)
+		s.Allocate(0, []int{1, 2}, buf[:2])
+		sumsToOne(t, buf[:2])
+		s.Allocate(0, []int{1, 2, 3, 4}, buf[:4])
+		for i := range first {
+			if math.Abs(buf[i]-first[i]) > 1e-12 {
+				t.Errorf("%v: buffer reuse changed shares: %v vs %v", kind, buf[:4], first)
+			}
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package incentive
 
-import "fmt"
+import (
+	"fmt"
+
+	"collabnet/internal/core"
+)
 
 // KarmaConfig parameterizes the trade-based scheme.
 type KarmaConfig struct {
@@ -66,25 +70,13 @@ func (k *Karma) TotalSupply() float64 {
 // Name implements Scheme.
 func (k *Karma) Name() string { return "karma" }
 
-// Allocate implements Scheme: weight ∝ floor + balance.
-func (k *Karma) Allocate(_ int, downloaders []int) []float64 {
-	if len(downloaders) == 0 {
-		return nil
-	}
-	weights := make([]float64, len(downloaders))
-	total := 0.0
+// Allocate implements Scheme: weight ∝ floor + balance, normalized in the
+// caller's shares buffer (equal split when every weight is zero).
+func (k *Karma) Allocate(_ int, downloaders []int, shares []float64) {
 	for i, d := range downloaders {
-		w := k.cfg.Floor + k.Balance(d)
-		weights[i] = w
-		total += w
+		shares[i] = k.cfg.Floor + k.Balance(d)
 	}
-	if total <= 0 {
-		return equalShares(len(downloaders))
-	}
-	for i := range weights {
-		weights[i] /= total
-	}
-	return weights
+	core.NormalizeShares(shares)
 }
 
 // CanEdit implements Scheme: trade-based schemes price bandwidth, not

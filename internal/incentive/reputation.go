@@ -45,12 +45,13 @@ func (r *Reputation) Book() *core.Book { return r.book }
 // Name implements Scheme.
 func (r *Reputation) Name() string { return "reputation" }
 
-// Allocate implements Scheme: B_i = RS_i / Σ RS_k (Section III-C1).
-func (r *Reputation) Allocate(_ int, downloaders []int) []float64 {
-	if len(downloaders) == 0 {
-		return nil
+// Allocate implements Scheme: B_i = RS_i / Σ RS_k (Section III-C1), written
+// into the caller's shares buffer without allocating.
+func (r *Reputation) Allocate(_ int, downloaders []int, shares []float64) {
+	for i, d := range downloaders {
+		shares[i] = r.book.Ledger(d).RS()
 	}
-	return core.AllocateBandwidth(r.book.SharingReputations(downloaders))
+	core.NormalizeShares(shares)
 }
 
 // CanEdit implements Scheme: RS >= θ.
@@ -153,8 +154,8 @@ func NewNone(n int, p core.Params) (*None, error) {
 func (n *None) Name() string { return "none" }
 
 // Allocate implements Scheme: equal split regardless of behavior.
-func (n *None) Allocate(_ int, downloaders []int) []float64 {
-	return equalShares(len(downloaders))
+func (n *None) Allocate(_ int, _ []int, shares []float64) {
+	equalShares(shares)
 }
 
 // CanEdit implements Scheme: no threshold.

@@ -22,8 +22,12 @@ type Scheme interface {
 	Name() string
 
 	// Allocate divides a source's upload bandwidth among its current
-	// downloaders (sorted ids); fractions sum to 1 for non-empty input.
-	Allocate(source int, downloaders []int) []float64
+	// downloaders (sorted ids), writing the fractions into the
+	// caller-provided shares buffer (len(shares) == len(downloaders),
+	// zeroed); fractions sum to 1 for non-empty input. Both slices are
+	// scratch the transfer manager reuses every step — implementations must
+	// not retain them.
+	Allocate(source int, downloaders []int, shares []float64)
 
 	// CanEdit reports whether peer currently holds the edit right.
 	CanEdit(peer int) bool
@@ -89,14 +93,12 @@ func (k Kind) String() string {
 	}
 }
 
-func equalShares(n int) []float64 {
-	if n == 0 {
-		return nil
+func equalShares(shares []float64) {
+	if len(shares) == 0 {
+		return
 	}
-	out := make([]float64, n)
-	eq := 1 / float64(n)
-	for i := range out {
-		out[i] = eq
+	eq := 1 / float64(len(shares))
+	for i := range shares {
+		shares[i] = eq
 	}
-	return out
 }

@@ -1,6 +1,10 @@
 package incentive
 
-import "fmt"
+import (
+	"fmt"
+
+	"collabnet/internal/core"
+)
 
 // TitForTat is BitTorrent-style direct reciprocity: a source favors
 // downloaders in proportion to the bandwidth they have previously uploaded
@@ -46,25 +50,16 @@ func NewTitForTat(n int) (*TitForTat, error) {
 func (t *TitForTat) Name() string { return "tit-for-tat" }
 
 // Allocate implements Scheme: weight_d = floor + (bandwidth d previously
-// uploaded to this source).
-func (t *TitForTat) Allocate(source int, downloaders []int) []float64 {
-	if len(downloaders) == 0 {
-		return nil
-	}
-	weights := make([]float64, len(downloaders))
-	total := 0.0
+// uploaded to this source), normalized in the caller's shares buffer.
+func (t *TitForTat) Allocate(source int, downloaders []int, shares []float64) {
 	for i, d := range downloaders {
 		w := t.floor
 		if d >= 0 && d < t.n {
 			w += t.given[d][source]
 		}
-		weights[i] = w
-		total += w
+		shares[i] = w
 	}
-	for i := range weights {
-		weights[i] /= total
-	}
-	return weights
+	core.NormalizeShares(shares)
 }
 
 // CanEdit implements Scheme. TFT has no notion of editing rights.

@@ -5,4 +5,29 @@
 // differentiation acts), and a consistent-hashing overlay ring with replica
 // placement, standing in for the "large-scale collaborative storage network"
 // of Bocek & Stiller (AIMS 2007) that the paper builds on.
+//
+// # Allocation contract
+//
+// The transfer manager's per-step loop is the simulation's hottest kernel,
+// so its contracts are written around buffer reuse rather than returning
+// fresh values:
+//
+//   - An Allocator receives the sorted downloader ids of one source together
+//     with a zeroed shares buffer of equal length and writes the bandwidth
+//     fractions in place. Both slices are scratch owned by the manager and
+//     reused every step; allocators must not retain them. An allocator that
+//     writes nothing stalls its transfers (the zeroed buffer is the safe
+//     default), it cannot leak stale values.
+//
+//   - Step writes its outcome into a caller-provided StepResult whose three
+//     buffers (the dense per-peer Received slice, the Receipts list, and the
+//     Done list) are truncated and refilled on every call. Callers keep one
+//     StepResult alive for the lifetime of a simulation and read it between
+//     steps; holding references across steps is a bug.
+//
+// Bookkeeping is dense: transfers are indexed by peer id in flat slices, the
+// per-source transfer lists are kept sorted by downloader id at mutation
+// time, and the step loop therefore iterates in deterministic (source
+// ascending, downloader ascending) order without maps, sorting, or
+// allocation. Same seed, same schedule — identical results.
 package network

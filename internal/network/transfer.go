@@ -1,16 +1,16 @@
 package network
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Allocator decides how a source's shared upload bandwidth is divided among
 // the peers currently downloading from it. downloaders is sorted ascending;
-// the returned fractions correspond positionally and must sum to at most 1.
-// The paper's scheme returns reputation-proportional shares (Section
-// III-C1); the no-incentive baseline returns equal shares.
-type Allocator func(source int, downloaders []int) []float64
+// the allocator writes the corresponding fractions into shares, which the
+// caller provides with len(shares) == len(downloaders) and all entries
+// zeroed. Fractions must sum to at most 1. The paper's scheme writes
+// reputation-proportional shares (Section III-C1); the no-incentive baseline
+// writes equal shares. Allocators must not retain either slice: both are
+// scratch buffers the transfer manager reuses every step.
+type Allocator func(source int, downloaders []int, shares []float64)
 
 // Transfer is one in-flight download.
 type Transfer struct {
@@ -29,16 +29,61 @@ type Completed struct {
 	Steps      int // time steps the transfer took
 }
 
+// Receipt records the bandwidth one downloader received from its source in
+// one step. A downloader has at most one active transfer, so at most one
+// receipt per step.
+type Receipt struct {
+	Downloader int
+	Source     int
+	Amount     float64
+}
+
+// StepResult reports one step of transfer progress. All three slices are
+// buffers owned by the caller and reused across Step calls — hold no
+// references to them across steps.
+type StepResult struct {
+	// Received[d] is the bandwidth peer d received this step — the B·UP_source
+	// term of the sharing utility. Dense, indexed by peer id; ids beyond the
+	// manager's current peer bound received nothing.
+	Received []float64
+	// Receipts lists every (downloader, source, amount) delivery of the step
+	// in deterministic order: sources ascending, downloaders ascending within
+	// a source.
+	Receipts []Receipt
+	// Done lists transfers that completed this step, in the same order.
+	Done []Completed
+}
+
+// reset prepares the result buffers for a step over peers [0, n).
+func (r *StepResult) reset(n int) {
+	if cap(r.Received) < n {
+		r.Received = make([]float64, n)
+	}
+	r.Received = r.Received[:n]
+	clear(r.Received)
+	r.Receipts = r.Receipts[:0]
+	r.Done = r.Done[:0]
+}
+
 // TransferManager tracks in-flight downloads and advances them step by
 // step. Downloads of the same source compete for its bandwidth — the manager
 // is the mechanism through which reputation turns into download speed.
+//
+// Bookkeeping is dense: transfers are indexed by peer id in flat slices that
+// grow to the highest id seen, so the per-step loop touches no maps, sorts
+// nothing, and allocates nothing once warm.
 type TransferManager struct {
 	fileSize float64
 	nextID   int
 	step     int
-	active   map[int]*Transfer   // by transfer id
-	bySource map[int][]*Transfer // source -> active transfers
-	byDown   map[int]*Transfer   // downloader -> its single active transfer
+	active   int
+
+	byDown   []*Transfer   // downloader id -> its single active transfer (nil if none)
+	bySource [][]*Transfer // source id -> active transfers, sorted by downloader id
+
+	// Per-step scratch reused by Step.
+	downs  []int
+	shares []float64
 }
 
 // NewTransferManager creates a manager for files of the given size (in
@@ -48,56 +93,73 @@ func NewTransferManager(fileSize float64) (*TransferManager, error) {
 	if !(fileSize > 0) {
 		return nil, fmt.Errorf("network: file size must be > 0, got %v", fileSize)
 	}
-	return &TransferManager{
-		fileSize: fileSize,
-		active:   make(map[int]*Transfer),
-		bySource: make(map[int][]*Transfer),
-		byDown:   make(map[int]*Transfer),
-	}, nil
+	return &TransferManager{fileSize: fileSize}, nil
 }
 
 // FileSize returns the configured file size.
 func (m *TransferManager) FileSize() float64 { return m.fileSize }
 
 // Active returns the number of in-flight transfers.
-func (m *TransferManager) Active() int { return len(m.active) }
+func (m *TransferManager) Active() int { return m.active }
+
+// PeerBound returns one past the highest peer id the manager has seen; the
+// dense StepResult.Received slice has this length.
+func (m *TransferManager) PeerBound() int { return len(m.byDown) }
+
+// grow extends the dense tables to cover peer id.
+func (m *TransferManager) grow(id int) {
+	if id < len(m.byDown) {
+		return
+	}
+	for len(m.byDown) <= id {
+		m.byDown = append(m.byDown, nil)
+		m.bySource = append(m.bySource, nil)
+	}
+}
 
 // HasActive reports whether the downloader already has a transfer running;
 // the engine starts at most one download per peer at a time.
 func (m *TransferManager) HasActive(downloader int) bool {
-	_, ok := m.byDown[downloader]
-	return ok
+	return downloader >= 0 && downloader < len(m.byDown) && m.byDown[downloader] != nil
 }
 
 // SourceOf returns the source of the downloader's active transfer, if any.
 func (m *TransferManager) SourceOf(downloader int) (source int, ok bool) {
-	t, ok := m.byDown[downloader]
-	if !ok {
+	if !m.HasActive(downloader) {
 		return 0, false
 	}
-	return t.Source, true
+	return m.byDown[downloader].Source, true
 }
 
-// Downloaders returns the sorted ids of peers downloading from source.
+// Downloaders returns the sorted ids of peers downloading from source. It
+// allocates and is meant for inspection and tests; the step loop reads the
+// dense structure directly.
 func (m *TransferManager) Downloaders(source int) []int {
+	if source < 0 || source >= len(m.bySource) {
+		return nil
+	}
 	ts := m.bySource[source]
 	out := make([]int, len(ts))
 	for i, t := range ts {
 		out[i] = t.Downloader
 	}
-	sort.Ints(out)
 	return out
 }
 
 // Start begins a download. It fails if the downloader already has an active
-// transfer or is its own source.
+// transfer, is its own source, or either id is negative.
 func (m *TransferManager) Start(downloader, source int) (int, error) {
+	if downloader < 0 || source < 0 {
+		return 0, fmt.Errorf("network: negative peer id in Start(%d, %d)", downloader, source)
+	}
 	if downloader == source {
 		return 0, fmt.Errorf("network: peer %d cannot download from itself", downloader)
 	}
 	if m.HasActive(downloader) {
 		return 0, fmt.Errorf("network: peer %d already downloading", downloader)
 	}
+	m.grow(downloader)
+	m.grow(source)
 	m.nextID++
 	t := &Transfer{
 		ID:         m.nextID,
@@ -106,52 +168,55 @@ func (m *TransferManager) Start(downloader, source int) (int, error) {
 		Remaining:  m.fileSize,
 		StartStep:  m.step,
 	}
-	m.active[t.ID] = t
-	m.bySource[source] = append(m.bySource[source], t)
 	m.byDown[downloader] = t
+	// Insert keeping bySource[source] sorted by downloader id, so the step
+	// loop never sorts.
+	ts := m.bySource[source]
+	pos := len(ts)
+	for pos > 0 && ts[pos-1].Downloader > downloader {
+		pos--
+	}
+	ts = append(ts, nil)
+	copy(ts[pos+1:], ts[pos:])
+	ts[pos] = t
+	m.bySource[source] = ts
+	m.active++
 	return t.ID, nil
 }
 
 // Cancel aborts the downloader's active transfer, if any (peer churn).
 func (m *TransferManager) Cancel(downloader int) {
-	t, ok := m.byDown[downloader]
-	if !ok {
+	if !m.HasActive(downloader) {
 		return
 	}
-	m.remove(t)
+	m.remove(m.byDown[downloader])
 }
 
 // CancelBySource aborts every transfer served by source (source went
-// offline or stopped sharing).
+// offline or stopped sharing). It walks the dense per-source slice from the
+// back, so no defensive copy is needed while removing.
 func (m *TransferManager) CancelBySource(source int) {
-	for _, t := range append([]*Transfer(nil), m.bySource[source]...) {
-		m.remove(t)
+	if source < 0 || source >= len(m.bySource) {
+		return
+	}
+	for ts := m.bySource[source]; len(ts) > 0; ts = m.bySource[source] {
+		m.remove(ts[len(ts)-1])
 	}
 }
 
-// StepResult reports one step of transfer progress.
-type StepResult struct {
-	// Received[d] is the bandwidth peer d received this step — the B·UP_source
-	// term of the sharing utility.
-	Received map[int]float64
-	// Done lists transfers that completed this step.
-	Done []Completed
-}
-
-// Step advances every transfer by one time step. upShared(source) must
-// return the source's currently shared upload bandwidth; alloc divides it.
-// Transfers from sources that currently share no bandwidth stall (receive 0)
-// but stay active — the source may resume sharing later.
-func (m *TransferManager) Step(upShared func(source int) float64, alloc Allocator) StepResult {
+// Step advances every transfer by one time step, writing the outcome into
+// res (whose buffers it reuses). upShared(source) must return the source's
+// currently shared upload bandwidth; alloc divides it. Transfers from
+// sources that currently share no bandwidth stall (receive 0) but stay
+// active — the source may resume sharing later.
+//
+// Iteration order is deterministic: sources ascending, downloaders ascending
+// within a source — the same order the map-based predecessor produced by
+// sorting, now free because the dense structure is ordered.
+func (m *TransferManager) Step(upShared func(source int) float64, alloc Allocator, res *StepResult) {
 	m.step++
-	res := StepResult{Received: make(map[int]float64)}
-	// Deterministic iteration order over sources.
-	sources := make([]int, 0, len(m.bySource))
-	for s := range m.bySource {
-		sources = append(sources, s)
-	}
-	sort.Ints(sources)
-	for _, s := range sources {
+	res.reset(len(m.byDown))
+	for s := 0; s < len(m.bySource); s++ {
 		ts := m.bySource[s]
 		if len(ts) == 0 {
 			continue
@@ -160,25 +225,28 @@ func (m *TransferManager) Step(upShared func(source int) float64, alloc Allocato
 		if up < 0 {
 			up = 0
 		}
-		downloaders := m.Downloaders(s)
-		shares := alloc(s, downloaders)
-		if len(shares) != len(downloaders) {
-			panic(fmt.Sprintf("network: allocator returned %d shares for %d downloaders",
-				len(shares), len(downloaders)))
+		// Snapshot downloader ids into scratch: completing transfers mutate
+		// bySource[s] mid-loop.
+		if cap(m.downs) < len(ts) {
+			m.downs = make([]int, 0, 2*len(ts))
+			m.shares = make([]float64, 2*len(ts))
 		}
-		// Index transfers by downloader for this source.
-		byDown := make(map[int]*Transfer, len(ts))
+		m.downs = m.downs[:0]
 		for _, t := range ts {
-			byDown[t.Downloader] = t
+			m.downs = append(m.downs, t.Downloader)
 		}
-		for i, d := range downloaders {
+		shares := m.shares[:len(ts)]
+		clear(shares)
+		alloc(s, m.downs, shares)
+		for i, d := range m.downs {
 			bw := shares[i] * up
 			if bw <= 0 {
 				continue
 			}
-			t := byDown[d]
+			t := m.byDown[d]
 			t.Remaining -= bw
 			res.Received[d] += bw
+			res.Receipts = append(res.Receipts, Receipt{Downloader: d, Source: s, Amount: bw})
 			if t.Remaining <= 1e-12 {
 				res.Done = append(res.Done, Completed{
 					ID:         t.ID,
@@ -190,35 +258,32 @@ func (m *TransferManager) Step(upShared func(source int) float64, alloc Allocato
 			}
 		}
 	}
-	return res
 }
 
+// remove detaches t from both dense indexes, preserving the per-source
+// downloader ordering.
 func (m *TransferManager) remove(t *Transfer) {
-	delete(m.active, t.ID)
-	delete(m.byDown, t.Downloader)
+	m.byDown[t.Downloader] = nil
 	ts := m.bySource[t.Source]
 	for i, u := range ts {
 		if u.ID == t.ID {
-			ts[i] = ts[len(ts)-1]
+			copy(ts[i:], ts[i+1:])
+			ts[len(ts)-1] = nil
 			m.bySource[t.Source] = ts[:len(ts)-1]
 			break
 		}
 	}
-	if len(m.bySource[t.Source]) == 0 {
-		delete(m.bySource, t.Source)
-	}
+	m.active--
 }
 
 // EqualAllocator divides bandwidth equally among downloaders — the
 // no-incentive baseline of Figure 3.
-func EqualAllocator(_ int, downloaders []int) []float64 {
+func EqualAllocator(_ int, downloaders []int, shares []float64) {
 	if len(downloaders) == 0 {
-		return nil
+		return
 	}
-	shares := make([]float64, len(downloaders))
 	eq := 1 / float64(len(downloaders))
 	for i := range shares {
 		shares[i] = eq
 	}
-	return shares
 }

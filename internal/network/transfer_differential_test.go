@@ -1,0 +1,291 @@
+package network
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+// refTransfer and refManager re-implement the pre-dense, map-based
+// TransferManager semantics (sorted-source iteration, sorted downloaders per
+// source, per-step maps) as an executable specification. The differential
+// test below drives both implementations with identical operation sequences
+// and requires identical observable behavior.
+type refTransfer struct {
+	id         int
+	downloader int
+	source     int
+	remaining  float64
+	startStep  int
+}
+
+type refManager struct {
+	fileSize float64
+	nextID   int
+	step     int
+	active   map[int]*refTransfer
+	bySource map[int][]*refTransfer
+	byDown   map[int]*refTransfer
+}
+
+func newRefManager(fileSize float64) *refManager {
+	return &refManager{
+		fileSize: fileSize,
+		active:   make(map[int]*refTransfer),
+		bySource: make(map[int][]*refTransfer),
+		byDown:   make(map[int]*refTransfer),
+	}
+}
+
+func (m *refManager) start(downloader, source int) bool {
+	if downloader == source || m.byDown[downloader] != nil {
+		return false
+	}
+	m.nextID++
+	t := &refTransfer{
+		id: m.nextID, downloader: downloader, source: source,
+		remaining: m.fileSize, startStep: m.step,
+	}
+	m.active[t.id] = t
+	m.bySource[source] = append(m.bySource[source], t)
+	m.byDown[downloader] = t
+	return true
+}
+
+func (m *refManager) cancel(downloader int) {
+	if t := m.byDown[downloader]; t != nil {
+		m.remove(t)
+	}
+}
+
+func (m *refManager) cancelBySource(source int) {
+	for _, t := range append([]*refTransfer(nil), m.bySource[source]...) {
+		m.remove(t)
+	}
+}
+
+func (m *refManager) remove(t *refTransfer) {
+	delete(m.active, t.id)
+	delete(m.byDown, t.downloader)
+	ts := m.bySource[t.source]
+	for i, u := range ts {
+		if u.id == t.id {
+			ts[i] = ts[len(ts)-1]
+			m.bySource[t.source] = ts[:len(ts)-1]
+			break
+		}
+	}
+	if len(m.bySource[t.source]) == 0 {
+		delete(m.bySource, t.source)
+	}
+}
+
+// stepRef mirrors the old Step: returns the received map and the done list
+// in deterministic (source asc, downloader asc) order.
+func (m *refManager) stepRef(upShared func(int) float64, alloc Allocator) (map[int]float64, []Completed) {
+	m.step++
+	received := make(map[int]float64)
+	var done []Completed
+	sources := make([]int, 0, len(m.bySource))
+	for s := range m.bySource {
+		sources = append(sources, s)
+	}
+	sort.Ints(sources)
+	for _, s := range sources {
+		ts := m.bySource[s]
+		if len(ts) == 0 {
+			continue
+		}
+		up := upShared(s)
+		if up < 0 {
+			up = 0
+		}
+		downloaders := make([]int, len(ts))
+		for i, t := range ts {
+			downloaders[i] = t.downloader
+		}
+		sort.Ints(downloaders)
+		shares := make([]float64, len(downloaders))
+		alloc(s, downloaders, shares)
+		byDown := make(map[int]*refTransfer, len(ts))
+		for _, t := range ts {
+			byDown[t.downloader] = t
+		}
+		for i, d := range downloaders {
+			bw := shares[i] * up
+			if bw <= 0 {
+				continue
+			}
+			t := byDown[d]
+			t.remaining -= bw
+			received[d] += bw
+			if t.remaining <= 1e-12 {
+				done = append(done, Completed{
+					ID: t.id, Downloader: t.downloader, Source: t.source,
+					Steps: m.step - t.startStep,
+				})
+				m.remove(t)
+			}
+		}
+	}
+	return received, done
+}
+
+// TestTransferDenseMatchesMapReference drives the dense manager and the map
+// reference through long random schedules of start/cancel/source-cancel/step
+// operations (with stalling sources and a weighted allocator) and asserts
+// identical receipts, completions, ordering, and active sets throughout.
+func TestTransferDenseMatchesMapReference(t *testing.T) {
+	const (
+		peers    = 23
+		fileSize = 2.5
+		steps    = 400
+	)
+	for _, seed := range []uint64{1, 7, 42} {
+		rng := xrand.New(seed)
+		dense, err := NewTransferManager(fileSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefManager(fileSize)
+		// Source bandwidth varies per step; index by peer id, refreshed below.
+		up := make([]float64, peers)
+		upShared := func(s int) float64 {
+			if s < 0 || s >= peers {
+				return 0
+			}
+			return up[s]
+		}
+		// A weighted allocator exercising uneven, id-dependent splits.
+		alloc := func(source int, ds []int, shares []float64) {
+			total := 0.0
+			for i, d := range ds {
+				w := 1 + float64((d+source)%5)
+				shares[i] = w
+				total += w
+			}
+			for i := range shares {
+				shares[i] /= total
+			}
+		}
+		var res StepResult
+		for step := 0; step < steps; step++ {
+			// Random churn of operations before the step.
+			for k := 0; k < 4; k++ {
+				switch rng.Intn(4) {
+				case 0:
+					d, s := rng.Intn(peers), rng.Intn(peers)
+					_, errDense := dense.Start(d, s)
+					okRef := ref.start(d, s)
+					if (errDense == nil) != okRef {
+						t.Fatalf("seed %d step %d: Start(%d,%d) dense err=%v ref ok=%v",
+							seed, step, d, s, errDense, okRef)
+					}
+				case 1:
+					d := rng.Intn(peers)
+					dense.Cancel(d)
+					ref.cancel(d)
+				case 2:
+					s := rng.Intn(peers)
+					dense.CancelBySource(s)
+					ref.cancelBySource(s)
+				}
+			}
+			// Refresh per-source bandwidth: some sources stall at 0, one is
+			// negative to exercise the clamp.
+			for i := range up {
+				switch rng.Intn(4) {
+				case 0:
+					up[i] = 0
+				case 1:
+					up[i] = -1
+				default:
+					up[i] = rng.Float64() * 2
+				}
+			}
+			dense.Step(upShared, alloc, &res)
+			refReceived, refDone := ref.stepRef(upShared, alloc)
+			// Received must match entry-wise.
+			for d := 0; d < peers; d++ {
+				want := refReceived[d]
+				got := 0.0
+				if d < len(res.Received) {
+					got = res.Received[d]
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("seed %d step %d: Received[%d] = %v, want %v", seed, step, d, got, want)
+				}
+			}
+			for d, w := range refReceived {
+				if d >= len(res.Received) && w != 0 {
+					t.Fatalf("seed %d step %d: ref received %v for peer %d beyond dense bound",
+						seed, step, w, d)
+				}
+			}
+			// Receipts must be the positive entries in deterministic order.
+			seen := -1
+			for _, rc := range res.Receipts {
+				if rc.Amount <= 0 {
+					t.Fatalf("seed %d step %d: non-positive receipt %+v", seed, step, rc)
+				}
+				if math.Abs(refReceived[rc.Downloader]-rc.Amount) > 1e-12 {
+					t.Fatalf("seed %d step %d: receipt %+v disagrees with reference %v",
+						seed, step, rc, refReceived[rc.Downloader])
+				}
+				if rc.Source < seen {
+					t.Fatalf("seed %d step %d: receipts not in source order", seed, step)
+				}
+				seen = rc.Source
+			}
+			if len(res.Receipts) != len(refReceived) {
+				t.Fatalf("seed %d step %d: %d receipts, reference has %d receivers",
+					seed, step, len(res.Receipts), len(refReceived))
+			}
+			// Done must match exactly, including order.
+			if len(res.Done) != len(refDone) {
+				t.Fatalf("seed %d step %d: done %d vs ref %d", seed, step, len(res.Done), len(refDone))
+			}
+			for i := range res.Done {
+				if res.Done[i] != refDone[i] {
+					t.Fatalf("seed %d step %d: done[%d] = %+v, ref %+v",
+						seed, step, i, res.Done[i], refDone[i])
+				}
+			}
+			// Active sets must agree.
+			if dense.Active() != len(ref.active) {
+				t.Fatalf("seed %d step %d: active %d vs ref %d",
+					seed, step, dense.Active(), len(ref.active))
+			}
+			for d := 0; d < peers; d++ {
+				gotSrc, gotOK := dense.SourceOf(d)
+				refT := ref.byDown[d]
+				if gotOK != (refT != nil) {
+					t.Fatalf("seed %d step %d: HasActive(%d) mismatch", seed, step, d)
+				}
+				if refT != nil && gotSrc != refT.source {
+					t.Fatalf("seed %d step %d: SourceOf(%d) = %d, ref %d",
+						seed, step, d, gotSrc, refT.source)
+				}
+			}
+			// Per-source downloader lists must agree and be sorted.
+			for s := 0; s < peers; s++ {
+				got := dense.Downloaders(s)
+				want := make([]int, 0, len(ref.bySource[s]))
+				for _, rt := range ref.bySource[s] {
+					want = append(want, rt.downloader)
+				}
+				sort.Ints(want)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d: Downloaders(%d) = %v, want %v", seed, step, s, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d step %d: Downloaders(%d) = %v, want %v", seed, step, s, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -36,6 +36,13 @@ type Engine struct {
 	succVotes  []int
 	failVotes  []int
 
+	// Per-step scratch reused across steps so the hot loop allocates
+	// nothing: the sharer set (the paper's NS), their file weights for the
+	// demand-proportional source pick, and the transfer step outcome.
+	sharersBuf []int
+	weightsBuf []float64
+	stepRes    network.StepResult
+
 	step    int
 	metrics *collector // nil while not collecting
 }
@@ -71,6 +78,8 @@ func New(cfg Config) (*Engine, error) {
 		failEdits:  make([]int, cfg.Peers),
 		succVotes:  make([]int, cfg.Peers),
 		failVotes:  make([]int, cfg.Peers),
+		sharersBuf: make([]int, 0, cfg.Peers),
+		weightsBuf: make([]float64, 0, cfg.Peers),
 	}
 	nr, na, _ := cfg.Mix.Counts(cfg.Peers)
 	rmin := cfg.Params.RMin()
@@ -208,10 +217,11 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 	// demand the way real content popularity does.
 	sharers := e.sharers()
 	if len(sharers) > 0 {
-		weights := make([]float64, len(sharers))
-		for k, s := range sharers {
-			weights[k] = e.shareFiles[s]
+		weights := e.weightsBuf[:0]
+		for _, s := range sharers {
+			weights = append(weights, e.shareFiles[s])
 		}
+		e.weightsBuf = weights
 		p := e.cfg.DownloadDemand / float64(len(sharers))
 		if p > 1 {
 			p = 1
@@ -220,7 +230,11 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 			if !e.online[i] || e.tm.HasActive(i) || !e.rng.Bool(p) {
 				continue
 			}
-			src := sharers[e.rng.Choice(weights)]
+			pick := e.rng.Choice(weights)
+			if pick < 0 {
+				continue // every sharer offers zero files: nothing to fetch
+			}
+			src := sharers[pick]
 			if src == i {
 				continue // no self-downloads; skip this opportunity
 			}
@@ -231,19 +245,15 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 		}
 	}
 
-	// 4. Transfer progress under the scheme's allocation.
-	sourceOf := make(map[int]int)
-	for i := 0; i < n; i++ {
-		if s, ok := e.tm.SourceOf(i); ok {
-			sourceOf[i] = s
-		}
-	}
-	stepRes := e.tm.Step(e.upShared, e.scheme.Allocate)
-	for d, amount := range stepRes.Received {
-		e.scheme.RecordTransfer(d, sourceOf[d], amount)
+	// 4. Transfer progress under the scheme's allocation. The step result's
+	// receipts carry (downloader, source, amount) directly, so no
+	// source-lookup map is needed, and its buffers are reused across steps.
+	e.tm.Step(e.upShared, e.scheme.Allocate, &e.stepRes)
+	for _, rc := range e.stepRes.Receipts {
+		e.scheme.RecordTransfer(rc.Downloader, rc.Source, rc.Amount)
 	}
 	if e.metrics != nil {
-		for _, done := range stepRes.Done {
+		for _, done := range e.stepRes.Done {
 			e.metrics.downloads++
 			e.metrics.downloadSteps += done.Steps
 		}
@@ -266,13 +276,17 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 	}
 
 	// 6. Rewards, contribution accrual, learning.
-	received := stepRes.Received
+	received := e.stepRes.Received
 	e.scheme.EndStep()
 	for i := 0; i < n; i++ {
 		if !e.online[i] {
 			continue
 		}
-		us := e.cfg.Utility.SharingUtilityReceived(received[i], e.shareFiles[i], e.shareBW[i])
+		recv := 0.0
+		if i < len(received) {
+			recv = received[i]
+		}
+		us := e.cfg.Utility.SharingUtilityReceived(recv, e.shareFiles[i], e.shareBW[i])
 		if learn {
 			e.agents[i].LearnSharing(e.prevRS[i], e.shareAct[i], us, e.scheme.SharingScore(i))
 			// Conduct learners update only on steps where the corresponding
@@ -309,14 +323,16 @@ func (e *Engine) metricsStepDone() {
 }
 
 // sharers returns the ids of online peers currently offering files — the
-// paper's NS set.
+// paper's NS set. The returned slice aliases the engine's scratch buffer and
+// is valid until the next call.
 func (e *Engine) sharers() []int {
-	out := make([]int, 0, e.cfg.Peers)
+	out := e.sharersBuf[:0]
 	for i := 0; i < e.cfg.Peers; i++ {
 		if e.online[i] && e.shareFiles[i] > 0 {
 			out = append(out, i)
 		}
 	}
+	e.sharersBuf = out
 	return out
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"collabnet/internal/agent"
@@ -9,6 +10,9 @@ import (
 )
 
 func TestEngineDeterminism(t *testing.T) {
+	// Two fixed-seed runs must produce bit-identical Results — the whole
+	// buffer-reusing hot path (dense transfers, scratch allocators,
+	// streaming sampling) must not introduce any order or state dependence.
 	run := func() Result {
 		cfg := Quick()
 		cfg.Seed = 1234
@@ -23,12 +27,40 @@ func TestEngineDeterminism(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
-	if a.SharedArticles != b.SharedArticles || a.SharedBandwidth != b.SharedBandwidth {
-		t.Errorf("same seed produced different sharing: %v/%v vs %v/%v",
-			a.SharedArticles, a.SharedBandwidth, b.SharedArticles, b.SharedBandwidth)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different Results:\n%+v\nvs\n%+v", a, b)
 	}
-	if a.Downloads != b.Downloads || a.AcceptedGood != b.AcceptedGood {
-		t.Errorf("same seed produced different counts")
+}
+
+func TestEngineDeterminismAcrossSchemesAndChurn(t *testing.T) {
+	// Same property under every scheme and with churn active (churn
+	// exercises Cancel/CancelBySource on the dense transfer structure).
+	for _, kind := range []incentive.Kind{
+		incentive.KindNone, incentive.KindReputation,
+		incentive.KindTitForTat, incentive.KindKarma,
+	} {
+		run := func() Result {
+			cfg := Quick()
+			cfg.TrainSteps = 200
+			cfg.MeasureSteps = 150
+			cfg.Scheme = kind
+			cfg.ChurnProb = 0.02
+			cfg.FileSize = 5
+			cfg.Mix = Mixture{Rational: 0.5, Altruistic: 0.3, Irrational: 0.2}
+			cfg.Seed = 99
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed produced different Results:\n%+v\nvs\n%+v", kind, a, b)
+		}
 	}
 }
 

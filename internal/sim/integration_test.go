@@ -161,7 +161,8 @@ func TestIntegrationTFTDoesNotDifferentiateNonDirect(t *testing.T) {
 	if altID < 0 || irrID < 0 || source < 0 {
 		t.Fatal("setup: missing behaviors")
 	}
-	shares := eng.Scheme().Allocate(source, []int{altID, irrID})
+	shares := make([]float64, 2)
+	eng.Scheme().Allocate(source, []int{altID, irrID}, shares)
 	if shares[0] > 0.7 {
 		t.Errorf("TFT should not reward non-direct altruism: shares = %v", shares)
 	}

@@ -156,8 +156,11 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
-// Choice returns a uniformly random index weighted by w; w must contain at
-// least one positive weight. Negative weights are treated as zero.
+// Choice returns a random index weighted by w. Negative weights are treated
+// as zero. When no weight is positive (including an empty w) there is
+// nothing to choose and Choice returns -1 without consuming randomness —
+// callers on the simulation hot path (e.g. picking a download source when
+// every sharer offers zero files) check the sentinel and skip.
 func (s *Source) Choice(w []float64) int {
 	total := 0.0
 	for _, x := range w {
@@ -166,7 +169,7 @@ func (s *Source) Choice(w []float64) int {
 		}
 	}
 	if total <= 0 {
-		panic("xrand: Choice with no positive weights")
+		return -1
 	}
 	r := s.Float64() * total
 	acc := 0.0

@@ -203,12 +203,23 @@ func TestChoiceNegativeWeightsIgnored(t *testing.T) {
 			t.Fatalf("Choice picked index %d with negative weight", got)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Choice with no positive weights should panic")
+}
+
+func TestChoiceNoPositiveWeightsReturnsSentinel(t *testing.T) {
+	// The engine's download-source pick can see all-zero weights when every
+	// sharer offers 0 files; Choice must signal "nothing to choose" instead
+	// of panicking, and must not consume randomness doing so.
+	s := New(11)
+	ref := New(11)
+	for _, w := range [][]float64{nil, {}, {0, 0, 0}, {-1, 0, -3}} {
+		if got := s.Choice(w); got != -1 {
+			t.Fatalf("Choice(%v) = %d, want -1", w, got)
 		}
-	}()
-	s.Choice([]float64{0, -1})
+	}
+	// No randomness consumed: both streams must still agree.
+	if s.Uint64() != ref.Uint64() {
+		t.Error("Choice with no positive weights must not advance the stream")
+	}
 }
 
 func TestNormFloat64Moments(t *testing.T) {
