@@ -1,11 +1,12 @@
 # Collabnet build/test/bench entry points. `make check` is what CI (and the
 # next PR) should run; `make bench` records the benchmark trajectory file
-# BENCH_<n>.json (bump BENCH_N per PR to keep history).
+# BENCH_<n>.json (bump BENCH_N per PR to keep history), and `make
+# bench-diff` gates the two newest trajectory files against each other.
 
 GO      ?= go
-BENCH_N ?= 1
+BENCH_N ?= 2
 
-.PHONY: build test vet fmt-check check bench clean
+.PHONY: build test vet fmt-check check bench bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -22,14 +23,38 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build vet fmt-check test
+check: build vet fmt-check test bench-diff
 
-# bench runs every benchmark once with allocation stats and converts the raw
-# output into BENCH_$(BENCH_N).json for cross-PR comparison.
+# bench runs every benchmark with allocation stats and converts the raw
+# output into BENCH_$(BENCH_N).json for cross-PR comparison. BENCH_COUNT>1
+# records repeated samples per benchmark; bench-diff collapses them to
+# min-of-runs, which sheds scheduler noise on busy machines.
+BENCH_COUNT ?= 1
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=1 . > bench.out
+	$(GO) test -run '^$$' -bench . -benchmem -count=$(BENCH_COUNT) . > bench.out
 	@cat bench.out
 	$(GO) run ./cmd/collabsim -benchparse bench.out -benchjson BENCH_$(BENCH_N).json
 
+# bench-diff compares the two newest BENCH_*.json trajectory files and
+# fails on a >20% ns/op regression in any benchmark they share. With fewer
+# than two record files it reports and passes, so `make check` works on a
+# fresh checkout before the first `make bench` of a new PR. The records
+# compare wall-clock, so they are only meaningful when recorded on
+# comparable hardware — the intended flow is that each PR runs
+# `make bench BENCH_N=<pr>` in the same CI environment as its predecessor
+# to record the current tree before `make check` gates it; the diff only
+# sees recorded files, so a PR that skips the recording step is not gated.
+bench-diff:
+	@files=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); \
+	new=$$(echo "$$files" | tail -1); \
+	old=$$(echo "$$files" | tail -2 | head -1); \
+	if [ -z "$$new" ] || [ "$$new" = "$$old" ]; then \
+		echo "bench-diff: fewer than two BENCH_*.json files, nothing to compare"; \
+	else \
+		$(GO) run ./cmd/collabsim -benchbase $$old -benchdiff $$new; \
+	fi
+
+# clean removes scratch output only: BENCH_*.json are version-controlled
+# trajectory records the bench-diff gate depends on, so they stay.
 clean:
-	rm -f bench.out BENCH_*.json
+	rm -f bench.out

@@ -221,20 +221,27 @@ func BenchmarkTransferStep(b *testing.B) {
 	}
 }
 
-func BenchmarkEigenTrust(b *testing.B) {
-	rng := xrand.New(3)
-	const n = 100
+// benchTrustGraph builds the random trust graph the EigenTrust benchmarks
+// share.
+func benchTrustGraph(b *testing.B, n int, density float64, seed uint64) *reputation.TrustGraph {
+	b.Helper()
+	rng := xrand.New(seed)
 	g, err := reputation.NewTrustGraph(n)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if i != j && rng.Bool(0.1) {
+			if i != j && rng.Bool(density) {
 				g.SetTrust(i, j, rng.Float64()*5)
 			}
 		}
 	}
+	return g
+}
+
+func BenchmarkEigenTrust(b *testing.B) {
+	g := benchTrustGraph(b, 100, 0.1, 3)
 	cfg := reputation.DefaultEigenTrust()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -243,6 +250,57 @@ func BenchmarkEigenTrust(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEigenTrustVariants compares the dense reference against the
+// sparse path at n=400, density 0.08 (the parallel benchmark's graph): the
+// CSR variants must beat dense by well over the 3× acceptance bar, and the
+// workspace-reuse variant must report 0 allocs/op.
+func BenchmarkEigenTrustVariants(b *testing.B) {
+	g := benchTrustGraph(b, 400, 0.08, 3)
+	cfg := reputation.DefaultEigenTrust()
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := reputation.EigenTrustDense(g, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := reputation.EigenTrust(g, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csr-reuse", func(b *testing.B) {
+		ws := reputation.NewEigenTrustWorkspace()
+		if _, err := ws.Compute(g, cfg); err != nil { // warm the buffers
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Compute(g, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csr-reuse-parallel", func(b *testing.B) {
+		ws := reputation.NewEigenTrustWorkspace()
+		if _, err := ws.ComputeParallel(g, cfg, 4); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.ComputeParallel(g, cfg, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkMaxFlow(b *testing.B) {
@@ -357,19 +415,7 @@ func init() {
 }
 
 func BenchmarkEigenTrustParallel(b *testing.B) {
-	rng := xrand.New(3)
-	const n = 400
-	g, err := reputation.NewTrustGraph(n)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j && rng.Bool(0.08) {
-				g.SetTrust(i, j, rng.Float64()*5)
-			}
-		}
-	}
+	g := benchTrustGraph(b, 400, 0.08, 3)
 	cfg := reputation.DefaultEigenTrust()
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

@@ -98,3 +98,113 @@ func writeBenchJSON(path string, recs []benchRecord) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+func readBenchJSON(path string) ([]benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return recs, nil
+}
+
+// benchDiff is one shared benchmark's base-to-current comparison.
+type benchDiff struct {
+	name       string
+	baseNs     float64
+	curNs      float64
+	ratio      float64 // curNs / baseNs
+	regression bool
+}
+
+// minNsByName indexes records by name; duplicate names (a `-count=N` run)
+// collapse to their minimum ns/op. Min-of-runs is the standard way to shed
+// scheduler and turbo noise from wall-clock benchmarks, so recording with
+// `make bench BENCH_COUNT=3` makes the regression gate far less flaky than
+// a single sample.
+func minNsByName(recs []benchRecord) (map[string]float64, []string) {
+	byName := make(map[string]float64, len(recs))
+	var order []string
+	for _, r := range recs {
+		prev, ok := byName[r.Name]
+		if !ok {
+			order = append(order, r.Name)
+			byName[r.Name] = r.NsPerOp
+			continue
+		}
+		if r.NsPerOp < prev {
+			byName[r.Name] = r.NsPerOp
+		}
+	}
+	return byName, order
+}
+
+// diffBenchRecords pairs benchmarks by name (min-of-runs on both sides) and
+// flags every shared one whose ns/op grew by more than threshold (0.2 =
+// +20%). Benchmarks present on only one side are ignored — additions and
+// removals are not regressions.
+func diffBenchRecords(base, cur []benchRecord, threshold float64) []benchDiff {
+	baseNs, _ := minNsByName(base)
+	curNs, order := minNsByName(cur)
+	var diffs []benchDiff
+	for _, name := range order {
+		b, ok := baseNs[name]
+		if !ok || b <= 0 {
+			continue
+		}
+		c := curNs[name]
+		ratio := c / b
+		diffs = append(diffs, benchDiff{
+			name:       name,
+			baseNs:     b,
+			curNs:      c,
+			ratio:      ratio,
+			regression: ratio > 1+threshold,
+		})
+	}
+	return diffs
+}
+
+// diffBenchFiles compares two BENCH_*.json trajectory files and errors when
+// any shared benchmark regressed by more than threshold — the `make
+// bench-diff` CI gate.
+func diffBenchFiles(basePath, curPath string, threshold float64) error {
+	if threshold < 0 {
+		return fmt.Errorf("bench-diff threshold must be >= 0, got %v", threshold)
+	}
+	base, err := readBenchJSON(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readBenchJSON(curPath)
+	if err != nil {
+		return err
+	}
+	diffs := diffBenchRecords(base, cur, threshold)
+	if len(diffs) == 0 {
+		fmt.Printf("bench-diff: no shared benchmarks between %s and %s\n", basePath, curPath)
+		return nil
+	}
+	regressions := 0
+	for _, d := range diffs {
+		mark := "ok  "
+		if d.regression {
+			mark = "FAIL"
+			regressions++
+		}
+		fmt.Printf("%s %-60s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
+			mark, d.name, d.baseNs, d.curNs, 100*(d.ratio-1))
+	}
+	fmt.Printf("bench-diff: %d shared benchmarks, %d regression(s) beyond +%.0f%% (%s vs %s)\n",
+		len(diffs), regressions, 100*threshold, basePath, curPath)
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", regressions, 100*threshold)
+	}
+	return nil
+}

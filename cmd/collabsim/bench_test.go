@@ -75,6 +75,108 @@ func TestParseBenchFileRejectsEmpty(t *testing.T) {
 	}
 }
 
+func TestDiffBenchRecords(t *testing.T) {
+	base := []benchRecord{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+		{Name: "BenchmarkZero", NsPerOp: 0},
+	}
+	cur := []benchRecord{
+		{Name: "BenchmarkA", NsPerOp: 119},  // +19%: within threshold
+		{Name: "BenchmarkB", NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkNew", NsPerOp: 10}, // unshared: ignored
+		{Name: "BenchmarkZero", NsPerOp: 5}, // zero baseline: ignored
+	}
+	diffs := diffBenchRecords(base, cur, 0.20)
+	if len(diffs) != 2 {
+		t.Fatalf("want 2 shared benchmarks, got %d: %+v", len(diffs), diffs)
+	}
+	byName := map[string]benchDiff{}
+	for _, d := range diffs {
+		byName[d.name] = d
+	}
+	if d := byName["BenchmarkA"]; d.regression {
+		t.Errorf("+19%% must pass at a 20%% threshold: %+v", d)
+	}
+	if d := byName["BenchmarkB"]; !d.regression {
+		t.Errorf("+30%% must fail at a 20%% threshold: %+v", d)
+	}
+}
+
+func TestDiffBenchRecordsMinOfRuns(t *testing.T) {
+	// -count=N recordings repeat each name; the diff must gate on the
+	// fastest sample from each side, so one noisy run cannot fail the gate.
+	base := []benchRecord{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkA", NsPerOp: 95},
+		{Name: "BenchmarkA", NsPerOp: 180}, // outlier
+	}
+	cur := []benchRecord{
+		{Name: "BenchmarkA", NsPerOp: 240}, // outlier
+		{Name: "BenchmarkA", NsPerOp: 101},
+	}
+	diffs := diffBenchRecords(base, cur, 0.20)
+	if len(diffs) != 1 {
+		t.Fatalf("want 1 shared benchmark, got %+v", diffs)
+	}
+	d := diffs[0]
+	if d.baseNs != 95 || d.curNs != 101 {
+		t.Fatalf("min-of-runs not applied: %+v", d)
+	}
+	if d.regression {
+		t.Errorf("101 vs 95 is +6%%, must pass: %+v", d)
+	}
+}
+
+func TestDiffBenchFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, recs []benchRecord) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := writeBenchJSON(path, recs); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("BENCH_1.json", []benchRecord{
+		{Name: "BenchmarkA", Runs: 10, NsPerOp: 100},
+		{Name: "BenchmarkB", Runs: 10, NsPerOp: 200},
+	})
+	ok := write("BENCH_2.json", []benchRecord{
+		{Name: "BenchmarkA", Runs: 10, NsPerOp: 90},
+		{Name: "BenchmarkB", Runs: 10, NsPerOp: 235}, // +17.5%
+	})
+	bad := write("BENCH_3.json", []benchRecord{
+		{Name: "BenchmarkA", Runs: 10, NsPerOp: 500},
+	})
+	disjoint := write("BENCH_4.json", []benchRecord{
+		{Name: "BenchmarkRenamed", Runs: 10, NsPerOp: 1},
+	})
+	if err := diffBenchFiles(base, ok, 0.20); err != nil {
+		t.Errorf("within-threshold diff should pass: %v", err)
+	}
+	if err := diffBenchFiles(base, bad, 0.20); err == nil {
+		t.Error("5x regression should fail the gate")
+	}
+	if err := diffBenchFiles(base, disjoint, 0.20); err != nil {
+		t.Errorf("disjoint benchmark sets should warn, not fail: %v", err)
+	}
+	if err := diffBenchFiles(base, ok, -0.5); err == nil {
+		t.Error("negative threshold should be rejected, not fail everything")
+	}
+	if err := diffBenchFiles(filepath.Join(dir, "missing.json"), ok, 0.20); err == nil {
+		t.Error("missing baseline file should error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffBenchFiles(base, empty, 0.20); err == nil {
+		t.Error("empty record list should error")
+	}
+}
+
 // replaceTabs turns the literal two-character \t sequences of the test
 // fixture into real tabs, keeping the fixture readable.
 func replaceTabs(s string) string {

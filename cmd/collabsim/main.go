@@ -10,6 +10,7 @@
 //	collabsim -ablation shape
 //	collabsim -fig 4 -benchjson BENCH_1.json   # also record wall-clock JSON
 //	collabsim -benchparse bench.out -benchjson BENCH_1.json
+//	collabsim -benchbase BENCH_1.json -benchdiff BENCH_2.json   # CI regression gate
 //	collabsim -list
 //
 // Figures are rendered as ASCII charts; -csv writes the raw series next to
@@ -42,15 +43,30 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines for sweeps (0 = GOMAXPROCS)")
 		benchJSON  = flag.String("benchjson", "", "write benchmark records as JSON to this file")
 		benchParse = flag.String("benchparse", "", "parse `go test -bench` output from this file into -benchjson (default BENCH_1.json)")
+		benchBase  = flag.String("benchbase", "", "baseline BENCH_*.json for -benchdiff")
+		benchDiff  = flag.String("benchdiff", "", "compare this BENCH_*.json against -benchbase; exit nonzero on regression")
+		benchThr   = flag.Float64("benchthreshold", 0.20, "ns/op regression threshold for -benchdiff (0.20 = +20%)")
 		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
+
+	if *benchDiff != "" || *benchBase != "" {
+		if *benchDiff == "" || *benchBase == "" {
+			fmt.Fprintln(os.Stderr, "collabsim: -benchdiff and -benchbase must be given together")
+			os.Exit(2)
+		}
+		if err := diffBenchFiles(*benchBase, *benchDiff, *benchThr); err != nil {
+			fmt.Fprintln(os.Stderr, "collabsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("figures:    -fig 1 … -fig 7  (Figures 1-7 of the paper)")
 		fmt.Println("ablations:  -ablation shape | temperature | voting | punishment | scheme | histogram")
 		fmt.Println("scales:     -scale quick (reduced) | -scale paper (full 100 peers, 10k training steps)")
-		fmt.Println("tooling:    -workers N | -benchjson FILE | -benchparse FILE")
+		fmt.Println("tooling:    -workers N | -benchjson FILE | -benchparse FILE | -benchbase OLD -benchdiff NEW")
 		return
 	}
 

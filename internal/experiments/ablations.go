@@ -149,9 +149,10 @@ func AblationPunishment(sc Scale) (Figure, error) {
 	return fig, nil
 }
 
-// AblationScheme compares all four incentive schemes on sharing levels —
+// AblationScheme compares all five incentive schemes on sharing levels —
 // including the tit-for-tat baseline the paper argues fails for non-direct
-// relations, and the trade-based karma scheme.
+// relations, the trade-based karma scheme, and the EigenTrust global-trust
+// scheme of Section II-C.
 func AblationScheme(sc Scale) (Figure, error) {
 	if err := sc.Validate(); err != nil {
 		return Figure{}, err
@@ -165,6 +166,7 @@ func AblationScheme(sc Scale) (Figure, error) {
 	for _, kind := range []incentive.Kind{
 		incentive.KindNone, incentive.KindReputation,
 		incentive.KindTitForTat, incentive.KindKarma,
+		incentive.KindEigenTrust,
 	} {
 		cfg := sim.Default()
 		cfg.Peers = sc.Peers

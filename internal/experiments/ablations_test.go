@@ -96,8 +96,8 @@ func TestAblationScheme(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Series) != 4 {
-		t.Fatalf("want 4 schemes, got %d", len(fig.Series))
+	if len(fig.Series) != 5 {
+		t.Fatalf("want 5 schemes, got %d", len(fig.Series))
 	}
 	for _, s := range fig.Series {
 		for _, p := range s.Points {

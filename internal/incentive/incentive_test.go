@@ -310,7 +310,7 @@ func TestKarmaValidationAndReset(t *testing.T) {
 }
 
 func TestNewFactory(t *testing.T) {
-	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma} {
+	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma, KindEigenTrust} {
 		s, err := New(kind, 5, core.Default(), true)
 		if err != nil {
 			t.Fatalf("New(%v): %v", kind, err)
@@ -330,7 +330,7 @@ func TestNewFactory(t *testing.T) {
 }
 
 func TestSchemesHandleEmptyDownloaderSet(t *testing.T) {
-	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma} {
+	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma, KindEigenTrust} {
 		s, _ := New(kind, 3, core.Default(), true)
 		s.Allocate(0, nil, nil) // must be a safe no-op
 	}
@@ -339,7 +339,7 @@ func TestSchemesHandleEmptyDownloaderSet(t *testing.T) {
 func TestSchemesAllocateIntoReusedBuffer(t *testing.T) {
 	// The transfer manager hands every scheme the same scratch buffer each
 	// step; stale contents from a previous (larger) call must never leak.
-	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma} {
+	for _, kind := range []Kind{KindNone, KindReputation, KindTitForTat, KindKarma, KindEigenTrust} {
 		s, _ := New(kind, 5, core.Default(), true)
 		buf := make([]float64, 5)
 		s.Allocate(0, []int{1, 2, 3, 4}, buf[:4])

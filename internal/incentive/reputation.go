@@ -211,6 +211,8 @@ func New(kind Kind, n int, p core.Params, weightedVoting bool) (Scheme, error) {
 		return NewTitForTat(n)
 	case KindKarma:
 		return NewKarma(n, DefaultKarmaConfig())
+	case KindEigenTrust:
+		return NewGlobalTrust(n, DefaultGlobalTrustConfig())
 	default:
 		return nil, fmt.Errorf("incentive: unknown scheme kind %d", int(kind))
 	}

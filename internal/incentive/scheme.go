@@ -1,5 +1,5 @@
 // Package incentive defines the pluggable incentive-scheme interface the
-// simulation engine runs against, and its four implementations:
+// simulation engine runs against, and its five implementations:
 //
 //   - Reputation — the paper's scheme (Section III), wrapping internal/core.
 //   - None — the no-incentive baseline of Figure 3: equal bandwidth split,
@@ -9,6 +9,10 @@
 //   - Karma — a trade-based scheme in the spirit of Off-line Karma
 //     (Section II-B1): a conserved currency earned by uploading and spent
 //     by downloading.
+//   - GlobalTrust — EigenTrust global reputation (Section II-C): transfers
+//     become local-trust statements, the damped principal eigenvector of
+//     the normalized trust matrix is recomputed on a batch cadence through
+//     a reusable sparse workspace, and bandwidth follows global trust.
 package incentive
 
 import "fmt"
@@ -75,6 +79,7 @@ const (
 	KindReputation
 	KindTitForTat
 	KindKarma
+	KindEigenTrust
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +93,8 @@ func (k Kind) String() string {
 		return "tit-for-tat"
 	case KindKarma:
 		return "karma"
+	case KindEigenTrust:
+		return "eigentrust"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

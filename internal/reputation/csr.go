@@ -1,0 +1,265 @@
+package reputation
+
+import "math"
+
+// CSR is the normalized local-trust matrix C in compressed sparse row form,
+// kept in two mirrored layouts:
+//
+//   - forward (source-major): rowPtr/colIdx/val hold row i's normalized
+//     trust c_ij = w_ij/Σ_k w_ik with column indices strictly ascending.
+//     This is the layout row-oriented consumers and the differential tests
+//     read.
+//   - transposed (destination-major): tRowPtr/tColIdx/tVal hold the same
+//     entries grouped by destination, with source indices strictly
+//     ascending. The power iteration next = C^T·t is a gather over this
+//     layout: every output component is one contiguous dot product, which
+//     parallelizes over destination ranges without scatter scratch vectors
+//     and — because each component's accumulation order is fixed by the
+//     layout, not the worker partition — yields bit-identical results for
+//     every worker count.
+//
+// tPos[k] is the transpose slot of forward entry k, so a value-only refresh
+// can renormalize both layouts in one pass. dangling lists the rows with no
+// outgoing trust (ascending); their walk mass is redistributed analytically
+// by the iteration instead of being stored as explicit rows.
+//
+// Construction never sorts: the forward layout is produced by scattering the
+// graph twice (source→transpose→forward), and each scatter preserves the
+// ascending order of the outer loop, so both layouts come out sorted in
+// O(n + nnz) regardless of the graph's map iteration order. All buffers are
+// reused across Rebuild/Refresh calls; once capacities have grown to the
+// graph's size, rebuilding allocates nothing.
+type CSR struct {
+	n int
+	// Forward layout.
+	rowPtr []int
+	colIdx []int32
+	val    []float64
+	// Transposed layout.
+	tRowPtr []int
+	tColIdx []int32
+	tVal    []float64
+	// tPos maps forward entry k to its transpose slot.
+	tPos []int
+	// dangling rows (no outgoing trust), ascending.
+	dangling []int32
+	// cur is the scatter-cursor scratch, reused by Rebuild.
+	cur []int
+}
+
+// NewCSR builds the CSR form of g's normalized local-trust matrix.
+func NewCSR(g *TrustGraph) *CSR {
+	c := &CSR{}
+	c.Rebuild(g)
+	return c
+}
+
+// Len returns the number of peers (matrix dimension).
+func (c *CSR) Len() int { return c.n }
+
+// NNZ returns the number of stored (positive, normalized) trust entries.
+func (c *CSR) NNZ() int { return len(c.val) }
+
+// Dangling returns a copy of the dangling-row list (peers with no outgoing
+// trust), ascending.
+func (c *CSR) Dangling() []int {
+	out := make([]int, len(c.dangling))
+	for i, r := range c.dangling {
+		out[i] = int(r)
+	}
+	return out
+}
+
+// Dense materializes the normalized matrix as a dense n×n slice-of-rows
+// (dangling rows are all-zero). Intended for tests and debugging.
+func (c *CSR) Dense() [][]float64 {
+	m := make([][]float64, c.n)
+	for i := range m {
+		m[i] = make([]float64, c.n)
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			m[i][c.colIdx[k]] = c.val[k]
+		}
+	}
+	return m
+}
+
+// Row calls fn for every normalized entry of row i in ascending column
+// order.
+func (c *CSR) Row(i int, fn func(j int, v float64)) {
+	if i < 0 || i >= c.n {
+		return
+	}
+	for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+		fn(int(c.colIdx[k]), c.val[k])
+	}
+}
+
+// Rebuild reconstructs both layouts from g, reusing every buffer whose
+// capacity suffices. Rows are normalized with their entries summed in
+// ascending column order, so the stored values are bit-reproducible for any
+// map iteration order.
+func (c *CSR) Rebuild(g *TrustGraph) {
+	n := g.Len()
+	if n > math.MaxInt32 {
+		// int32 column indices bound the representation; graphs beyond
+		// 2^31 peers are out of scope for this reproduction.
+		panic("reputation: CSR supports at most 2^31-1 peers")
+	}
+	c.n = n
+	c.rowPtr = growInts(c.rowPtr, n+1)
+	c.tRowPtr = growInts(c.tRowPtr, n+1)
+	c.cur = growInts(c.cur, n)
+	c.dangling = c.dangling[:0]
+
+	// Pass 1: out-degrees into rowPtr[i+1], in-degrees into tRowPtr[j+1].
+	for i := 0; i <= n; i++ {
+		c.rowPtr[i] = 0
+		c.tRowPtr[i] = 0
+	}
+	nnz := 0
+	for i := 0; i < n; i++ {
+		deg := 0
+		for j, w := range g.edges[i] {
+			if w > 0 {
+				deg++
+				c.tRowPtr[j+1]++
+			}
+		}
+		c.rowPtr[i+1] = deg
+		nnz += deg
+		if deg == 0 {
+			c.dangling = append(c.dangling, int32(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.rowPtr[i+1] += c.rowPtr[i]
+		c.tRowPtr[i+1] += c.tRowPtr[i]
+	}
+	c.colIdx = growInt32s(c.colIdx, nnz)
+	c.val = growFloats(c.val, nnz)
+	c.tColIdx = growInt32s(c.tColIdx, nnz)
+	c.tVal = growFloats(c.tVal, nnz)
+	c.tPos = growInts(c.tPos, nnz)
+
+	// Pass 2: scatter edges into the transpose. The outer loop runs sources
+	// ascending and each source contributes at most one entry per
+	// destination, so every transpose row ends up sorted by source — the
+	// unordered map walk within a row cannot reorder it.
+	copy(c.cur, c.tRowPtr[:n])
+	for i := 0; i < n; i++ {
+		for j, w := range g.edges[i] {
+			if w > 0 {
+				s := c.cur[j]
+				c.cur[j] = s + 1
+				c.tColIdx[s] = int32(i)
+				c.tVal[s] = w // raw weight; normalized in pass 4
+			}
+		}
+	}
+
+	// Pass 3: scatter the transpose back into the forward layout (sorting
+	// it by the same argument) and record the slot mapping.
+	copy(c.cur, c.rowPtr[:n])
+	for j := 0; j < n; j++ {
+		for s := c.tRowPtr[j]; s < c.tRowPtr[j+1]; s++ {
+			i := c.tColIdx[s]
+			k := c.cur[i]
+			c.cur[i] = k + 1
+			c.colIdx[k] = int32(j)
+			c.val[k] = c.tVal[s]
+			c.tPos[k] = s
+		}
+	}
+
+	// Pass 4: normalize each row, accumulating the divisor in ascending
+	// column order, and mirror the result into the transpose.
+	c.normalizeFromRaw()
+}
+
+// normalizeFromRaw divides each forward row (currently holding raw weights)
+// by its ascending-order sum and writes the normalized values into both
+// layouts.
+func (c *CSR) normalizeFromRaw() {
+	for i := 0; i < c.n; i++ {
+		lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+		sum := 0.0
+		for k := lo; k < hi; k++ {
+			sum += c.val[k]
+		}
+		for k := lo; k < hi; k++ {
+			v := c.val[k] / sum
+			c.val[k] = v
+			c.tVal[c.tPos[k]] = v
+		}
+	}
+}
+
+// Refresh incrementally updates the matrix from g. When g's sparsity
+// pattern still matches the stored structure (the common case while trust
+// values merely accumulate), only the values are renormalized — no
+// allocation, no scatter — and Refresh reports true. Any structural change
+// (different size, new or removed edges) falls back to a full Rebuild and
+// reports false. Either way the CSR matches g on return.
+func (c *CSR) Refresh(g *TrustGraph) bool {
+	if g.Len() != c.n {
+		c.Rebuild(g)
+		return false
+	}
+	for i := 0; i < c.n; i++ {
+		lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+		row := g.edges[i]
+		if len(row) != hi-lo {
+			c.Rebuild(g)
+			return false
+		}
+		sum := 0.0
+		for k := lo; k < hi; k++ {
+			w := row[int(c.colIdx[k])]
+			if w <= 0 { // edge vanished (or was never there)
+				c.Rebuild(g)
+				return false
+			}
+			c.val[k] = w
+			sum += w
+		}
+		for k := lo; k < hi; k++ {
+			v := c.val[k] / sum
+			c.val[k] = v
+			c.tVal[c.tPos[k]] = v
+		}
+	}
+	return true
+}
+
+// danglingMass sums t over the dangling rows in ascending order — the walk
+// mass the iteration redistributes to the pre-trust distribution.
+func (c *CSR) danglingMass(t []float64) float64 {
+	dm := 0.0
+	for _, i := range c.dangling {
+		dm += t[i]
+	}
+	return dm
+}
+
+// growInts returns s resized to length n, reusing its backing array when
+// the capacity suffices. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -3,7 +3,6 @@ package reputation
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // EigenTrustConfig parameterizes the EigenTrust computation (Kamvar,
@@ -31,59 +30,124 @@ func DefaultEigenTrust() EigenTrustConfig {
 	return EigenTrustConfig{Damping: 0.15, Epsilon: 1e-10, MaxIter: 200}
 }
 
+// validate reports the first violated constraint for an n-peer graph.
+func (cfg EigenTrustConfig) validate(n int) error {
+	if cfg.Damping < 0 || cfg.Damping >= 1 {
+		return fmt.Errorf("reputation: damping must be in [0,1), got %v", cfg.Damping)
+	}
+	if cfg.Epsilon <= 0 {
+		return fmt.Errorf("reputation: epsilon must be > 0, got %v", cfg.Epsilon)
+	}
+	if cfg.MaxIter <= 0 {
+		return fmt.Errorf("reputation: MaxIter must be > 0, got %d", cfg.MaxIter)
+	}
+	for k, id := range cfg.PreTrusted {
+		if id < 0 || id >= n {
+			return fmt.Errorf("reputation: pre-trusted peer %d out of range [0,%d)", id, n)
+		}
+		// A duplicate would make the pre-trust vector sum to less than 1
+		// (fillPreTrust overwrites, it does not add) and silently skew the
+		// teleportation. Pre-trusted sets are small, so the quadratic scan
+		// is cheaper than an allocating set.
+		for _, prev := range cfg.PreTrusted[:k] {
+			if prev == id {
+				return fmt.Errorf("reputation: pre-trusted peer %d listed twice", id)
+			}
+		}
+	}
+	return nil
+}
+
+// fillPreTrust writes the pre-trust distribution p into the caller's buffer
+// (uniform over the pre-trusted set, or over everyone when the set is
+// empty). The configuration must already be validated.
+func (cfg EigenTrustConfig) fillPreTrust(p []float64) {
+	for i := range p {
+		p[i] = 0
+	}
+	if len(cfg.PreTrusted) > 0 {
+		share := 1 / float64(len(cfg.PreTrusted))
+		for _, id := range cfg.PreTrusted {
+			p[id] = share
+		}
+		return
+	}
+	u := 1 / float64(len(p))
+	for i := range p {
+		p[i] = u
+	}
+}
+
 // EigenTrust computes the global trust vector t = (C^T)^∞ applied to the
 // pre-trust distribution: the left principal eigenvector of the normalized
 // local-trust matrix C, with teleportation for convergence and collusion
 // resistance. The result is a probability distribution over peers (sums
 // to 1). An error is reported for invalid configurations.
+//
+// Each power iteration is an O(nnz) gather over a CSR form of C built once
+// per call; callers that recompute trust repeatedly over an evolving graph
+// should hold an EigenTrustWorkspace instead, which reuses the CSR and all
+// iteration buffers across calls.
 func EigenTrust(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
+	return NewEigenTrustWorkspace().Compute(g, cfg)
+}
+
+// EigenTrustDense computes the same global trust vector from an explicit
+// dense n×n matrix. It exists as the O(n²)-per-iteration differential
+// reference the test suite pins the sparse path against: every arithmetic
+// operation on a nonzero entry happens in the same order as in the CSR
+// gather (rows normalized by their ascending-column sum, components
+// accumulated in ascending source order, dangling and convergence sums in
+// index order), and zero entries only ever contribute exact +0 additions —
+// so the results are bit-identical, not merely close.
+func EigenTrustDense(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
 	n := g.Len()
-	if cfg.Damping < 0 || cfg.Damping >= 1 {
-		return nil, fmt.Errorf("reputation: damping must be in [0,1), got %v", cfg.Damping)
+	if err := cfg.validate(n); err != nil {
+		return nil, err
 	}
-	if cfg.Epsilon <= 0 {
-		return nil, fmt.Errorf("reputation: epsilon must be > 0, got %v", cfg.Epsilon)
-	}
-	if cfg.MaxIter <= 0 {
-		return nil, fmt.Errorf("reputation: MaxIter must be > 0, got %d", cfg.MaxIter)
-	}
-	// Pre-trust distribution p.
 	p := make([]float64, n)
-	if len(cfg.PreTrusted) > 0 {
-		for _, id := range cfg.PreTrusted {
-			if id < 0 || id >= n {
-				return nil, fmt.Errorf("reputation: pre-trusted peer %d out of range [0,%d)", id, n)
+	cfg.fillPreTrust(p)
+
+	// Dense normalized matrix; dangling rows stay all-zero and are listed
+	// separately, exactly like the CSR's analytic handling.
+	m := make([][]float64, n)
+	var dangling []int
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		g.OutEdges(i, func(j int, w float64) {
+			if w > 0 {
+				row[j] = w
 			}
-			p[id] = 1 / float64(len(cfg.PreTrusted))
+		})
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += row[j]
 		}
-	} else {
-		for i := range p {
-			p[i] = 1 / float64(n)
+		if sum == 0 {
+			dangling = append(dangling, i)
+		} else {
+			for j := 0; j < n; j++ {
+				row[j] = row[j] / sum
+			}
 		}
+		m[i] = row
 	}
-	// Precompute normalized rows once, as sorted edge lists so the
-	// floating-point accumulation order is deterministic run-to-run
-	// (map iteration order is not).
-	rows := normalizedRows(g)
+
+	a := cfg.Damping
+	om := 1 - a
 	t := append([]float64(nil), p...)
 	next := make([]float64, n)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		for j := range next {
-			next[j] = 0
-		}
-		dangling := 0.0
-		for i := 0; i < n; i++ {
-			if rows[i] == nil {
-				// Peers with no outgoing trust defer entirely to p.
-				dangling += t[i]
-				continue
-			}
-			for _, e := range rows[i] {
-				next[e.to] += t[i] * e.c
-			}
+		dm := 0.0
+		for _, i := range dangling {
+			dm += t[i]
 		}
 		for j := 0; j < n; j++ {
-			next[j] = (1-cfg.Damping)*(next[j]+dangling*p[j]) + cfg.Damping*p[j]
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += t[i] * m[i][j]
+			}
+			next[j] = om*(s+dm*p[j]) + a*p[j]
 		}
 		delta := 0.0
 		for j := 0; j < n; j++ {
@@ -94,42 +158,14 @@ func EigenTrust(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
 			break
 		}
 	}
-	return t, nil
-}
-
-// edge is one normalized trust edge in a deterministic row representation.
-type edge struct {
-	to int
-	c  float64
-}
-
-// normalizedRows converts the graph's rows into sorted, normalized edge
-// lists. nil entries mark peers with no outgoing trust (dangling rows).
-// Sorting happens BEFORE the normalizing sum so that every floating-point
-// operation runs in a fixed order — results are then bit-identical across
-// runs and worker counts.
-func normalizedRows(g *TrustGraph) [][]edge {
-	n := g.Len()
-	rows := make([][]edge, n)
-	for i := 0; i < n; i++ {
-		es := make([]edge, 0, g.OutDegree(i))
-		g.OutEdges(i, func(to int, w float64) {
-			if w > 0 {
-				es = append(es, edge{to: to, c: w})
-			}
-		})
-		if len(es) == 0 {
-			continue
-		}
-		sort.Slice(es, func(a, b int) bool { return es[a].to < es[b].to })
-		sum := 0.0
-		for _, e := range es {
-			sum += e.c
-		}
-		for k := range es {
-			es[k].c /= sum
-		}
-		rows[i] = es
+	sum := 0.0
+	for _, x := range t {
+		sum += x
 	}
-	return rows
+	if sum > 0 {
+		for j := range t {
+			t[j] /= sum
+		}
+	}
+	return t, nil
 }

@@ -229,6 +229,7 @@ func TestEigenTrustConfigValidation(t *testing.T) {
 		{Damping: 0.1, Epsilon: 0, MaxIter: 10},
 		{Damping: 0.1, Epsilon: 1e-9, MaxIter: 0},
 		{Damping: 0.1, Epsilon: 1e-9, MaxIter: 10, PreTrusted: []int{7}},
+		{Damping: 0.1, Epsilon: 1e-9, MaxIter: 10, PreTrusted: []int{1, 1}},
 	}
 	for i, cfg := range bad {
 		if _, err := EigenTrust(g, cfg); err == nil {

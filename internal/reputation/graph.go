@@ -6,6 +6,32 @@
 // Feldman et al. It also provides the shared- and private-history stores of
 // the trust-based incentive taxonomy (Section II-B2) and a gossip protocol
 // that disseminates reputation values with tunable fanout.
+//
+// # Sparse EigenTrust
+//
+// The normalized local-trust matrix C is held in CSR (compressed sparse
+// row) form in two mirrored layouts — source-major for row consumers and
+// destination-major (the transpose) for the power iteration, which is then
+// an O(nnz) gather: every output component is one contiguous dot product.
+// See the CSR type for the exact layout and the no-sort construction.
+//
+// # Workspace reuse
+//
+// Callers that recompute trust repeatedly over an evolving graph hold an
+// EigenTrustWorkspace. Its contract: the CSR is value-refreshed in place
+// while the graph's sparsity pattern is stable and rebuilt into the same
+// buffers otherwise; iteration vectors are reused across calls; the
+// returned slice is owned by the workspace and valid until the next call.
+// In steady state, Compute performs zero allocations.
+//
+// # Determinism
+//
+// EigenTrust, EigenTrustDense, EigenTrustWorkspace.Compute, and
+// ComputeParallel at any worker count all return bit-identical vectors for
+// the same graph and configuration: each component's accumulation order is
+// fixed by the CSR layout (sources ascending) rather than by scheduling or
+// map iteration order, row normalization sums entries in ascending column
+// order, and the dangling and convergence sums run serially in index order.
 package reputation
 
 import "fmt"
@@ -111,6 +137,14 @@ func (g *TrustGraph) NormalizedRow(i int) map[int]float64 {
 		row[j] = w / sum
 	}
 	return row
+}
+
+// Clear removes every trust statement in place, keeping the peer count and
+// the per-row maps (and their buckets) for reuse.
+func (g *TrustGraph) Clear() {
+	for i := range g.edges {
+		clear(g.edges[i])
+	}
 }
 
 // Clone returns a deep copy of the graph.

@@ -114,3 +114,26 @@ func TestOutEdgesVisitsAll(t *testing.T) {
 	}
 	g.OutEdges(99, func(int, float64) { t.Error("out of range should visit nothing") })
 }
+
+func TestTrustGraphClear(t *testing.T) {
+	g, _ := NewTrustGraph(4)
+	g.SetTrust(0, 1, 2)
+	g.SetTrust(1, 2, 3)
+	g.SetTrust(3, 0, 1)
+	g.Clear()
+	if g.Len() != 4 {
+		t.Fatalf("Clear changed peer count to %d", g.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if g.OutDegree(i) != 0 {
+			t.Fatalf("peer %d still has %d edges after Clear", i, g.OutDegree(i))
+		}
+	}
+	// The graph must remain usable.
+	if err := g.SetTrust(2, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Trust(2, 3) != 5 {
+		t.Fatal("cleared graph rejected new trust")
+	}
+}

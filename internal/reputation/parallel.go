@@ -2,113 +2,22 @@ package reputation
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 )
 
 // EigenTrustParallel computes the same global trust vector as EigenTrust
-// but spreads each power-iteration's matrix-vector product across workers.
-// Results are bit-identical to the serial computation: rows are partitioned
-// statically, each worker accumulates into its own scratch vector, and the
-// scratch vectors are reduced in fixed worker order so floating-point
-// summation order never depends on scheduling.
+// but partitions each power-iteration's sparse mat-vec across workers.
+// Because the iteration is a gather over the transposed CSR (each output
+// component is one contiguous dot product whose accumulation order is fixed
+// by the layout), the result is bit-identical to the serial computation for
+// every worker count — no scratch vectors, no reduction step.
 //
-// On sparse collaboration-network graphs the per-iteration fan-out cost is
-// substantial: the measured crossover versus the serial version sits in the
-// thousands of peers (BenchmarkEigenTrustParallel shows workers=4 still
-// behind at n=400, density 0.08). The function exists for the large-n
-// regime and as the deterministic-parallel-reduction reference.
+// This is a convenience wrapper that builds a fresh workspace per call;
+// repeated callers should hold an EigenTrustWorkspace and use
+// ComputeParallel to reuse the CSR and iteration buffers.
 func EigenTrustParallel(g *TrustGraph, cfg EigenTrustConfig, workers int) ([]float64, error) {
-	n := g.Len()
-	if cfg.Damping < 0 || cfg.Damping >= 1 {
-		return nil, fmt.Errorf("reputation: damping must be in [0,1), got %v", cfg.Damping)
-	}
-	if cfg.Epsilon <= 0 {
-		return nil, fmt.Errorf("reputation: epsilon must be > 0, got %v", cfg.Epsilon)
-	}
-	if cfg.MaxIter <= 0 {
-		return nil, fmt.Errorf("reputation: MaxIter must be > 0, got %d", cfg.MaxIter)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	p := make([]float64, n)
-	if len(cfg.PreTrusted) > 0 {
-		for _, id := range cfg.PreTrusted {
-			if id < 0 || id >= n {
-				return nil, fmt.Errorf("reputation: pre-trusted peer %d out of range [0,%d)", id, n)
-			}
-			p[id] = 1 / float64(len(cfg.PreTrusted))
-		}
-	} else {
-		for i := range p {
-			p[i] = 1 / float64(n)
-		}
-	}
-	rows := normalizedRows(g)
-
-	t := append([]float64(nil), p...)
-	next := make([]float64, n)
-	// Per-worker scratch accumulators, reused across iterations.
-	scratch := make([][]float64, workers)
-	for w := range scratch {
-		scratch[w] = make([]float64, n)
-	}
-	dangling := make([]float64, workers)
-	var wg sync.WaitGroup
-
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				acc := scratch[w]
-				for j := range acc {
-					acc[j] = 0
-				}
-				d := 0.0
-				// Static row partition: worker w owns rows [lo, hi).
-				lo := w * n / workers
-				hi := (w + 1) * n / workers
-				for i := lo; i < hi; i++ {
-					if rows[i] == nil {
-						d += t[i]
-						continue
-					}
-					for _, e := range rows[i] {
-						acc[e.to] += t[i] * e.c
-					}
-				}
-				dangling[w] = d
-			}(w)
-		}
-		wg.Wait()
-		// Deterministic reduction: fixed worker order.
-		totalDangling := 0.0
-		for w := 0; w < workers; w++ {
-			totalDangling += dangling[w]
-		}
-		for j := 0; j < n; j++ {
-			sum := 0.0
-			for w := 0; w < workers; w++ {
-				sum += scratch[w][j]
-			}
-			next[j] = (1-cfg.Damping)*(sum+totalDangling*p[j]) + cfg.Damping*p[j]
-		}
-		delta := 0.0
-		for j := 0; j < n; j++ {
-			delta += math.Abs(next[j] - t[j])
-		}
-		t, next = next, t
-		if delta < cfg.Epsilon {
-			break
-		}
-	}
-	return t, nil
+	return NewEigenTrustWorkspace().ComputeParallel(g, cfg, workers)
 }
 
 // MaxFlowTrustParallel computes MaxFlowTrust with one goroutine per sink

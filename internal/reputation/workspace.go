@@ -1,0 +1,193 @@
+package reputation
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// EigenTrustWorkspace holds everything a repeated EigenTrust computation
+// needs — the CSR matrix, the iteration vectors, and the parallel-iteration
+// machinery — so that steady-state recomputation allocates nothing:
+//
+//   - The CSR is refreshed in place while the graph's sparsity pattern is
+//     stable (the common case when trust merely accumulates on existing
+//     edges) and rebuilt into the same buffers when edges appear or vanish.
+//   - The pre-trust, iteration, and scratch vectors are reused across calls.
+//   - Compute (serial) performs no allocation at all once the buffers have
+//     grown to the graph's size; ComputeParallel additionally spawns its
+//     worker goroutines per call (a handful of small allocations, constant
+//     in n and nnz).
+//
+// Determinism guarantee: the returned vector is a pure function of the
+// graph and the configuration — identical across runs, across worker
+// counts (workers=1 and workers=max are bit-identical), and identical to
+// the dense reference EigenTrustDense. This holds because every output
+// component is a gather over the transposed CSR whose accumulation order is
+// fixed by the layout, the dangling and convergence sums run serially in
+// index order, and the teleportation arithmetic is the same expression
+// everywhere.
+//
+// The returned slice is owned by the workspace and valid until the next
+// Compute/ComputeParallel call; callers that need to retain it must copy.
+// A workspace is not safe for concurrent use.
+type EigenTrustWorkspace struct {
+	csr     CSR
+	p       []float64 // pre-trust distribution
+	t, next []float64 // iteration vectors (swapped each step)
+
+	// Per-iteration parameters the workers read; set before each barrier.
+	workers  int
+	damping  float64
+	dmass    float64
+	src, dst []float64
+
+	start  []chan int     // per-worker: 1 = run one iteration slice, 0 = exit
+	done   sync.WaitGroup // per-iteration barrier
+	exited sync.WaitGroup // per-run join: all workers gone before run returns
+}
+
+// NewEigenTrustWorkspace returns an empty workspace; buffers are sized on
+// first use and grown only when the graph outgrows them.
+func NewEigenTrustWorkspace() *EigenTrustWorkspace {
+	return &EigenTrustWorkspace{}
+}
+
+// CSR exposes the workspace's current matrix (for inspection and tests).
+func (ws *EigenTrustWorkspace) CSR() *CSR { return &ws.csr }
+
+// Compute runs the serial sparse power iteration on g and returns the
+// global trust vector. Steady-state calls (same graph size, stable sparsity
+// pattern) allocate nothing.
+func (ws *EigenTrustWorkspace) Compute(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
+	return ws.run(g, cfg, 1)
+}
+
+// ComputeParallel is Compute with the gather phase partitioned across
+// workers (0 = GOMAXPROCS). Results are bit-identical to Compute for every
+// worker count.
+func (ws *EigenTrustWorkspace) ComputeParallel(g *TrustGraph, cfg EigenTrustConfig, workers int) ([]float64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return ws.run(g, cfg, workers)
+}
+
+func (ws *EigenTrustWorkspace) run(g *TrustGraph, cfg EigenTrustConfig, workers int) ([]float64, error) {
+	n := g.Len()
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
+	ws.csr.Refresh(g)
+
+	ws.p = growFloats(ws.p, n)
+	ws.t = growFloats(ws.t, n)
+	ws.next = growFloats(ws.next, n)
+	cfg.fillPreTrust(ws.p)
+	copy(ws.t, ws.p)
+
+	if workers > n {
+		workers = n
+	}
+	ws.workers = workers
+	ws.damping = cfg.Damping
+	if workers > 1 {
+		ws.spawnWorkers(workers)
+		defer ws.stopWorkers(workers)
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		ws.src, ws.dst = ws.t, ws.next
+		ws.dmass = ws.csr.danglingMass(ws.t)
+		if workers > 1 {
+			ws.done.Add(workers)
+			for w := 0; w < workers; w++ {
+				ws.start[w] <- 1
+			}
+			ws.done.Wait()
+		} else {
+			ws.gatherRange(0, n)
+		}
+		// The convergence sum runs serially in index order so the stopping
+		// decision — and with it the iteration count — is identical for
+		// every worker count.
+		delta := 0.0
+		for j := 0; j < n; j++ {
+			delta += math.Abs(ws.next[j] - ws.t[j])
+		}
+		ws.t, ws.next = ws.next, ws.t
+		if delta < cfg.Epsilon {
+			break
+		}
+	}
+	// Final renormalization sheds the few-ulp drift that row-normalization
+	// rounding accumulates over the iterations, so the result sums to 1 to
+	// near machine precision (again in fixed index order).
+	sum := 0.0
+	for _, x := range ws.t {
+		sum += x
+	}
+	if sum > 0 {
+		for j := range ws.t {
+			ws.t[j] /= sum
+		}
+	}
+	return ws.t, nil
+}
+
+// gatherRange computes dst[j] for j in [lo, hi): one dot product over the
+// transposed CSR row plus the analytic dangling and teleportation terms.
+// Every component's arithmetic is independent of the partition, which is
+// what makes serial and parallel runs bit-identical.
+func (ws *EigenTrustWorkspace) gatherRange(lo, hi int) {
+	a := ws.damping
+	om := 1 - a
+	dm := ws.dmass
+	src, dst, p := ws.src, ws.dst, ws.p
+	tp, tc, tv := ws.csr.tRowPtr, ws.csr.tColIdx, ws.csr.tVal
+	for j := lo; j < hi; j++ {
+		s := 0.0
+		for k := tp[j]; k < tp[j+1]; k++ {
+			s += src[tc[k]] * tv[k]
+		}
+		dst[j] = om*(s+dm*p[j]) + a*p[j]
+	}
+}
+
+// spawnWorkers starts one goroutine per worker for the duration of a run,
+// reusing the start channels across calls.
+func (ws *EigenTrustWorkspace) spawnWorkers(workers int) {
+	for len(ws.start) < workers {
+		ws.start = append(ws.start, make(chan int, 1))
+	}
+	ws.exited.Add(workers)
+	for w := 0; w < workers; w++ {
+		go ws.powerWorker(w)
+	}
+}
+
+// stopWorkers tells every worker to exit and joins them, so no goroutine
+// from this run survives into a later one — the channels are drained and
+// idle when the next spawnWorkers reuses them.
+func (ws *EigenTrustWorkspace) stopWorkers(workers int) {
+	for w := 0; w < workers; w++ {
+		ws.start[w] <- 0
+	}
+	ws.exited.Wait()
+}
+
+// powerWorker owns the destination range [w·n/W, (w+1)·n/W) and processes
+// one gather per start signal until told to exit. The channel send/receive
+// pairs order the worker's reads of the workspace fields after the
+// coordinator's writes.
+func (ws *EigenTrustWorkspace) powerWorker(w int) {
+	defer ws.exited.Done()
+	for cmd := range ws.start[w] {
+		if cmd == 0 {
+			return
+		}
+		n := ws.csr.n
+		ws.gatherRange(w*n/ws.workers, (w+1)*n/ws.workers)
+		ws.done.Done()
+	}
+}

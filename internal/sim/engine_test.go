@@ -38,6 +38,7 @@ func TestEngineDeterminismAcrossSchemesAndChurn(t *testing.T) {
 	for _, kind := range []incentive.Kind{
 		incentive.KindNone, incentive.KindReputation,
 		incentive.KindTitForTat, incentive.KindKarma,
+		incentive.KindEigenTrust,
 	} {
 		run := func() Result {
 			cfg := Quick()
@@ -220,6 +221,7 @@ func TestEngineAllSchemesRun(t *testing.T) {
 	for _, kind := range []incentive.Kind{
 		incentive.KindNone, incentive.KindReputation,
 		incentive.KindTitForTat, incentive.KindKarma,
+		incentive.KindEigenTrust,
 	} {
 		cfg := Quick()
 		cfg.Scheme = kind

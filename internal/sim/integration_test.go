@@ -89,6 +89,7 @@ func TestIntegrationSchemeStateConsistency(t *testing.T) {
 	for _, kind := range []incentive.Kind{
 		incentive.KindNone, incentive.KindReputation,
 		incentive.KindTitForTat, incentive.KindKarma,
+		incentive.KindEigenTrust,
 	} {
 		cfg := Quick()
 		cfg.Scheme = kind
