@@ -1,12 +1,20 @@
-# Collabnet build/test/bench entry points. `make check` is what CI (and the
-# next PR) should run; `make bench` records the benchmark trajectory file
-# BENCH_<n>.json (bump BENCH_N per PR to keep history), and `make
-# bench-diff` gates the two newest trajectory files against each other.
+# Collabnet build/test/bench entry points. `make check` is the gate CI
+# runs; `make bench` records the benchmark trajectory file BENCH_<n>.json
+# (bump BENCH_N per PR to keep history), and `make bench-diff` gates the
+# two newest trajectory files against each other.
+#
+# CI: .github/workflows/ci.yml runs on every push/PR with a pinned Go
+# toolchain and module/build caching. Job "check" re-records the newest
+# bench slot on CI hardware (after `bench-guard` verifies the PR committed
+# one) and then runs `make check`; job "race-and-fuzz" runs the suite under
+# the race detector plus `make fuzz-smoke`; `make cover` reports function
+# coverage (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 2
+BENCH_N ?= 3
 
-.PHONY: build test vet fmt-check check bench bench-diff clean
+.PHONY: build test vet fmt-check check bench bench-diff bench-guard \
+	cover fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -42,8 +50,9 @@ bench:
 # compare wall-clock, so they are only meaningful when recorded on
 # comparable hardware — the intended flow is that each PR runs
 # `make bench BENCH_N=<pr>` in the same CI environment as its predecessor
-# to record the current tree before `make check` gates it; the diff only
-# sees recorded files, so a PR that skips the recording step is not gated.
+# to record the current tree before `make check` gates it. bench-guard
+# (below) closes the loophole where a PR that records nothing sees its
+# predecessor's files silently compared instead.
 bench-diff:
 	@files=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); \
 	new=$$(echo "$$files" | tail -1); \
@@ -54,7 +63,61 @@ bench-diff:
 		$(GO) run ./cmd/collabsim -benchbase $$old -benchdiff $$new; \
 	fi
 
+# bench-guard fails when the current PR's trajectory record is missing, so
+# a PR that skips `make bench BENCH_N=$(BENCH_N)` cannot slip past the
+# bench-diff gate unrecorded. CI additionally checks that a BENCH_*.json
+# file actually changed in the PR's diff (the Makefile cannot know the
+# merge base).
+bench-guard:
+	@if [ ! -f BENCH_$(BENCH_N).json ]; then \
+		echo "bench-guard: BENCH_$(BENCH_N).json missing —" \
+			"run 'make bench BENCH_N=$(BENCH_N)' and commit the record"; \
+		exit 1; \
+	fi; \
+	echo "bench-guard: BENCH_$(BENCH_N).json present"
+
+# cover prints a function-level coverage summary and enforces COVER_MIN% on
+# the packages the voting/simulation hot path lives in. The suite runs once;
+# the per-package floors are parsed from that run's "coverage: N%" lines. CI
+# runs it as a non-blocking report step; run it locally before recording a
+# PR.
+COVER_MIN  ?= 80
+COVER_PKGS ?= ./internal/articles ./internal/sim
+cover:
+	@$(GO) test -coverprofile=cover.out ./... > cover.txt 2>&1 || { cat cover.txt; exit 1; }
+	@cat cover.txt
+	@$(GO) tool cover -func=cover.out | tail -1
+	@fail=0; \
+	for pkg in $(COVER_PKGS); do \
+		name=$$($(GO) list $$pkg); \
+		pct=$$(awk -v p="$$name" '$$1 == "ok" && $$2 == p' cover.txt \
+			| sed -nE 's/.*coverage: ([0-9.]+)% of statements.*/\1/p'); \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_MIN)%)"; \
+		ok=$$(awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN { print (p+0 >= m+0) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "cover: $$pkg below $(COVER_MIN)%"; fail=1; fi; \
+	done; \
+	exit $$fail
+
+# fuzz-smoke runs every fuzz target for FUZZTIME as a quick corpus-driven
+# smoke (CI pairs it with -race to shake out data races in the parallel
+# EigenTrust/sweep paths). Targets are discovered by scanning test files, so
+# new Fuzz* functions join the smoke automatically.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	@found=0; \
+	for pkg in $$($(GO) list ./...); do \
+		dir=$$($(GO) list -f '{{.Dir}}' $$pkg); \
+		targets=$$(grep -hoE 'func Fuzz[A-Za-z0-9_]+' $$dir/*_test.go 2>/dev/null \
+			| sed 's/^func //' | sort -u); \
+		for t in $$targets; do \
+			found=1; \
+			echo "fuzz-smoke: $$pkg $$t ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done; \
+	if [ "$$found" = 0 ]; then echo "fuzz-smoke: no fuzz targets found"; exit 1; fi
+
 # clean removes scratch output only: BENCH_*.json are version-controlled
 # trajectory records the bench-diff gate depends on, so they stay.
 clean:
-	rm -f bench.out
+	rm -f bench.out cover.out cover.txt

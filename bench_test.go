@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"collabnet/internal/agent"
+	"collabnet/internal/articles"
 	"collabnet/internal/core"
 	"collabnet/internal/experiments"
 	"collabnet/internal/game"
@@ -219,6 +220,59 @@ func BenchmarkTransferStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tm.Step(up, network.EqualAllocator, &res)
 	}
+}
+
+// BenchmarkVoteSession compares the map-backed reference Session against
+// the engine's reusable SessionArena on one full vote session (open, 20
+// ballots, resolve). The arena variant must report 0 allocs/op — it is the
+// kernel that makes BenchmarkEngineStep allocation-free.
+func BenchmarkVoteSession(b *testing.B) {
+	const voters = 24
+	prop := articles.Proposal{Article: 1, Editor: 0, Quality: articles.Good, Step: 1}
+	eligible := func(v int) bool { return v != 3 }
+	ballot := func(v int) articles.Ballot {
+		return articles.Ballot{Voter: v, Approve: v%3 != 0, Weight: 0.5 + float64(v)/voters}
+	}
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := articles.NewSession(prop, eligible)
+			for v := 1; v < voters; v++ {
+				if v == 3 {
+					continue
+				}
+				if err := sess.Cast(ballot(v)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sess.Resolve(0.5, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		arena, err := articles.NewSessionArena(voters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out articles.Outcome
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arena.Begin(prop, eligible)
+			for v := 1; v < voters; v++ {
+				if v == 3 {
+					continue
+				}
+				if err := arena.Cast(ballot(v)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := arena.Resolve(0.5, false, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchTrustGraph builds the random trust graph the EigenTrust benchmarks

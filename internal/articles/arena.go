@@ -1,0 +1,162 @@
+package articles
+
+import "fmt"
+
+// SessionArena is a reusable, allocation-free replacement for the map-backed
+// Session on the simulation hot path. One arena serves every vote session of
+// an engine, one session at a time: ballots live in dense voter-indexed
+// slices, and a generation counter stamped into mark[] distinguishes the
+// current session's ballots from stale ones, so opening a session is O(1)
+// and never clears or allocates.
+//
+// The semantics mirror Session exactly — same Cast validation (self-vote,
+// eligibility, duplicate, weight), same Resolve rule, same deterministic
+// ascending-voter ordering of ballots, winners, and losers. Where Session
+// sorts a freshly built slice, the arena's order falls out of scanning the
+// dense layout, so no sort (and no sort closure) is needed. Session stays
+// in the package as the executable specification; the differential test
+// drives both with identical sequences and requires identical outcomes.
+type SessionArena struct {
+	proposal Proposal
+	eligible func(voter int) bool
+
+	gen     uint64
+	mark    []uint64 // mark[v] == gen ⇔ v voted in the current session
+	approve []bool
+	weight  []float64
+
+	count     int // ballots cast in the current session
+	lo, hi    int // inclusive bounds of cast voter ids, valid when count > 0
+	inSession bool
+}
+
+// NewSessionArena builds an arena for voter ids in [0, n).
+func NewSessionArena(n int) (*SessionArena, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("articles: arena size must be >= 0, got %d", n)
+	}
+	return &SessionArena{
+		mark:    make([]uint64, n),
+		approve: make([]bool, n),
+		weight:  make([]float64, n),
+	}, nil
+}
+
+// Voters returns the arena's voter-id capacity.
+func (a *SessionArena) Voters() int { return len(a.mark) }
+
+// Begin opens a vote on p, recycling the arena's storage; any previous
+// session's ballots become unreachable (the generation stamp advances, no
+// state is cleared). eligible guards ballot casting as in NewSession; nil
+// means everyone is eligible.
+func (a *SessionArena) Begin(p Proposal, eligible func(voter int) bool) {
+	a.gen++
+	a.proposal = p
+	a.eligible = eligible
+	a.count = 0
+	a.lo, a.hi = 0, -1
+	a.inSession = true
+}
+
+// Proposal returns the proposal under vote.
+func (a *SessionArena) Proposal() Proposal { return a.proposal }
+
+// Len returns the number of ballots cast in the current session.
+func (a *SessionArena) Len() int { return a.count }
+
+// Cast records a ballot with Session.Cast's exact validation semantics; in
+// addition, voter ids outside [0, Voters()) are rejected (the arena is
+// dense). The happy path allocates nothing.
+func (a *SessionArena) Cast(b Ballot) error {
+	if !a.inSession {
+		return fmt.Errorf("articles: no open session, call Begin first")
+	}
+	if b.Voter == a.proposal.Editor {
+		return fmt.Errorf("articles: editor %d cannot vote on their own edit", b.Voter)
+	}
+	if b.Voter < 0 || b.Voter >= len(a.mark) {
+		return fmt.Errorf("articles: voter %d outside arena range [0,%d)", b.Voter, len(a.mark))
+	}
+	if a.eligible != nil && !a.eligible(b.Voter) {
+		return fmt.Errorf("articles: peer %d is not eligible to vote", b.Voter)
+	}
+	if a.mark[b.Voter] == a.gen {
+		return fmt.Errorf("articles: peer %d already voted", b.Voter)
+	}
+	if !(b.Weight > 0) {
+		return fmt.Errorf("articles: ballot weight must be positive, got %v", b.Weight)
+	}
+	a.mark[b.Voter] = a.gen
+	a.approve[b.Voter] = b.Approve
+	a.weight[b.Voter] = b.Weight
+	if a.count == 0 || b.Voter < a.lo {
+		a.lo = b.Voter
+	}
+	if a.count == 0 || b.Voter > a.hi {
+		a.hi = b.Voter
+	}
+	a.count++
+	return nil
+}
+
+// BallotsInto writes the current session's ballots in ascending voter order
+// into dst (truncated first) and returns it — Session.Ballots without the
+// allocation and the sort.
+func (a *SessionArena) BallotsInto(dst []Ballot) []Ballot {
+	dst = dst[:0]
+	if a.count == 0 {
+		return dst
+	}
+	for v := a.lo; v <= a.hi; v++ {
+		if a.mark[v] == a.gen {
+			dst = append(dst, Ballot{Voter: v, Approve: a.approve[v], Weight: a.weight[v]})
+		}
+	}
+	return dst
+}
+
+// Resolve tallies the current session under Session.Resolve's exact rule and
+// writes the outcome into out. out.Winners and out.Losers are reused as
+// scratch: truncated to zero length and appended in ascending voter order, so
+// a caller that keeps one Outcome across sessions allocates only until the
+// slices reach steady-state capacity. Weights are summed in ascending voter
+// order, making the tally independent of cast order.
+func (a *SessionArena) Resolve(requiredMajority float64, editorIsAuthority bool, out *Outcome) error {
+	if !(requiredMajority > 0 && requiredMajority <= 1) {
+		return fmt.Errorf("articles: required majority must be in (0,1], got %v", requiredMajority)
+	}
+	out.Accepted = false
+	out.ApproveWeight = 0
+	out.TotalWeight = 0
+	out.Winners = out.Winners[:0]
+	out.Losers = out.Losers[:0]
+	if a.count > 0 {
+		for v := a.lo; v <= a.hi; v++ {
+			if a.mark[v] != a.gen {
+				continue
+			}
+			out.TotalWeight += a.weight[v]
+			if a.approve[v] {
+				out.ApproveWeight += a.weight[v]
+			}
+		}
+	}
+	if out.TotalWeight <= 0 {
+		out.Accepted = editorIsAuthority
+		out.Quorum = false
+		return nil
+	}
+	out.Quorum = true
+	out.Accepted = out.ApproveWeight/out.TotalWeight >= requiredMajority
+	for v := a.lo; v <= a.hi; v++ {
+		if a.mark[v] != a.gen {
+			continue
+		}
+		if a.approve[v] == out.Accepted {
+			out.Winners = append(out.Winners, v)
+		} else {
+			out.Losers = append(out.Losers, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package articles
+
+import (
+	"strings"
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+// TestArenaMatchesMapReference drives one reused SessionArena and a fresh
+// map-backed Session per proposal through long random schedules — shuffled
+// cast order, invalid casts (self-votes, ineligible voters, duplicates,
+// non-positive weights), empty sessions, and varying majorities — and
+// requires bit-identical outcomes throughout. Weights are exact binary
+// fractions (k/64) so the tally is exact regardless of summation order and
+// "bit-identical" is meaningful.
+func TestArenaMatchesMapReference(t *testing.T) {
+	const (
+		peers    = 31
+		sessions = 2000
+	)
+	for _, seed := range []uint64{1, 7, 42} {
+		rng := xrand.New(seed)
+		arena, err := NewSessionArena(peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Outcome // reused across sessions: Resolve recycles its slices
+		var ballotBuf []Ballot
+		for sn := 0; sn < sessions; sn++ {
+			editor := rng.Intn(peers)
+			banned := rng.Intn(peers) // one ineligible peer per session
+			eligible := func(v int) bool { return v != banned }
+			prop := Proposal{Article: sn % 7, Editor: editor, Quality: Quality(sn % 2), Step: sn}
+			sess := NewSession(prop, eligible)
+			arena.Begin(prop, eligible)
+			if got := arena.Proposal(); got != prop {
+				t.Fatalf("seed %d session %d: arena proposal %+v, want %+v", seed, sn, got, prop)
+			}
+			// Random cast schedule in shuffled voter order, with ~1/4 of the
+			// casts deliberately invalid.
+			order := rng.Perm(peers)
+			for _, v := range order {
+				if !rng.Bool(0.4) {
+					continue
+				}
+				b := Ballot{Voter: v, Approve: rng.Bool(0.5), Weight: float64(1+rng.Intn(64)) / 64}
+				switch rng.Intn(8) {
+				case 0:
+					b.Voter = editor // self-vote
+				case 1:
+					b.Voter = banned // ineligible (unless banned == editor)
+				case 2:
+					b.Weight = 0 // non-positive weight
+				case 3:
+					b.Weight = -1
+				}
+				errA := arena.Cast(b)
+				errS := sess.Cast(b)
+				if (errA == nil) != (errS == nil) {
+					t.Fatalf("seed %d session %d: Cast(%+v) arena err=%v, session err=%v",
+						seed, sn, b, errA, errS)
+				}
+				// Occasional duplicate of a just-accepted ballot: both must
+				// reject it.
+				if errA == nil && rng.Bool(0.3) {
+					if arena.Cast(b) == nil || sess.Cast(b) == nil {
+						t.Fatalf("seed %d session %d: duplicate ballot accepted", seed, sn)
+					}
+				}
+			}
+			// Ballot views must agree exactly (ascending voter order).
+			want := sess.Ballots()
+			ballotBuf = arena.BallotsInto(ballotBuf)
+			if len(ballotBuf) != len(want) || arena.Len() != len(want) {
+				t.Fatalf("seed %d session %d: %d arena ballots, session has %d",
+					seed, sn, len(ballotBuf), len(want))
+			}
+			for i := range want {
+				if ballotBuf[i] != want[i] {
+					t.Fatalf("seed %d session %d: ballot[%d] = %+v, want %+v",
+						seed, sn, i, ballotBuf[i], want[i])
+				}
+			}
+			// Resolution under a random majority and authority flag.
+			m := float64(1+rng.Intn(64)) / 64
+			authority := rng.Bool(0.5)
+			wantOut, err := sess.Resolve(m, authority)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := arena.Resolve(m, authority, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Accepted != wantOut.Accepted || out.Quorum != wantOut.Quorum ||
+				out.ApproveWeight != wantOut.ApproveWeight || out.TotalWeight != wantOut.TotalWeight {
+				t.Fatalf("seed %d session %d: outcome %+v, want %+v", seed, sn, out, wantOut)
+			}
+			if !equalInts(out.Winners, wantOut.Winners) || !equalInts(out.Losers, wantOut.Losers) {
+				t.Fatalf("seed %d session %d: winners/losers %v/%v, want %v/%v",
+					seed, sn, out.Winners, out.Losers, wantOut.Winners, wantOut.Losers)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArenaValidationErrorsMatchSession pins the error texts of the shared
+// validation rules to the reference's, so callers switching between the two
+// APIs see the same diagnostics.
+func TestArenaValidationErrorsMatchSession(t *testing.T) {
+	arena, err := NewSessionArena(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := func(v int) bool { return v != 5 }
+	for _, tc := range []Ballot{
+		{Voter: 3, Approve: true, Weight: 1}, // editor self-vote (editor=3 below)
+		{Voter: 5, Approve: true, Weight: 1}, // ineligible
+		{Voter: 1, Approve: true, Weight: 0}, // bad weight
+	} {
+		arena.Begin(Proposal{Editor: 3}, eligible)
+		sess := NewSession(Proposal{Editor: 3}, eligible)
+		errA, errS := arena.Cast(tc), sess.Cast(tc)
+		if errA == nil || errS == nil {
+			t.Fatalf("Cast(%+v): expected both to fail, got arena=%v session=%v", tc, errA, errS)
+		}
+		if errA.Error() != errS.Error() {
+			t.Errorf("Cast(%+v): arena error %q, session error %q", tc, errA, errS)
+		}
+	}
+	// Duplicate: same message as the reference.
+	arena.Begin(Proposal{Editor: 3}, nil)
+	sess := NewSession(Proposal{Editor: 3}, nil)
+	b := Ballot{Voter: 1, Approve: true, Weight: 1}
+	if err := arena.Cast(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Cast(b); err != nil {
+		t.Fatal(err)
+	}
+	errA, errS := arena.Cast(b), sess.Cast(b)
+	if errA == nil || errS == nil || errA.Error() != errS.Error() {
+		t.Errorf("duplicate: arena error %v, session error %v", errA, errS)
+	}
+	// Resolve validation matches too.
+	var out Outcome
+	for _, m := range []float64{0, -0.1, 1.1} {
+		errA := arena.Resolve(m, false, &out)
+		_, errS := sess.Resolve(m, false)
+		if errA == nil || errS == nil || errA.Error() != errS.Error() {
+			t.Errorf("Resolve(%v): arena error %v, session error %v", m, errA, errS)
+		}
+	}
+	// Arena-specific rules keep distinctive messages.
+	arena.Begin(Proposal{Editor: 3}, nil)
+	if err := arena.Cast(Ballot{Voter: 99, Approve: true, Weight: 1}); err == nil ||
+		!strings.Contains(err.Error(), "outside arena range") {
+		t.Errorf("out-of-range voter error = %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package articles
+
+import (
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+func mustArena(t *testing.T, n int) *SessionArena {
+	t.Helper()
+	a, err := NewSessionArena(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewSessionArenaRejectsNegativeSize(t *testing.T) {
+	if _, err := NewSessionArena(-1); err == nil {
+		t.Error("negative arena size should fail")
+	}
+}
+
+func TestArenaCastBeforeBeginFails(t *testing.T) {
+	a := mustArena(t, 4)
+	if err := a.Cast(Ballot{Voter: 1, Approve: true, Weight: 1}); err == nil {
+		t.Error("Cast before Begin should fail")
+	}
+}
+
+func TestArenaNoQuorumDefaultRule(t *testing.T) {
+	// No ballots: the authority rule decides, exactly as in Session — an
+	// article's author keeps working before a community exists, a stranger's
+	// edit on an unwatched article is declined.
+	a := mustArena(t, 4)
+	var out Outcome
+	a.Begin(Proposal{Editor: 3}, nil)
+	if err := a.Resolve(0.5, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted || out.Quorum {
+		t.Errorf("authority edit should auto-accept without quorum: %+v", out)
+	}
+	a.Begin(Proposal{Editor: 3}, nil)
+	if err := a.Resolve(0.5, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted || out.Quorum {
+		t.Errorf("stranger edit without voters should be declined: %+v", out)
+	}
+	if len(out.Winners) != 0 || len(out.Losers) != 0 {
+		t.Errorf("no-quorum outcome should have no winners/losers: %+v", out)
+	}
+}
+
+func TestArenaCastRejections(t *testing.T) {
+	eligible := func(v int) bool { return v != 2 }
+	a := mustArena(t, 8)
+	a.Begin(Proposal{Editor: 7}, eligible)
+	if err := a.Cast(Ballot{Voter: 7, Approve: true, Weight: 1}); err == nil {
+		t.Error("editor voting on own edit should fail")
+	}
+	if err := a.Cast(Ballot{Voter: 2, Approve: true, Weight: 1}); err == nil {
+		t.Error("ineligible voter should fail")
+	}
+	if err := a.Cast(Ballot{Voter: -1, Approve: true, Weight: 1}); err == nil {
+		t.Error("negative voter id should fail")
+	}
+	if err := a.Cast(Ballot{Voter: 8, Approve: true, Weight: 1}); err == nil {
+		t.Error("voter id beyond arena capacity should fail")
+	}
+	if err := a.Cast(Ballot{Voter: 1, Approve: true, Weight: 0}); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if err := a.Cast(Ballot{Voter: 1, Approve: true, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Cast(Ballot{Voter: 1, Approve: false, Weight: 1}); err == nil {
+		t.Error("duplicate ballot should fail")
+	}
+	if a.Len() != 1 {
+		t.Errorf("rejected casts must not count: Len = %d", a.Len())
+	}
+}
+
+func TestArenaReuseNeverLeaksBallots(t *testing.T) {
+	// Property test of the generation stamping: run many sessions on one
+	// arena with random ballot subsets and verify — against an independently
+	// tracked model — that a session never sees a ballot cast in an earlier
+	// generation, no matter how the subsets overlap.
+	const (
+		peers    = 16
+		sessions = 5000
+	)
+	rng := xrand.New(11)
+	a := mustArena(t, peers)
+	var out Outcome
+	var buf []Ballot
+	for sn := 0; sn < sessions; sn++ {
+		editor := rng.Intn(peers)
+		a.Begin(Proposal{Editor: editor, Step: sn}, nil)
+		cast := make(map[int]Ballot)
+		for v := 0; v < peers; v++ {
+			if v == editor || !rng.Bool(0.3) {
+				continue
+			}
+			b := Ballot{Voter: v, Approve: rng.Bool(0.5), Weight: float64(1+rng.Intn(16)) / 16}
+			if err := a.Cast(b); err != nil {
+				t.Fatal(err)
+			}
+			cast[v] = b
+		}
+		buf = a.BallotsInto(buf)
+		if len(buf) != len(cast) {
+			t.Fatalf("session %d: %d ballots visible, %d cast — leak across generations",
+				sn, len(buf), len(cast))
+		}
+		for _, b := range buf {
+			if want, ok := cast[b.Voter]; !ok || b != want {
+				t.Fatalf("session %d: ballot %+v was not cast this session (want %+v, ok=%v)",
+					sn, b, want, ok)
+			}
+		}
+		wantTotal := 0.0
+		for _, b := range cast {
+			wantTotal += b.Weight
+		}
+		if err := a.Resolve(0.5, false, &out); err != nil {
+			t.Fatal(err)
+		}
+		// Exact comparison is safe: weights are k/16, sums are exact.
+		if out.TotalWeight != wantTotal {
+			t.Fatalf("session %d: TotalWeight %v, cast sum %v", sn, out.TotalWeight, wantTotal)
+		}
+		if len(out.Winners)+len(out.Losers) != len(cast) {
+			t.Fatalf("session %d: %d winners + %d losers != %d ballots",
+				sn, len(out.Winners), len(out.Losers), len(cast))
+		}
+	}
+}
+
+func TestArenaHotPathDoesNotAllocate(t *testing.T) {
+	// Begin/Cast/BallotsInto/Resolve must be allocation-free once the
+	// caller's scratch has reached steady state — the whole point of the
+	// arena. testing.AllocsPerRun averages over runs, so amortized growth
+	// would show up as a fraction.
+	a := mustArena(t, 32)
+	eligible := func(v int) bool { return v%7 != 3 }
+	var out Outcome
+	var buf []Ballot
+	// Warm the Outcome/ballot scratch to steady-state capacity.
+	run := func() {
+		a.Begin(Proposal{Editor: 0}, eligible)
+		for v := 1; v < 32; v++ {
+			if v%7 == 3 {
+				continue
+			}
+			if err := a.Cast(Ballot{Voter: v, Approve: v%2 == 0, Weight: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf = a.BallotsInto(buf)
+		if err := a.Resolve(0.5, false, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Errorf("arena session allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestArenaBallotsIntoEmptySession(t *testing.T) {
+	a := mustArena(t, 4)
+	a.Begin(Proposal{Editor: 1}, nil)
+	if got := a.BallotsInto(nil); len(got) != 0 {
+		t.Errorf("empty session ballots = %v", got)
+	}
+	if a.Voters() != 4 {
+		t.Errorf("Voters = %d, want 4", a.Voters())
+	}
+}

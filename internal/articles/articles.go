@@ -44,13 +44,17 @@ type Revision struct {
 // Article is one shared document. Its eligible voters are its previous
 // successful editors; the creator counts as the first successful editor
 // (DESIGN.md, modeling decision 2), otherwise no first vote could pass.
+//
+// The editor set is a sorted slice maintained incrementally on accept, so
+// membership is a binary search and iteration needs no per-call sort or
+// copy — the simulation engine walks it once per vote session.
 type Article struct {
 	ID        int
 	Title     string
 	Creator   int
 	CreatedAt int
 	revisions []Revision
-	editors   map[int]bool // successful editors == vote-eligible peers
+	editors   []int // successful editors == vote-eligible peers, ascending
 }
 
 // Revisions returns the accepted revisions in order.
@@ -59,16 +63,47 @@ func (a *Article) Revisions() []Revision {
 }
 
 // IsEditor reports whether peer is a successful editor of the article.
-func (a *Article) IsEditor(peer int) bool { return a.editors[peer] }
+func (a *Article) IsEditor(peer int) bool {
+	i := sort.SearchInts(a.editors, peer)
+	return i < len(a.editors) && a.editors[i] == peer
+}
 
-// Editors returns the vote-eligible peers in ascending order.
-func (a *Article) Editors() []int {
-	out := make([]int, 0, len(a.editors))
-	for id := range a.editors {
-		out = append(out, id)
+// addEditor inserts peer into the sorted editor set (no-op when present).
+func (a *Article) addEditor(peer int) {
+	i := sort.SearchInts(a.editors, peer)
+	if i < len(a.editors) && a.editors[i] == peer {
+		return
 	}
-	sort.Ints(out)
-	return out
+	a.editors = append(a.editors, 0)
+	copy(a.editors[i+1:], a.editors[i:])
+	a.editors[i] = peer
+}
+
+// Editors returns the vote-eligible peers in ascending order. The slice is
+// freshly allocated; hot paths should use EditorsInto or EachEditor.
+func (a *Article) Editors() []int {
+	return append([]int(nil), a.editors...)
+}
+
+// EditorsInto writes the vote-eligible peers in ascending order into dst
+// (truncated to zero length first, grown only when capacity is short) and
+// returns it — the allocation-free form of Editors for callers that reuse a
+// scratch buffer across articles.
+func (a *Article) EditorsInto(dst []int) []int {
+	return append(dst[:0], a.editors...)
+}
+
+// NumEditors returns the size of the vote-eligible set.
+func (a *Article) NumEditors() int { return len(a.editors) }
+
+// EachEditor calls f for every vote-eligible peer in ascending order until
+// f returns false. The article must not be mutated during the walk.
+func (a *Article) EachEditor(f func(peer int) bool) {
+	for _, id := range a.editors {
+		if !f(id) {
+			return
+		}
+	}
 }
 
 // QualityBalance returns the number of good and bad accepted revisions —
@@ -102,7 +137,7 @@ func (s *Store) Create(title string, creator, step int) *Article {
 		Title:     title,
 		Creator:   creator,
 		CreatedAt: step,
-		editors:   map[int]bool{creator: true},
+		editors:   []int{creator},
 	}
 	s.articles = append(s.articles, a)
 	s.byID[a.ID] = a
@@ -128,6 +163,6 @@ func (s *Store) ApplyAccepted(articleID, editor, step int, q Quality) error {
 		return fmt.Errorf("articles: unknown article %d", articleID)
 	}
 	a.revisions = append(a.revisions, Revision{Editor: editor, Quality: q, Step: step})
-	a.editors[editor] = true
+	a.addEditor(editor)
 	return nil
 }

@@ -56,6 +56,78 @@ func TestApplyAcceptedGrantsEligibility(t *testing.T) {
 	}
 }
 
+func TestEditorsStaySortedAndDeduplicated(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", 5, 0)
+	for _, ed := range []int{9, 2, 7, 2, 5, 0, 9} { // duplicates and out of order
+		if err := s.ApplyAccepted(a.ID, ed, 1, Good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{0, 2, 5, 7, 9}
+	got := a.Editors()
+	if len(got) != len(want) {
+		t.Fatalf("Editors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Editors = %v, want %v", got, want)
+		}
+	}
+	if a.NumEditors() != len(want) {
+		t.Errorf("NumEditors = %d, want %d", a.NumEditors(), len(want))
+	}
+	for _, ed := range want {
+		if !a.IsEditor(ed) {
+			t.Errorf("IsEditor(%d) = false", ed)
+		}
+	}
+	for _, stranger := range []int{-1, 1, 3, 10} {
+		if a.IsEditor(stranger) {
+			t.Errorf("IsEditor(%d) = true", stranger)
+		}
+	}
+}
+
+func TestEditorsIntoReusesBuffer(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", 3, 0)
+	s.ApplyAccepted(a.ID, 1, 1, Good)
+	buf := make([]int, 0, 8)
+	got := a.EditorsInto(buf)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("EditorsInto = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("EditorsInto should reuse the provided buffer's storage")
+	}
+	// Mutating the returned view must not corrupt the article.
+	got[0] = 99
+	if !a.IsEditor(1) || a.IsEditor(99) {
+		t.Error("EditorsInto must copy, not alias, the internal editor set")
+	}
+	if allocs := testing.AllocsPerRun(50, func() { buf = a.EditorsInto(buf) }); allocs != 0 {
+		t.Errorf("EditorsInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestEachEditorOrderAndEarlyStop(t *testing.T) {
+	s := NewStore()
+	a := s.Create("T", 2, 0)
+	s.ApplyAccepted(a.ID, 7, 1, Good)
+	s.ApplyAccepted(a.ID, 4, 2, Good)
+	var seen []int
+	a.EachEditor(func(p int) bool { seen = append(seen, p); return true })
+	if len(seen) != 3 || seen[0] != 2 || seen[1] != 4 || seen[2] != 7 {
+		t.Errorf("EachEditor order = %v, want [2 4 7]", seen)
+	}
+	seen = seen[:0]
+	a.EachEditor(func(p int) bool { seen = append(seen, p); return false })
+	if len(seen) != 1 {
+		t.Errorf("EachEditor should stop when f returns false, saw %v", seen)
+	}
+}
+
 func TestQualityBalance(t *testing.T) {
 	s := NewStore()
 	a := s.Create("T", 0, 0)

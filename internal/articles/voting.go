@@ -38,6 +38,13 @@ type Outcome struct {
 
 // Session collects ballots on one proposal and resolves them against the
 // required majority. The zero value is not usable; create with NewSession.
+//
+// Session is the simple, self-contained API — one map-backed value per
+// proposal — and doubles as the executable specification for SessionArena,
+// the allocation-free dense form the simulation engine uses on its hot
+// path. The differential test drives both through identical sequences and
+// requires identical outcomes; changes to the voting semantics must land in
+// both.
 type Session struct {
 	proposal Proposal
 	ballots  map[int]Ballot
@@ -101,7 +108,11 @@ func (s *Session) Resolve(requiredMajority float64, editorIsAuthority bool) (Out
 		return Outcome{}, fmt.Errorf("articles: required majority must be in (0,1], got %v", requiredMajority)
 	}
 	out := Outcome{}
-	for _, b := range s.ballots {
+	// Tally in ascending voter order: floating-point addition is not
+	// associative, so summing in map order would make the tally (and, on a
+	// knife-edge, the verdict) depend on map iteration order.
+	sorted := s.Ballots()
+	for _, b := range sorted {
 		out.TotalWeight += b.Weight
 		if b.Approve {
 			out.ApproveWeight += b.Weight
@@ -114,7 +125,7 @@ func (s *Session) Resolve(requiredMajority float64, editorIsAuthority bool) (Out
 	}
 	out.Quorum = true
 	out.Accepted = out.ApproveWeight/out.TotalWeight >= requiredMajority
-	for _, b := range s.Ballots() {
+	for _, b := range sorted {
 		if b.Approve == out.Accepted {
 			out.Winners = append(out.Winners, b.Voter)
 		} else {

@@ -43,6 +43,18 @@ type Engine struct {
 	weightsBuf []float64
 	stepRes    network.StepResult
 
+	// Vote-session scratch, reused across every edit session the engine
+	// runs: the dense ballot arena, the Outcome whose winner/loser slices
+	// Resolve recycles, the editor-set buffer, and one persistent
+	// eligibility closure reading sessEditor/sessArt (re-pointed per
+	// session, so no closure is allocated per proposal).
+	arena      *articles.SessionArena
+	voteOut    articles.Outcome
+	editorsBuf []int
+	sessEditor int
+	sessArt    *articles.Article
+	sessElig   func(voter int) bool
+
 	step    int
 	metrics *collector // nil while not collecting
 }
@@ -80,6 +92,14 @@ func New(cfg Config) (*Engine, error) {
 		failVotes:  make([]int, cfg.Peers),
 		sharersBuf: make([]int, 0, cfg.Peers),
 		weightsBuf: make([]float64, 0, cfg.Peers),
+		editorsBuf: make([]int, 0, cfg.Peers),
+	}
+	if e.arena, err = articles.NewSessionArena(cfg.Peers); err != nil {
+		return nil, err
+	}
+	e.sessElig = func(v int) bool {
+		return v != e.sessEditor && v >= 0 && v < e.cfg.Peers &&
+			e.online[v] && e.sessArt.IsEditor(v) && e.scheme.CanVote(v)
 	}
 	nr, na, _ := cfg.Mix.Counts(cfg.Peers)
 	rmin := cfg.Params.RMin()
@@ -347,7 +367,8 @@ func (e *Engine) upShared(source int) float64 {
 // runEditSession executes one edit proposal by editor: conduct from the
 // editor's chosen action, a weighted vote among the article's other
 // successful editors, resolution against the editor-dependent majority, and
-// the booking of all outcomes.
+// the booking of all outcomes. The session runs in the engine's reusable
+// arena, so the whole path is allocation-free once warm.
 func (e *Engine) runEditSession(editor int) {
 	art := e.store.At(e.rng.Intn(e.store.Len()))
 	conduct := e.evAction[editor].Edit()
@@ -356,13 +377,11 @@ func (e *Engine) runEditSession(editor int) {
 		quality = articles.Bad
 	}
 	prop := articles.Proposal{Article: art.ID, Editor: editor, Quality: quality, Step: e.step}
-	eligible := func(v int) bool {
-		return v != editor && v >= 0 && v < e.cfg.Peers &&
-			e.online[v] && art.IsEditor(v) && e.scheme.CanVote(v)
-	}
-	sess := articles.NewSession(prop, eligible)
-	for _, v := range art.Editors() {
-		if !eligible(v) || !e.rng.Bool(e.cfg.VoteParticipation) {
+	e.sessEditor, e.sessArt = editor, art
+	e.arena.Begin(prop, e.sessElig)
+	e.editorsBuf = art.EditorsInto(e.editorsBuf)
+	for _, v := range e.editorsBuf {
+		if !e.sessElig(v) || !e.rng.Bool(e.cfg.VoteParticipation) {
 			continue
 		}
 		honest := e.evAction[v].Vote() == agent.Constructive
@@ -371,13 +390,13 @@ func (e *Engine) runEditSession(editor int) {
 		if !(w > 0) {
 			w = 1e-9 // degenerate weights never block a ballot
 		}
-		if err := sess.Cast(articles.Ballot{Voter: v, Approve: approve, Weight: w}); err != nil {
+		if err := e.arena.Cast(articles.Ballot{Voter: v, Approve: approve, Weight: w}); err != nil {
 			// Eligibility was checked; a cast failure is a programming error.
 			panic(err)
 		}
 	}
-	out, err := sess.Resolve(e.scheme.RequiredMajority(editor), art.IsEditor(editor))
-	if err != nil {
+	out := &e.voteOut
+	if err := e.arena.Resolve(e.scheme.RequiredMajority(editor), art.IsEditor(editor), out); err != nil {
 		panic(err)
 	}
 	// Book the editor's outcome.

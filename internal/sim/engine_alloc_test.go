@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestStepOnceAllocationFree pins the tentpole property: once the pipeline
+// is warm, a simulation step — transfers, edit sessions, vote resolution,
+// learning — performs (amortized) no heap allocations. A small tolerance
+// covers genuine state growth (revision history append, transfer-table
+// growth), which shrinks geometrically but never quite reaches zero on a
+// finite warmup.
+func TestStepOnceAllocationFree(t *testing.T) {
+	cfg := Default()
+	cfg.Peers = 100
+	cfg.TrainSteps = 0
+	cfg.MeasureSteps = 1
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		eng.StepOnce(1, true)
+	}
+	allocs := testing.AllocsPerRun(200, func() { eng.StepOnce(1, true) })
+	if allocs > 1 {
+		t.Errorf("StepOnce allocates %v times per step once warm, want <= 1", allocs)
+	}
+}
