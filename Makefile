@@ -7,14 +7,16 @@
 # toolchain and module/build caching. Job "check" re-records the newest
 # bench slot on CI hardware (after `bench-guard` verifies the PR committed
 # one) and then runs `make check`; job "race-and-fuzz" runs the suite under
-# the race detector plus `make fuzz-smoke`; `make cover` reports function
-# coverage (non-blocking in CI, threshold on the hot-path packages).
+# the race detector plus `make fuzz-smoke`; job "figure-smoke" renders all
+# figures at quick scale through the cold and warm sweep paths and uploads
+# the CSVs as build artifacts; `make cover` reports function coverage
+# (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 3
+BENCH_N ?= 4
 
 .PHONY: build test vet fmt-check check bench bench-diff bench-guard \
-	cover fuzz-smoke clean
+	cover fuzz-smoke figure-smoke clean
 
 build:
 	$(GO) build ./...
@@ -117,7 +119,42 @@ fuzz-smoke:
 	done; \
 	if [ "$$found" = 0 ]; then echo "fuzz-smoke: no fuzz targets found"; exit 1; fi
 
+# figure-smoke renders every figure and ablation at quick scale, writing
+# the CSV series under FIGURE_OUT. The cold pass (full retraining, the
+# reference) covers everything; the warm pass (snapshot + burn-in chains)
+# re-renders only the surfaces that actually run on the chain scheduler —
+# the Figure 4-7 sweeps and the chained ablations. Figures 1-2 are
+# analytic, and fig 3 / the histogram ablation are single-point experiments
+# with no chain to warm, so they appear only under cold. CI uploads the
+# directory as a build artifact; any rendering error fails the job, so the
+# warm path cannot silently rot.
+FIGURE_OUT ?= figures
+figure-smoke:
+	@rm -rf $(FIGURE_OUT)
+	@for fig in 1 2 3 4 5 6 7; do \
+		echo "figure-smoke: fig $$fig (cold)"; \
+		$(GO) run ./cmd/collabsim -fig $$fig -scale quick \
+			-csv $(FIGURE_OUT)/cold > /dev/null || exit 1; \
+	done
+	@for ab in shape temperature voting punishment scheme histogram; do \
+		echo "figure-smoke: ablation $$ab (cold)"; \
+		$(GO) run ./cmd/collabsim -ablation $$ab -scale quick \
+			-csv $(FIGURE_OUT)/cold > /dev/null || exit 1; \
+	done
+	@for fig in 4 5 6 7; do \
+		echo "figure-smoke: fig $$fig (warm)"; \
+		$(GO) run ./cmd/collabsim -fig $$fig -scale quick -warm \
+			-csv $(FIGURE_OUT)/warm > /dev/null || exit 1; \
+	done
+	@for ab in shape temperature voting punishment scheme; do \
+		echo "figure-smoke: ablation $$ab (warm)"; \
+		$(GO) run ./cmd/collabsim -ablation $$ab -scale quick -warm \
+			-csv $(FIGURE_OUT)/warm > /dev/null || exit 1; \
+	done
+	@echo "figure-smoke: CSVs under $(FIGURE_OUT)/"
+
 # clean removes scratch output only: BENCH_*.json are version-controlled
 # trajectory records the bench-diff gate depends on, so they stay.
 clean:
 	rm -f bench.out cover.out cover.txt
+	rm -rf figures

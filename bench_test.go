@@ -100,6 +100,22 @@ func BenchmarkFig4MixtureSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkFig4MixtureSweepWarm runs the same Figure 4 sweep as warm-start
+// chains: each replica's nine mixture points run in order, every point
+// after the first restored from its predecessor's trained snapshot and
+// re-trained for TrainSteps/20 burn-in only. Compare against
+// BenchmarkFig4MixtureSweep (the cold reference, same scale): the warm path
+// must be >= 2x faster per the PR 4 acceptance bar — a cold chain costs
+// 9·(Train+Measure) steps while a warm chain costs
+// (Train+Measure) + 8·(Train/20+Measure).
+func BenchmarkFig4MixtureSweepWarm(b *testing.B) {
+	sweepWorkerCounts(b, func(sc experiments.Scale) error {
+		sc.WarmStart = true
+		_, _, err := experiments.Fig4(sc)
+		return err
+	})
+}
+
 // BenchmarkFig5RationalSweep runs the Figure 5 per-rational sweep.
 func BenchmarkFig5RationalSweep(b *testing.B) {
 	sweepWorkerCounts(b, func(sc experiments.Scale) error {
@@ -398,6 +414,42 @@ func BenchmarkEngineStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng.StepOnce(1, true)
 	}
+}
+
+// BenchmarkEngineSnapshotRestore measures the checkpoint kernel the warm
+// chains lean on: Snapshot into a reused container and RestoreFrom it, on a
+// 100-peer engine mid-run. Both directions must report 0 allocs/op — the
+// snapshot restore path is on the per-sweep-point budget.
+func BenchmarkEngineSnapshotRestore(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Peers = 100
+	cfg.TrainSteps = 0
+	cfg.MeasureSteps = 1
+	eng, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		eng.StepOnce(1, true)
+	}
+	snap := eng.Snapshot(nil)
+	if err := eng.RestoreFrom(snap); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Snapshot(snap)
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eng.RestoreFrom(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkParallelReplicas(b *testing.B) {

@@ -7,6 +7,8 @@
 //	collabsim -fig 3 -scale quick
 //	collabsim -fig 7 -csv out/  # also dump the series as CSV
 //	collabsim -fig 4 -workers 8 # shard sweep points across 8 workers
+//	collabsim -fig 4 -warm      # warm-start chains (snapshot + burn-in)
+//	collabsim -fig 4 -warm -cold # run both paths, report the speedup
 //	collabsim -ablation shape
 //	collabsim -fig 4 -benchjson BENCH_1.json   # also record wall-clock JSON
 //	collabsim -benchparse bench.out -benchjson BENCH_1.json
@@ -14,10 +16,15 @@
 //	collabsim -list
 //
 // Figures are rendered as ASCII charts; -csv writes the raw series next to
-// them for external plotting. -benchjson records the wall-clock of this
-// invocation's experiment as one JSON benchmark record; -benchparse instead
-// converts `go test -bench` text output into the same JSON schema, so CI can
-// track benchmark trajectories across PRs (BENCH_<n>.json files).
+// them for external plotting. -warm runs the sweep figures and ablations as
+// warm-start chains (each sweep point restored from its predecessor's
+// trained snapshot, re-trained for -burnin steps only); -cold is the
+// default full-retraining reference, and giving both runs the two paths
+// back to back and prints the wall-clock comparison. -benchjson records the
+// wall-clock of this invocation's experiment as one JSON benchmark record;
+// -benchparse instead converts `go test -bench` text output into the same
+// JSON schema, so CI can track benchmark trajectories across PRs
+// (BENCH_<n>.json files).
 package main
 
 import (
@@ -46,6 +53,9 @@ func main() {
 		benchBase  = flag.String("benchbase", "", "baseline BENCH_*.json for -benchdiff")
 		benchDiff  = flag.String("benchdiff", "", "compare this BENCH_*.json against -benchbase; exit nonzero on regression")
 		benchThr   = flag.Float64("benchthreshold", 0.20, "ns/op regression threshold for -benchdiff (0.20 = +20%)")
+		warm       = flag.Bool("warm", false, "run sweeps as warm-start chains (snapshot + burn-in per point)")
+		cold       = flag.Bool("cold", false, "run sweeps cold (full retraining per point; with -warm, run both and compare timing)")
+		burnIn     = flag.Int("burnin", 0, "warm-start burn-in steps per sweep point (0 = TrainSteps/20)")
 		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -88,10 +98,36 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Workers = *workers
+	sc.BurnInSteps = *burnIn
 
-	start := time.Now()
-	figs, err := run(*figNum, *ablation, sc)
-	elapsed := time.Since(start)
+	runTimed := func(warmStart bool) ([]experiments.Figure, time.Duration, error) {
+		s := sc
+		s.WarmStart = warmStart
+		t0 := time.Now()
+		figs, err := run(*figNum, *ablation, s)
+		return figs, time.Since(t0), err
+	}
+
+	var (
+		figs    []experiments.Figure
+		elapsed time.Duration
+		err     error
+	)
+	if *warm && *cold {
+		// Warm-vs-cold comparison: run the executable reference first, then
+		// the warm-start chains, and report the wall-clock side by side.
+		var coldElapsed time.Duration
+		if _, coldElapsed, err = runTimed(false); err == nil {
+			figs, elapsed, err = runTimed(true)
+		}
+		if err == nil && len(figs) > 0 {
+			speedup := float64(coldElapsed) / float64(elapsed)
+			fmt.Printf("warm-vs-cold: cold=%v warm=%v speedup=%.2fx\n",
+				coldElapsed.Round(time.Millisecond), elapsed.Round(time.Millisecond), speedup)
+		}
+	} else {
+		figs, elapsed, err = runTimed(*warm)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "collabsim:", err)
 		os.Exit(1)
@@ -117,6 +153,11 @@ func main() {
 		name := fmt.Sprintf("fig%d", *figNum)
 		if *figNum == 0 {
 			name = "ablation-" + *ablation
+		}
+		if *warm {
+			// Warm records get their own name so bench-diff never compares a
+			// warm run against a cold baseline.
+			name += "-warm"
 		}
 		recs := []benchRecord{{
 			Name:    fmt.Sprintf("%s/scale=%s/workers=%d", name, *scale, *workers),

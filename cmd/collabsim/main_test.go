@@ -57,6 +57,28 @@ func TestRunAblations(t *testing.T) {
 	}
 }
 
+func TestRunWarmStartFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated figures")
+	}
+	// The -warm flag flows through Scale.WarmStart; the chained sweep
+	// figures must come out with the same shape as the cold ones.
+	sc := testScale()
+	sc.WarmStart = true
+	for fig, want := range map[int]int{4: 2, 6: 1} {
+		figs, err := run(fig, "", sc)
+		if err != nil {
+			t.Fatalf("fig %d warm: %v", fig, err)
+		}
+		if len(figs) != want {
+			t.Errorf("fig %d warm: got %d figures, want %d", fig, len(figs), want)
+		}
+	}
+	if _, err := run(0, "scheme", sc); err != nil {
+		t.Errorf("warm scheme ablation: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if _, err := run(99, "", testScale()); err == nil {
 		t.Error("unknown figure should error")

@@ -1,0 +1,122 @@
+package agent
+
+import "fmt"
+
+// QSnapshot is the serializable state of a QLearner: the dimensions, the
+// hyper-parameters, and the Q-matrix itself. It is the unit the engine's
+// checkpoint/warm-start subsystem moves between sweep points. The scratch
+// buffers a learner carries (the Boltzmann distribution workspace) are
+// deliberately not part of the snapshot — they hold no learned state and are
+// re-derived from the dimensions on restore.
+type QSnapshot struct {
+	States  int
+	Actions int
+	Alpha   float64
+	Gamma   float64
+	Q       []float64 // row-major states×actions
+}
+
+// Snapshot writes the learner's state into dst, reusing dst's Q buffer when
+// it has capacity, and returns dst (allocated when nil). The snapshot is an
+// independent copy; later learner updates do not affect it.
+func (l *QLearner) Snapshot(dst *QSnapshot) *QSnapshot {
+	if dst == nil {
+		dst = &QSnapshot{}
+	}
+	dst.States = l.states
+	dst.Actions = l.actions
+	dst.Alpha = l.alpha
+	dst.Gamma = l.gamma
+	dst.Q = append(dst.Q[:0], l.q...)
+	return dst
+}
+
+// RestoreFrom overwrites the learner's state from a snapshot with matching
+// dimensions. The hyper-parameters are adopted from the snapshot; the scratch
+// buffer is kept (it is shape-compatible by the dimension check). Restoring
+// is allocation-free.
+func (l *QLearner) RestoreFrom(s *QSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("agent: RestoreFrom(nil) snapshot")
+	}
+	if s.States != l.states || s.Actions != l.actions {
+		return fmt.Errorf("agent: snapshot is %d×%d, learner is %d×%d",
+			s.States, s.Actions, l.states, l.actions)
+	}
+	if len(s.Q) != l.states*l.actions {
+		return fmt.Errorf("agent: snapshot Q has %d entries, want %d", len(s.Q), l.states*l.actions)
+	}
+	l.alpha = s.Alpha
+	l.gamma = s.Gamma
+	copy(l.q, s.Q)
+	return nil
+}
+
+// Snapshot is the serializable state of one Agent: its behavior type and,
+// for rational agents, the three Q-learners. Non-rational agents carry no
+// learned state, so their snapshot is just the behavior tag.
+type Snapshot struct {
+	Behavior Behavior
+	// Rational reports whether the learner snapshots below are populated.
+	Rational    bool
+	Sharing     QSnapshot
+	EditConduct QSnapshot
+	VoteConduct QSnapshot
+}
+
+// Snapshot writes the agent's state into dst (allocated when nil), reusing
+// dst's buffers, and returns dst.
+func (a *Agent) Snapshot(dst *Snapshot) *Snapshot {
+	if dst == nil {
+		dst = &Snapshot{}
+	}
+	dst.Behavior = a.Behavior
+	dst.Rational = a.Behavior == Rational
+	if dst.Rational {
+		a.sharing.Snapshot(&dst.Sharing)
+		a.editConduct.Snapshot(&dst.EditConduct)
+		a.voteConduct.Snapshot(&dst.VoteConduct)
+	}
+	return dst
+}
+
+// RestoreFrom overwrites the agent's learned state from a snapshot.
+//
+// The behavior types need not match — warm-start chains restore a snapshot
+// taken under one population mixture into an engine built for a neighboring
+// one, where some peer slots changed type. The rules:
+//
+//   - Both rational: the three learners are restored (dimension mismatches
+//     error — the state space is a config constant across a chain).
+//   - Agent rational, snapshot not: the learners are reset to zero, exactly
+//     the state a freshly created rational agent has. The slot re-trains
+//     from scratch during the chain's burn-in.
+//   - Agent not rational: nothing to restore; type-driven agents are
+//     stateless.
+//
+// Restore never changes a.Behavior — the engine's configuration owns the
+// population composition.
+func (a *Agent) RestoreFrom(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("agent: RestoreFrom(nil) snapshot")
+	}
+	if a.Behavior != Rational {
+		return nil
+	}
+	if !s.Rational {
+		a.sharing.Reset()
+		a.editConduct.Reset()
+		a.voteConduct.Reset()
+		return nil
+	}
+	if err := a.sharing.RestoreFrom(&s.Sharing); err != nil {
+		return fmt.Errorf("agent: sharing learner: %w", err)
+	}
+	if err := a.editConduct.RestoreFrom(&s.EditConduct); err != nil {
+		return fmt.Errorf("agent: edit-conduct learner: %w", err)
+	}
+	if err := a.voteConduct.RestoreFrom(&s.VoteConduct); err != nil {
+		return fmt.Errorf("agent: vote-conduct learner: %w", err)
+	}
+	return nil
+}

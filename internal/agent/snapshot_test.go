@@ -1,0 +1,162 @@
+package agent
+
+import (
+	"reflect"
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+func trainedLearner(t *testing.T, seed uint64) *QLearner {
+	t.Helper()
+	l, err := NewQLearner(10, 9, 0.25, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(seed)
+	for i := 0; i < 500; i++ {
+		s := rng.Intn(10)
+		a := l.Select(s, 1, rng)
+		l.Update(s, a, rng.Float64(), rng.Intn(10))
+	}
+	return l
+}
+
+func TestQSnapshotRoundTrip(t *testing.T) {
+	src := trainedLearner(t, 1)
+	snap := src.Snapshot(nil)
+	dst, err := NewQLearner(10, 9, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Restored learner behaves identically to the source.
+	r1, r2 := xrand.New(9), xrand.New(9)
+	for i := 0; i < 200; i++ {
+		s := i % 10
+		if src.Select(s, 1, r1) != dst.Select(s, 1, r2) {
+			t.Fatal("restored learner selects differently")
+		}
+		src.Update(s, i%9, 0.5, (s+1)%10)
+		dst.Update(s, i%9, 0.5, (s+1)%10)
+	}
+	for s := 0; s < 10; s++ {
+		if !reflect.DeepEqual(src.Row(s), dst.Row(s)) {
+			t.Fatalf("Q rows diverge at state %d", s)
+		}
+	}
+}
+
+func TestQSnapshotIsCopy(t *testing.T) {
+	l := trainedLearner(t, 2)
+	snap := l.Snapshot(nil)
+	before := append([]float64(nil), snap.Q...)
+	l.Update(0, 0, 100, 1)
+	if !reflect.DeepEqual(before, snap.Q) {
+		t.Error("updating the learner mutated its snapshot")
+	}
+}
+
+func TestQSnapshotBufferReuse(t *testing.T) {
+	l := trainedLearner(t, 3)
+	snap := l.Snapshot(nil)
+	buf := snap.Q
+	l.Snapshot(snap)
+	if &buf[0] != &snap.Q[0] {
+		t.Error("re-snapshot did not reuse the Q buffer")
+	}
+	allocs := testing.AllocsPerRun(50, func() { l.Snapshot(snap) })
+	if allocs != 0 {
+		t.Errorf("warm Snapshot allocates %v times, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if err := l.RestoreFrom(snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RestoreFrom allocates %v times, want 0", allocs)
+	}
+}
+
+func TestQRestoreErrors(t *testing.T) {
+	l := trainedLearner(t, 4)
+	if err := l.RestoreFrom(nil); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+	other, err := NewQLearner(5, 9, 0.25, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RestoreFrom(other.Snapshot(nil)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	bad := l.Snapshot(nil)
+	bad.Q = bad.Q[:3]
+	if err := l.RestoreFrom(bad); err == nil {
+		t.Error("truncated Q should fail")
+	}
+}
+
+func TestAgentSnapshotRational(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := New(Rational, cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	for i := 0; i < 300; i++ {
+		act := a.ChooseSharing(0.5, 1, rng)
+		a.LearnSharing(0.5, act, rng.Float64(), 0.6)
+	}
+	snap := a.Snapshot(nil)
+	if !snap.Rational {
+		t.Fatal("rational agent snapshot should be tagged rational")
+	}
+	b, err := New(Rational, cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cfg.States; s++ {
+		if !reflect.DeepEqual(a.SharingLearner().Row(s), b.SharingLearner().Row(s)) {
+			t.Fatalf("sharing Q rows diverge at state %d", s)
+		}
+	}
+}
+
+func TestAgentSnapshotNonRational(t *testing.T) {
+	cfg := DefaultConfig()
+	alt, err := New(Altruistic, cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := alt.Snapshot(nil)
+	if snap.Rational {
+		t.Error("altruistic snapshot must not claim learners")
+	}
+	// Restoring a non-rational snapshot into a trained rational agent resets
+	// its learners — the "slot changed type" rule of the mixture sweeps.
+	rat, err := New(Rational, cfg, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rat.SharingLearner().Update(0, 0, 5, 1)
+	if err := rat.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if rat.SharingLearner().Q(0, 0) != 0 {
+		t.Error("type-changed slot should reset to zero Q-values")
+	}
+	// And restoring anything into a non-rational agent is a no-op.
+	if err := alt.RestoreFrom(rat.Snapshot(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if alt.Behavior != Altruistic {
+		t.Error("restore must never change behavior")
+	}
+}

@@ -48,19 +48,70 @@ type Revision struct {
 // The editor set is a sorted slice maintained incrementally on accept, so
 // membership is a binary search and iteration needs no per-call sort or
 // copy — the simulation engine walks it once per vote session.
+//
+// The revision log is either unbounded (revCap <= 0, the default — full
+// history) or a fixed-size ring retaining the newest revCap revisions. A
+// bounded log makes an accepted edit a constant-time in-place write once
+// warm — the last amortized allocator on the engine's step path — while the
+// lifetime counters keep the quality metrics exact.
 type Article struct {
 	ID        int
 	Title     string
 	Creator   int
 	CreatedAt int
-	revisions []Revision
-	editors   []int // successful editors == vote-eligible peers, ascending
+
+	revCap    int        // retained-revision bound; <= 0 keeps full history
+	revisions []Revision // retained window; a ring once len == revCap
+	revHead   int        // ring: index of the oldest retained revision
+
+	// Lifetime revision counters, exact regardless of the retention bound.
+	totalRevs int
+	totalGood int
+	totalBad  int
+
+	editors []int // successful editors == vote-eligible peers, ascending
 }
 
-// Revisions returns the accepted revisions in order.
-func (a *Article) Revisions() []Revision {
-	return append([]Revision(nil), a.revisions...)
+// appendRevision books one accepted revision, evicting the oldest retained
+// one when the bounded log is full.
+func (a *Article) appendRevision(r Revision) {
+	a.totalRevs++
+	if r.Quality == Good {
+		a.totalGood++
+	} else {
+		a.totalBad++
+	}
+	if a.revCap <= 0 || len(a.revisions) < a.revCap {
+		a.revisions = append(a.revisions, r)
+		return
+	}
+	a.revisions[a.revHead] = r
+	a.revHead++
+	if a.revHead == len(a.revisions) {
+		a.revHead = 0
+	}
 }
+
+// appendRevisionsTo appends the retained revisions, oldest first, to dst.
+func (a *Article) appendRevisionsTo(dst []Revision) []Revision {
+	dst = append(dst, a.revisions[a.revHead:]...)
+	return append(dst, a.revisions[:a.revHead]...)
+}
+
+// Revisions returns the retained revisions in order, oldest first. With an
+// unbounded log (the default) that is the full history; with a bounded log
+// it is the newest RevisionCap revisions. Use TotalRevisions and
+// QualityBalance for lifetime counts.
+func (a *Article) Revisions() []Revision {
+	return a.appendRevisionsTo(make([]Revision, 0, len(a.revisions)))
+}
+
+// TotalRevisions returns the lifetime number of accepted revisions,
+// including any evicted from a bounded log.
+func (a *Article) TotalRevisions() int { return a.totalRevs }
+
+// RetainedRevisions returns how many revisions the log currently holds.
+func (a *Article) RetainedRevisions() int { return len(a.revisions) }
 
 // IsEditor reports whether peer is a successful editor of the article.
 func (a *Article) IsEditor(peer int) bool {
@@ -106,28 +157,41 @@ func (a *Article) EachEditor(f func(peer int) bool) {
 	}
 }
 
-// QualityBalance returns the number of good and bad accepted revisions —
-// the article-quality metric of the experiments.
+// QualityBalance returns the lifetime number of good and bad accepted
+// revisions — the article-quality metric of the experiments. The counts are
+// exact even when a bounded revision log has evicted old revisions.
 func (a *Article) QualityBalance() (good, bad int) {
-	for _, r := range a.revisions {
-		if r.Quality == Good {
-			good++
-		} else {
-			bad++
-		}
-	}
-	return good, bad
+	return a.totalGood, a.totalBad
 }
 
 // Store holds all articles of the network.
 type Store struct {
+	revCap   int // per-article retained-revision bound; <= 0 = full history
 	articles []*Article
 	byID     map[int]*Article
 }
 
-// NewStore returns an empty article store.
+// NewStore returns an empty article store keeping full revision history.
 func NewStore() *Store {
 	return &Store{byID: make(map[int]*Article)}
+}
+
+// NewStoreWithRevisionCap returns an empty store whose articles retain at
+// most revCap revisions each (a ring evicting the oldest). revCap <= 0 keeps
+// full history, identical to NewStore.
+func NewStoreWithRevisionCap(revCap int) *Store {
+	s := NewStore()
+	s.revCap = revCap
+	return s
+}
+
+// RevisionCap returns the per-article retained-revision bound (0 = full
+// history).
+func (s *Store) RevisionCap() int {
+	if s.revCap <= 0 {
+		return 0
+	}
+	return s.revCap
 }
 
 // Create adds a new article owned by creator and returns it.
@@ -137,6 +201,7 @@ func (s *Store) Create(title string, creator, step int) *Article {
 		Title:     title,
 		Creator:   creator,
 		CreatedAt: step,
+		revCap:    s.revCap,
 		editors:   []int{creator},
 	}
 	s.articles = append(s.articles, a)
@@ -154,7 +219,8 @@ func (s *Store) Len() int { return len(s.articles) }
 // range (programmer error).
 func (s *Store) At(i int) *Article { return s.articles[i] }
 
-// ApplyAccepted records an accepted edit: the revision is appended and the
+// ApplyAccepted records an accepted edit: the revision is appended (or, in a
+// bounded log that is full, written over the oldest retained one) and the
 // editor becomes vote-eligible for this article. It returns an error for an
 // unknown article.
 func (s *Store) ApplyAccepted(articleID, editor, step int, q Quality) error {
@@ -162,7 +228,7 @@ func (s *Store) ApplyAccepted(articleID, editor, step int, q Quality) error {
 	if a == nil {
 		return fmt.Errorf("articles: unknown article %d", articleID)
 	}
-	a.revisions = append(a.revisions, Revision{Editor: editor, Quality: q, Step: step})
+	a.appendRevision(Revision{Editor: editor, Quality: q, Step: step})
 	a.addEditor(editor)
 	return nil
 }

@@ -1,0 +1,190 @@
+package articles
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRevisionRingBoundsGrowth(t *testing.T) {
+	s := NewStoreWithRevisionCap(4)
+	a := s.Create("ring", 0, 0)
+	for i := 1; i <= 10; i++ {
+		q := Good
+		if i%3 == 0 {
+			q = Bad
+		}
+		if err := s.ApplyAccepted(a.ID, i%5, i, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.RetainedRevisions(); got != 4 {
+		t.Fatalf("retained %d revisions, want 4", got)
+	}
+	if got := a.TotalRevisions(); got != 10 {
+		t.Fatalf("lifetime revisions %d, want 10", got)
+	}
+	// The retained window is the newest 4, oldest first.
+	revs := a.Revisions()
+	want := []int{7, 8, 9, 10}
+	for i, r := range revs {
+		if r.Step != want[i] {
+			t.Fatalf("retained window %v, want steps %v", revs, want)
+		}
+	}
+	// Lifetime quality counts survive eviction: steps 3, 6, 9 were bad.
+	good, bad := a.QualityBalance()
+	if good != 7 || bad != 3 {
+		t.Errorf("quality balance (%d,%d), want (7,3)", good, bad)
+	}
+}
+
+func TestRevisionRingMatchesUnboundedPrefix(t *testing.T) {
+	// A capped store's retained window must equal the tail of the unbounded
+	// store's history under the same edit sequence.
+	full := NewStore()
+	capped := NewStoreWithRevisionCap(5)
+	af := full.Create("x", 1, 0)
+	ac := capped.Create("x", 1, 0)
+	for i := 0; i < 23; i++ {
+		q := Quality(i % 2)
+		if err := full.ApplyAccepted(af.ID, i%7, i, q); err != nil {
+			t.Fatal(err)
+		}
+		if err := capped.ApplyAccepted(ac.ID, i%7, i, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := af.Revisions()
+	tail := fr[len(fr)-5:]
+	if !reflect.DeepEqual(tail, ac.Revisions()) {
+		t.Errorf("capped window %v != unbounded tail %v", ac.Revisions(), tail)
+	}
+	fg, fb := af.QualityBalance()
+	cg, cb := ac.QualityBalance()
+	if fg != cg || fb != cb {
+		t.Error("lifetime quality counts must not depend on the cap")
+	}
+	if !reflect.DeepEqual(af.Editors(), ac.Editors()) {
+		t.Error("editor sets must not depend on the cap")
+	}
+}
+
+func TestRevisionRingAllocationFree(t *testing.T) {
+	s := NewStoreWithRevisionCap(8)
+	a := s.Create("hot", 0, 0)
+	for i := 0; i < 16; i++ { // fill the ring and the editor set
+		if err := s.ApplyAccepted(a.ID, i%4, i, Good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.ApplyAccepted(a.ID, 2, 99, Bad); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm ApplyAccepted with a full ring allocates %v times, want 0", allocs)
+	}
+}
+
+func TestUnboundedDefaultUnchanged(t *testing.T) {
+	s := NewStore()
+	if s.RevisionCap() != 0 {
+		t.Fatal("default store should keep full history")
+	}
+	a := s.Create("full", 0, 0)
+	for i := 0; i < 50; i++ {
+		if err := s.ApplyAccepted(a.ID, i%3, i, Good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.RetainedRevisions() != 50 || a.TotalRevisions() != 50 {
+		t.Error("unbounded store must retain everything")
+	}
+}
+
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	for _, revCap := range []int{0, 3} {
+		src := NewStoreWithRevisionCap(revCap)
+		for k := 0; k < 4; k++ {
+			src.Create("a", k, 0)
+		}
+		for i := 0; i < 17; i++ {
+			if err := src.ApplyAccepted(i%4, i%6, i, Quality(i%2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := src.Snapshot(nil)
+
+		dst := NewStore()
+		dst.Create("stale", 9, 9) // pre-existing content must be replaced
+		if err := dst.RestoreFrom(snap); err != nil {
+			t.Fatal(err)
+		}
+		if dst.Len() != src.Len() || dst.RevisionCap() != src.RevisionCap() {
+			t.Fatalf("shape mismatch after restore (cap %d)", revCap)
+		}
+		for i := 0; i < src.Len(); i++ {
+			sa, da := src.At(i), dst.At(i)
+			if !reflect.DeepEqual(sa.Revisions(), da.Revisions()) ||
+				!reflect.DeepEqual(sa.Editors(), da.Editors()) {
+				t.Fatalf("article %d differs after restore", i)
+			}
+			sg, sb := sa.QualityBalance()
+			dg, db := da.QualityBalance()
+			if sg != dg || sb != db || sa.TotalRevisions() != da.TotalRevisions() {
+				t.Fatalf("article %d counters differ after restore", i)
+			}
+			if dst.Get(sa.ID) != da {
+				t.Fatalf("id index broken for article %d", i)
+			}
+		}
+		// Continued identical edits stay identical (ring head normalized).
+		for i := 0; i < 9; i++ {
+			if err := src.ApplyAccepted(i%4, i%5, 100+i, Good); err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.ApplyAccepted(i%4, i%5, 100+i, Good); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(src.Snapshot(nil), dst.Snapshot(nil)) {
+			t.Errorf("stores diverge after post-restore edits (cap %d)", revCap)
+		}
+	}
+}
+
+func TestStoreSnapshotWarmRestoreAllocationFree(t *testing.T) {
+	src := NewStoreWithRevisionCap(6)
+	for k := 0; k < 5; k++ {
+		src.Create("a", k, 0)
+	}
+	for i := 0; i < 40; i++ {
+		if err := src.ApplyAccepted(i%5, i%7, i, Good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := src.Snapshot(nil)
+	if err := src.RestoreFrom(snap); err != nil { // warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := src.RestoreFrom(snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm store restore allocates %v times, want 0", allocs)
+	}
+}
+
+func TestStoreSnapshotErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.RestoreFrom(nil); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+	snap := &StoreSnapshot{Articles: []ArticleSnapshot{{ID: 1}, {ID: 1}}}
+	if err := s.RestoreFrom(snap); err == nil {
+		t.Error("duplicate article ids should fail")
+	}
+}

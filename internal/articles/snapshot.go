@@ -1,0 +1,97 @@
+package articles
+
+import "fmt"
+
+// ArticleSnapshot is the serializable state of one Article. Revisions are
+// linearized oldest-first, so snapshots of a wrapped ring and of an
+// unwrapped one compare equal when they hold the same history.
+type ArticleSnapshot struct {
+	ID        int
+	Title     string
+	Creator   int
+	CreatedAt int
+	Revisions []Revision // retained window, oldest first
+	Editors   []int      // ascending
+	TotalRevs int
+	TotalGood int
+	TotalBad  int
+}
+
+// StoreSnapshot is the serializable state of a Store — the engine-side unit
+// of the checkpoint/warm-start subsystem.
+type StoreSnapshot struct {
+	RevisionCap int
+	Articles    []ArticleSnapshot
+}
+
+// Snapshot writes the store's full state into dst (allocated when nil),
+// reusing dst's buffers, and returns dst. The snapshot is an independent
+// copy.
+func (s *Store) Snapshot(dst *StoreSnapshot) *StoreSnapshot {
+	if dst == nil {
+		dst = &StoreSnapshot{}
+	}
+	dst.RevisionCap = s.revCap
+	if cap(dst.Articles) < len(s.articles) {
+		dst.Articles = make([]ArticleSnapshot, len(s.articles))
+	}
+	dst.Articles = dst.Articles[:len(s.articles)]
+	for i, a := range s.articles {
+		as := &dst.Articles[i]
+		as.ID = a.ID
+		as.Title = a.Title
+		as.Creator = a.Creator
+		as.CreatedAt = a.CreatedAt
+		as.Revisions = a.appendRevisionsTo(as.Revisions[:0])
+		as.Editors = append(as.Editors[:0], a.editors...)
+		as.TotalRevs = a.totalRevs
+		as.TotalGood = a.totalGood
+		as.TotalBad = a.totalBad
+	}
+	return dst
+}
+
+// RestoreFrom overwrites the store's full state from a snapshot. Existing
+// Article values and the id index are reused, so restoring a snapshot whose
+// shape the store has already seen allocates nothing.
+func (s *Store) RestoreFrom(snap *StoreSnapshot) error {
+	if snap == nil {
+		return fmt.Errorf("articles: RestoreFrom(nil) snapshot")
+	}
+	s.revCap = snap.RevisionCap
+	if cap(s.articles) < len(snap.Articles) {
+		grown := make([]*Article, len(snap.Articles))
+		copy(grown, s.articles)
+		s.articles = grown
+	}
+	// Drop references beyond the snapshot so truncated articles are freed.
+	for i := len(snap.Articles); i < len(s.articles); i++ {
+		s.articles[i] = nil
+	}
+	s.articles = s.articles[:len(snap.Articles)]
+	clear(s.byID)
+	for i := range snap.Articles {
+		as := &snap.Articles[i]
+		a := s.articles[i]
+		if a == nil {
+			a = &Article{}
+			s.articles[i] = a
+		}
+		a.ID = as.ID
+		a.Title = as.Title
+		a.Creator = as.Creator
+		a.CreatedAt = as.CreatedAt
+		a.revCap = snap.RevisionCap
+		a.revisions = append(a.revisions[:0], as.Revisions...)
+		a.revHead = 0 // linearized on snapshot: oldest is at index 0 again
+		a.totalRevs = as.TotalRevs
+		a.totalGood = as.TotalGood
+		a.totalBad = as.TotalBad
+		a.editors = append(a.editors[:0], as.Editors...)
+		if _, dup := s.byID[a.ID]; dup {
+			return fmt.Errorf("articles: snapshot has duplicate article id %d", a.ID)
+		}
+		s.byID[a.ID] = a
+	}
+	return nil
+}

@@ -41,6 +41,25 @@ func (c *SharingContribution) Step(p Params, articles, bandwidth float64) float6
 // phases, and as the punishment reset).
 func (c *SharingContribution) Reset() { c.value = 0; c.idle = 0 }
 
+// ContributionState is the serializable state of a contribution accumulator,
+// shared by both kinds (they carry identical state, only their Step inflow
+// formulas differ).
+type ContributionState struct {
+	Value float64
+	Idle  int
+}
+
+// State captures the accumulator for checkpointing.
+func (c *SharingContribution) State() ContributionState {
+	return ContributionState{Value: c.value, Idle: c.idle}
+}
+
+// SetState restores a state captured with State.
+func (c *SharingContribution) SetState(s ContributionState) {
+	c.value = s.Value
+	c.idle = s.Idle
+}
+
 // EditingContribution accumulates CE, the contribution value for voting and
 // editing (Section III-B2):
 //
@@ -82,6 +101,17 @@ func (c *EditingContribution) Step(p Params, succVotes, accEdits int) float64 {
 
 // Reset zeroes the accumulator.
 func (c *EditingContribution) Reset() { c.value = 0; c.idle = 0 }
+
+// State captures the accumulator for checkpointing.
+func (c *EditingContribution) State() ContributionState {
+	return ContributionState{Value: c.value, Idle: c.idle}
+}
+
+// SetState restores a state captured with State.
+func (c *EditingContribution) SetState(s ContributionState) {
+	c.value = s.Value
+	c.idle = s.Idle
+}
 
 // decayStep applies one step of inflow and decay to a contribution value
 // under the configured decay mode, clamping the result to [0, CCap].

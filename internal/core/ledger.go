@@ -156,6 +156,64 @@ func (l *Ledger) Reset() {
 	l.VoteRegain = 0
 }
 
+// LedgerState is the complete serializable state of one Ledger — the
+// contribution accumulators, the punishment machinery, and the lifetime
+// counters. It is a plain value so snapshot containers can hold ledgers in a
+// flat slice without per-peer allocation.
+type LedgerState struct {
+	CS ContributionState
+	CE ContributionState
+
+	VoteFails     int
+	EditFails     int
+	VoteBanned    bool
+	RegainedEdits int
+
+	SuccVotes  int
+	FailVotes  int
+	AccEdits   int
+	DeclEdits  int
+	Punished   int
+	VoteBans   int
+	VoteRegain int
+}
+
+// SaveState writes the ledger's full mutable state into dst.
+func (l *Ledger) SaveState(dst *LedgerState) {
+	dst.CS = l.cs.State()
+	dst.CE = l.ce.State()
+	dst.VoteFails = l.voteFails
+	dst.EditFails = l.editFails
+	dst.VoteBanned = l.voteBanned
+	dst.RegainedEdits = l.regainedEdits
+	dst.SuccVotes = l.SuccVotes
+	dst.FailVotes = l.FailVotes
+	dst.AccEdits = l.AccEdits
+	dst.DeclEdits = l.DeclEdits
+	dst.Punished = l.Punished
+	dst.VoteBans = l.VoteBans
+	dst.VoteRegain = l.VoteRegain
+}
+
+// LoadState overwrites the ledger's full mutable state from s. The parameter
+// set and reputation function are construction-time constants and are not
+// part of the state.
+func (l *Ledger) LoadState(s LedgerState) {
+	l.cs.SetState(s.CS)
+	l.ce.SetState(s.CE)
+	l.voteFails = s.VoteFails
+	l.editFails = s.EditFails
+	l.voteBanned = s.VoteBanned
+	l.regainedEdits = s.RegainedEdits
+	l.SuccVotes = s.SuccVotes
+	l.FailVotes = s.FailVotes
+	l.AccEdits = s.AccEdits
+	l.DeclEdits = s.DeclEdits
+	l.Punished = s.Punished
+	l.VoteBans = s.VoteBans
+	l.VoteRegain = s.VoteRegain
+}
+
 // Book is the network-wide collection of ledgers, indexed by peer id
 // (0..N-1). It is the interface the simulation engine and the incentive
 // schemes work against.
@@ -198,6 +256,32 @@ func (b *Book) ResetAll() {
 	for _, l := range b.ledgers {
 		l.Reset()
 	}
+}
+
+// SaveState writes every ledger's state into dst (resized as needed,
+// reusing capacity) and returns it — the book side of the checkpoint
+// subsystem.
+func (b *Book) SaveState(dst []LedgerState) []LedgerState {
+	if cap(dst) < len(b.ledgers) {
+		dst = make([]LedgerState, len(b.ledgers))
+	}
+	dst = dst[:len(b.ledgers)]
+	for i, l := range b.ledgers {
+		l.SaveState(&dst[i])
+	}
+	return dst
+}
+
+// LoadState overwrites every ledger from src, which must hold exactly one
+// state per peer.
+func (b *Book) LoadState(src []LedgerState) error {
+	if len(src) != len(b.ledgers) {
+		return fmt.Errorf("core: snapshot has %d ledgers, book has %d", len(src), len(b.ledgers))
+	}
+	for i, l := range b.ledgers {
+		l.LoadState(src[i])
+	}
+	return nil
 }
 
 // SharingReputations returns RS for the given peer ids, in order. With a nil

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drive puts a ledger into a non-trivial state: contributions accumulated,
+// a vote ban in force, punishment counters advanced.
+func drive(t *testing.T, l *Ledger) {
+	t.Helper()
+	for i := 0; i < 40; i++ {
+		l.StepSharing(1, 0.5)
+		l.StepEditing(i%3, i%2)
+	}
+	for i := 0; i < l.Params().MaxVoteFails; i++ {
+		l.RecordVoteOutcome(false)
+	}
+	l.RecordEditOutcome(false)
+	l.RecordEditOutcome(true)
+}
+
+func TestLedgerStateRoundTrip(t *testing.T) {
+	p := Default()
+	src, err := NewLedger(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, src)
+	var st LedgerState
+	src.SaveState(&st)
+
+	dst, err := NewLedger(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.LoadState(st)
+
+	// The restored ledger is observationally identical now...
+	if src.RS() != dst.RS() || src.RE() != dst.RE() ||
+		src.CanEdit() != dst.CanEdit() || src.CanVote() != dst.CanVote() {
+		t.Fatal("restored ledger observables differ")
+	}
+	// ...and stays identical through further identical driving, including
+	// the punishment state machine.
+	for i := 0; i < 30; i++ {
+		src.StepSharing(0.5, 1)
+		dst.StepSharing(0.5, 1)
+		src.RecordVoteOutcome(i%4 == 0)
+		dst.RecordVoteOutcome(i%4 == 0)
+		src.RecordEditOutcome(i%3 == 0)
+		dst.RecordEditOutcome(i%3 == 0)
+		if src.RS() != dst.RS() || src.RE() != dst.RE() || src.CanVote() != dst.CanVote() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+	var a, b LedgerState
+	src.SaveState(&a)
+	dst.SaveState(&b)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("final states differ")
+	}
+}
+
+func TestBookStateRoundTrip(t *testing.T) {
+	p := Default()
+	book, err := NewBook(5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < book.Len(); i++ {
+		for s := 0; s <= i; s++ {
+			book.Ledger(i).StepSharing(1, 1)
+		}
+	}
+	states := book.SaveState(nil)
+	if len(states) != 5 {
+		t.Fatalf("got %d states", len(states))
+	}
+	// Reuse: saving again into the same slice must not reallocate.
+	again := book.SaveState(states)
+	if &again[0] != &states[0] {
+		t.Error("SaveState did not reuse the slice")
+	}
+
+	other, err := NewBook(5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadState(states); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if book.Ledger(i).RS() != other.Ledger(i).RS() {
+			t.Errorf("peer %d RS differs after load", i)
+		}
+	}
+	small, err := NewBook(3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.LoadState(states); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestContributionStateRoundTrip(t *testing.T) {
+	p := Default()
+	var c SharingContribution
+	for i := 0; i < 10; i++ {
+		c.Step(p, 1, 1)
+	}
+	c.Step(p, 0, 0) // one idle step
+	st := c.State()
+	var d SharingContribution
+	d.SetState(st)
+	if d.Value() != c.Value() || d.IdleSteps() != c.IdleSteps() {
+		t.Error("sharing contribution state round trip failed")
+	}
+	var e EditingContribution
+	e.Step(p, 2, 1)
+	var f EditingContribution
+	f.SetState(e.State())
+	if f.Value() != e.Value() || f.IdleSteps() != e.IdleSteps() {
+		t.Error("editing contribution state round trip failed")
+	}
+}

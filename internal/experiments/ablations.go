@@ -21,21 +21,24 @@ func AblationReputationShape(sc Scale) (Figure, error) {
 		XLabel: "0 = articles, 1 = bandwidth",
 		YLabel: "shared fraction",
 	}
-	for _, shape := range []core.Shape{core.ShapeLogistic, core.ShapeLinear, core.ShapeStep, core.ShapeSqrt} {
+	shapes := []core.Shape{core.ShapeLogistic, core.ShapeLinear, core.ShapeStep, core.ShapeSqrt}
+	cfgs := make([]sim.Config, len(shapes))
+	for i, shape := range shapes {
 		cfg := sim.Default()
 		cfg.Peers = sc.Peers
 		cfg.TrainSteps = sc.TrainSteps
 		cfg.MeasureSteps = sc.MeasureSteps
-		cfg.Seed = sc.Seed
 		cfg.Params.Shape = shape
-		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
-		if err != nil {
-			return Figure{}, err
-		}
-		mean := sim.MeanResult(results)
+		cfgs[i] = cfg
+	}
+	means, err := runConfigChains(sc, "shape", cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, shape := range shapes {
 		s := Series{Name: shape.String()}
-		s.Add(0, mean.SharedArticles)
-		s.Add(1, mean.SharedBandwidth)
+		s.Add(0, means[i].SharedArticles)
+		s.Add(1, means[i].SharedBandwidth)
 		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
@@ -57,20 +60,23 @@ func AblationTemperature(sc Scale) (Figure, error) {
 	}
 	art := Series{Name: "articles"}
 	bw := Series{Name: "bandwidth"}
-	for _, T := range []float64{0.25, 0.5, 1, 2, 4} {
+	temps := []float64{0.25, 0.5, 1, 2, 4}
+	cfgs := make([]sim.Config, len(temps))
+	for i, T := range temps {
 		cfg := sim.Default()
 		cfg.Peers = sc.Peers
 		cfg.TrainSteps = sc.TrainSteps
 		cfg.MeasureSteps = sc.MeasureSteps
-		cfg.Seed = sc.Seed
 		cfg.MeasureTemp = T
-		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
-		if err != nil {
-			return Figure{}, err
-		}
-		mean := sim.MeanResult(results)
-		art.Add(T, mean.SharedArticles)
-		bw.Add(T, mean.SharedBandwidth)
+		cfgs[i] = cfg
+	}
+	means, err := runConfigChains(sc, "temperature", cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, T := range temps {
+		art.Add(T, means[i].SharedArticles)
+		bw.Add(T, means[i].SharedBandwidth)
 	}
 	fig.Series = []Series{art, bw}
 	return fig, nil
@@ -90,21 +96,23 @@ func AblationWeightedVoting(sc Scale) (Figure, error) {
 		YLabel: "verdict accuracy",
 	}
 	s := Series{Name: "accuracy"}
+	cfgs := make([]sim.Config, 2)
 	for i, weighted := range []bool{false, true} {
 		cfg := sim.Default()
 		cfg.Peers = sc.Peers
 		cfg.TrainSteps = sc.TrainSteps
 		cfg.MeasureSteps = sc.MeasureSteps
-		cfg.Seed = sc.Seed
 		cfg.Mix = sim.Mixture{Rational: 0.4, Altruistic: 0.4, Irrational: 0.2}
 		cfg.OpenEditing = true
 		cfg.WeightedVoting = weighted
-		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
-		if err != nil {
-			return Figure{}, err
-		}
-		mean := sim.MeanResult(results)
-		s.Add(float64(i), mean.VerdictAccuracy())
+		cfgs[i] = cfg
+	}
+	means, err := runConfigChains(sc, "voting", cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+	for i := range cfgs {
+		s.Add(float64(i), means[i].VerdictAccuracy())
 	}
 	fig.Series = []Series{s}
 	return fig, nil
@@ -124,24 +132,26 @@ func AblationPunishment(sc Scale) (Figure, error) {
 		YLabel: "accepted-bad fraction",
 	}
 	s := Series{Name: "accepted-bad"}
+	cfgs := make([]sim.Config, 2)
 	for i, off := range []bool{true, false} {
 		cfg := sim.Default()
 		cfg.Peers = sc.Peers
 		cfg.TrainSteps = sc.TrainSteps
 		cfg.MeasureSteps = sc.MeasureSteps
-		cfg.Seed = sc.Seed
 		cfg.Mix = sim.Mixture{Rational: 0.4, Altruistic: 0.4, Irrational: 0.2}
 		cfg.OpenEditing = true
 		cfg.Params.PunishmentsOff = off
-		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
-		if err != nil {
-			return Figure{}, err
-		}
-		mean := sim.MeanResult(results)
-		total := mean.AcceptedBad + mean.DeclinedBad
+		cfgs[i] = cfg
+	}
+	means, err := runConfigChains(sc, "punishment", cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+	for i := range cfgs {
+		total := means[i].AcceptedBad + means[i].DeclinedBad
 		rate := 0.0
 		if total > 0 {
-			rate = float64(mean.AcceptedBad) / float64(total)
+			rate = float64(means[i].AcceptedBad) / float64(total)
 		}
 		s.Add(float64(i), rate)
 	}
@@ -163,25 +173,33 @@ func AblationScheme(sc Scale) (Figure, error) {
 		XLabel: "0 = articles, 1 = bandwidth",
 		YLabel: "shared fraction",
 	}
-	for _, kind := range []incentive.Kind{
+	// The scheme chain crosses incentive kinds. A warm point carries only
+	// the learned Q-matrices forward (the chain default,
+	// sim.Engine.RestoreLearnersFrom); each point's scheme, community, and
+	// transfer mesh start from their own initial state — cross-kind scheme
+	// state would have no meaningful mapping anyway.
+	kinds := []incentive.Kind{
 		incentive.KindNone, incentive.KindReputation,
 		incentive.KindTitForTat, incentive.KindKarma,
 		incentive.KindEigenTrust,
-	} {
+	}
+	cfgs := make([]sim.Config, len(kinds))
+	for i, kind := range kinds {
 		cfg := sim.Default()
 		cfg.Peers = sc.Peers
 		cfg.TrainSteps = sc.TrainSteps
 		cfg.MeasureSteps = sc.MeasureSteps
-		cfg.Seed = sc.Seed
 		cfg.Scheme = kind
-		results, err := sim.RunReplicas(cfg, sc.Replicas, sc.Workers)
-		if err != nil {
-			return Figure{}, err
-		}
-		mean := sim.MeanResult(results)
+		cfgs[i] = cfg
+	}
+	means, err := runConfigChains(sc, "scheme", cfgs)
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, kind := range kinds {
 		s := Series{Name: kind.String()}
-		s.Add(0, mean.SharedArticles)
-		s.Add(1, mean.SharedBandwidth)
+		s.Add(0, means[i].SharedArticles)
+		s.Add(1, means[i].SharedBandwidth)
 		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil

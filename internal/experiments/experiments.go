@@ -5,7 +5,11 @@
 // EXPERIMENTS.md compares against the paper.
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"collabnet/internal/sim"
+)
 
 // Point is one (x, y) sample of a series.
 type Point struct {
@@ -54,6 +58,17 @@ type Scale struct {
 	Workers int
 	// Seed drives all derived randomness.
 	Seed uint64
+
+	// WarmStart runs the sweeps as warm-start chains: each replica's sweep
+	// points execute in order on one worker, every point after the first
+	// restored from its predecessor's post-training engine snapshot and
+	// re-trained for only the burn-in budget. Cold start (false, the
+	// default) remains the executable reference — same chain API, full
+	// training per point, results identical to independent jobs.
+	WarmStart bool
+	// BurnInSteps is the per-point warm-start burn-in; <= 0 derives
+	// TrainSteps / sim.DefaultBurnInDivisor.
+	BurnInSteps int
 }
 
 // PaperScale reproduces the paper's full experiment sizes.
@@ -65,6 +80,57 @@ func PaperScale() Scale {
 // roughly 20x cheaper.
 func QuickScale() Scale {
 	return Scale{TrainSteps: 1500, MeasureSteps: 800, Peers: 60, Replicas: 2, Workers: 0, Seed: 1}
+}
+
+// chainOptions converts the scale's warm-start knobs for sim.RunChains.
+func (s Scale) chainOptions() sim.ChainOptions {
+	return sim.ChainOptions{WarmStart: s.WarmStart, BurnInSteps: s.BurnInSteps}
+}
+
+// runChainSweep executes the chains across the worker pool and aggregates
+// the per-point mean across chains (chains play the role replicas played in
+// the independent-jobs runner). Every chain must carry exactly points
+// results; the first chain error aborts the sweep.
+func runChainSweep(sc Scale, chains []sim.SweepChain, points int) ([]sim.Result, error) {
+	crs := sim.RunChains(chains, sc.chainOptions(), sc.Workers)
+	means := make([]sim.Result, points)
+	batch := make([]sim.Result, 0, len(chains))
+	for p := 0; p < points; p++ {
+		batch = batch[:0]
+		for _, cr := range crs {
+			if cr.Err != nil {
+				return nil, fmt.Errorf("experiments: chain %s: %w", cr.Name, cr.Err)
+			}
+			if len(cr.Results) != points {
+				return nil, fmt.Errorf("experiments: chain %s returned %d results, want %d",
+					cr.Name, len(cr.Results), points)
+			}
+			batch = append(batch, cr.Results[p])
+		}
+		means[p] = sim.MeanResult(batch)
+	}
+	return means, nil
+}
+
+// runConfigChains runs one configuration per sweep point as sc.Replicas
+// warm-startable chains and returns per-point means. Replica seeds follow
+// RunReplicas' derivation, so the cold path reproduces the pre-chain
+// results bit-for-bit.
+func runConfigChains(sc Scale, name string, cfgs []sim.Config) ([]sim.Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	seeds := sim.DeriveSeeds(sc.Seed, sc.Replicas)
+	chains := make([]sim.SweepChain, sc.Replicas)
+	for rep := range chains {
+		pts := make([]sim.Job, len(cfgs))
+		for i, cfg := range cfgs {
+			cfg.Seed = seeds[rep]
+			pts[i] = sim.Job{Name: fmt.Sprintf("%s-%d-rep%d", name, i, rep), Config: cfg}
+		}
+		chains[rep] = sim.SweepChain{Name: fmt.Sprintf("%s-rep%d", name, rep), Points: pts}
+	}
+	return runChainSweep(sc, chains, len(cfgs))
 }
 
 // Validate reports the first violated constraint.

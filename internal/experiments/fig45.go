@@ -30,38 +30,39 @@ func sweepName(varied agent.Behavior, pct, rep int) string {
 
 // runMixtureSweep runs the 10–90% sweep for one varied behavior type and
 // returns the mean Result per sweep point, in percent order.
+//
+// The sweep is organized as sc.Replicas chains, one per replica, whose
+// points walk the percents in order. Cold (the default) trains every point
+// from scratch — identical to the former independent-jobs layout. With
+// sc.WarmStart each point restores the previous point's trained engine
+// (adjacent mixtures differ by a few percent of the population) and
+// re-trains only the burn-in budget, which is where the sweep's ≥2×
+// wall-clock win comes from.
 func runMixtureSweep(sc Scale, varied agent.Behavior, openEditing bool) ([]int, []sim.Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
 	}
 	percents := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
-	var jobs []sim.Job
-	for _, pct := range percents {
-		cfg := sim.Default()
-		cfg.Peers = sc.Peers
-		cfg.TrainSteps = sc.TrainSteps
-		cfg.MeasureSteps = sc.MeasureSteps
-		cfg.Mix = mixtureSweep(varied, pct)
-		cfg.OpenEditing = openEditing
-		// Derive deterministic seeds per (pct, replica).
-		for rep := 0; rep < sc.Replicas; rep++ {
-			c := cfg
-			c.Seed = sc.Seed + uint64(pct)*1000 + uint64(rep)
-			jobs = append(jobs, sim.Job{Name: sweepName(varied, pct, rep), Config: c})
+	chains := make([]sim.SweepChain, sc.Replicas)
+	for rep := 0; rep < sc.Replicas; rep++ {
+		pts := make([]sim.Job, 0, len(percents))
+		for _, pct := range percents {
+			cfg := sim.Default()
+			cfg.Peers = sc.Peers
+			cfg.TrainSteps = sc.TrainSteps
+			cfg.MeasureSteps = sc.MeasureSteps
+			cfg.Mix = mixtureSweep(varied, pct)
+			cfg.OpenEditing = openEditing
+			// Deterministic seeds per (pct, replica), unchanged from the
+			// independent-jobs layout so cold results stay bit-identical.
+			cfg.Seed = sc.Seed + uint64(pct)*1000 + uint64(rep)
+			pts = append(pts, sim.Job{Name: sweepName(varied, pct, rep), Config: cfg})
 		}
+		chains[rep] = sim.SweepChain{Name: fmt.Sprintf("%s-rep%d", varied, rep), Points: pts}
 	}
-	jrs := sim.RunJobs(jobs, sc.Workers)
-	means := make([]sim.Result, len(percents))
-	for i := range percents {
-		var batch []sim.Result
-		for rep := 0; rep < sc.Replicas; rep++ {
-			jr := jrs[i*sc.Replicas+rep]
-			if jr.Err != nil {
-				return nil, nil, fmt.Errorf("experiments: %s: %w", jr.Name, jr.Err)
-			}
-			batch = append(batch, jr.Results[0])
-		}
-		means[i] = sim.MeanResult(batch)
+	means, err := runChainSweep(sc, chains, len(percents))
+	if err != nil {
+		return nil, nil, err
 	}
 	return percents, means, nil
 }

@@ -30,34 +30,29 @@ func Fig6(sc Scale) (Figure, error) {
 	constructive := Series{Name: "constructive"}
 	destructive := Series{Name: "destructive"}
 	percents := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
-	var jobs []sim.Job
-	for _, pct := range percents {
-		f := float64(pct) / 100
-		rest := (1 - f) / 2
-		cfg := sim.Default()
-		cfg.Peers = sc.Peers
-		cfg.TrainSteps = sc.TrainSteps
-		cfg.MeasureSteps = sc.MeasureSteps
-		cfg.Mix = sim.Mixture{Rational: f, Altruistic: rest, Irrational: rest}
-		cfg.OpenEditing = true
-		for rep := 0; rep < sc.Replicas; rep++ {
-			c := cfg
-			c.Seed = sc.Seed + uint64(pct)*1000 + uint64(rep)
-			jobs = append(jobs, sim.Job{Name: fmt.Sprintf("fig6-%d-%d", pct, rep), Config: c})
+	chains := make([]sim.SweepChain, sc.Replicas)
+	for rep := 0; rep < sc.Replicas; rep++ {
+		pts := make([]sim.Job, 0, len(percents))
+		for _, pct := range percents {
+			f := float64(pct) / 100
+			rest := (1 - f) / 2
+			cfg := sim.Default()
+			cfg.Peers = sc.Peers
+			cfg.TrainSteps = sc.TrainSteps
+			cfg.MeasureSteps = sc.MeasureSteps
+			cfg.Mix = sim.Mixture{Rational: f, Altruistic: rest, Irrational: rest}
+			cfg.OpenEditing = true
+			cfg.Seed = sc.Seed + uint64(pct)*1000 + uint64(rep)
+			pts = append(pts, sim.Job{Name: fmt.Sprintf("fig6-%d-%d", pct, rep), Config: cfg})
 		}
+		chains[rep] = sim.SweepChain{Name: fmt.Sprintf("fig6-rep%d", rep), Points: pts}
 	}
-	jrs := sim.RunJobs(jobs, sc.Workers)
+	means, err := runChainSweep(sc, chains, len(percents))
+	if err != nil {
+		return Figure{}, err
+	}
 	for i, pct := range percents {
-		var batch []sim.Result
-		for rep := 0; rep < sc.Replicas; rep++ {
-			jr := jrs[i*sc.Replicas+rep]
-			if jr.Err != nil {
-				return Figure{}, fmt.Errorf("experiments: %s: %w", jr.Name, jr.Err)
-			}
-			batch = append(batch, jr.Results[0])
-		}
-		mean := sim.MeanResult(batch)
-		cf := mean.PerBehavior[agent.Rational].ConstructiveFraction()
+		cf := means[i].PerBehavior[agent.Rational].ConstructiveFraction()
 		constructive.Add(float64(pct), cf)
 		destructive.Add(float64(pct), 1-cf)
 	}

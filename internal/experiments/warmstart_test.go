@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// warmTolerance is the documented warm-vs-cold agreement bound: at
+// QuickScale the warm-chain steady-state sharing fractions must match the
+// cold-start reference within 0.05 absolute on every sweep point. Measured
+// headroom is ~3x (max observed difference ≈ 0.015); the bound leaves room
+// for seed-sensitivity across future calibration changes without letting a
+// broken warm start (which shifts curves by 0.1+) pass.
+const warmTolerance = 0.05
+
+// TestWarmChainMatchesColdQuickScale is the satellite differential test:
+// the Figure 4 sweep run as warm-start chains must reproduce the cold-start
+// sweep's steady-state metrics within warmTolerance.
+func TestWarmChainMatchesColdQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QuickScale differential is expensive")
+	}
+	sc := QuickScale()
+	coldArt, coldBW, err := Fig4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sc
+	w.WarmStart = true
+	warmArt, warmBW, err := Fig4(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct {
+		name       string
+		cold, warm Figure
+	}{{"articles", coldArt, warmArt}, {"bandwidth", coldBW, warmBW}} {
+		for si, cs := range pair.cold.Series {
+			ws := pair.warm.Series[si]
+			if cs.Name != ws.Name || len(cs.Points) != len(ws.Points) {
+				t.Fatalf("%s: series shape mismatch", pair.name)
+			}
+			for pi := range cs.Points {
+				d := math.Abs(cs.Points[pi].Y - ws.Points[pi].Y)
+				if d > warmTolerance {
+					t.Errorf("%s/%s at x=%v: warm %v vs cold %v (|Δ|=%.4f > %.2f)",
+						pair.name, cs.Name, cs.Points[pi].X,
+						ws.Points[pi].Y, cs.Points[pi].Y, d, warmTolerance)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmSweepDeterministicAcrossWorkers extends the serial-vs-parallel
+// pin to the warm path: chains shard across workers without changing any
+// figure.
+func TestWarmSweepDeterministicAcrossWorkers(t *testing.T) {
+	sc := Scale{TrainSteps: 120, MeasureSteps: 60, Peers: 20, Replicas: 2, Seed: 5, WarmStart: true}
+	serial, parallel := sc, sc
+	serial.Workers = 1
+	parallel.Workers = 4
+	sa, sb, err := Fig4(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb, err := Fig4(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sa, pa) || !reflect.DeepEqual(sb, pb) {
+		t.Error("warm Fig4 differs between serial and parallel execution")
+	}
+	f6s, err := Fig6(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6p, err := Fig6(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f6s, f6p) {
+		t.Error("warm Fig6 differs between serial and parallel execution")
+	}
+}
+
+// TestWarmAblationsRun smoke-tests every chained ablation in warm mode at
+// tiny scale — the chains cross shapes, temperatures, voting rules,
+// punishments, and scheme kinds.
+func TestWarmAblationsRun(t *testing.T) {
+	sc := Scale{TrainSteps: 120, MeasureSteps: 60, Peers: 20, Replicas: 1, Workers: 1, Seed: 3, WarmStart: true}
+	if _, err := AblationReputationShape(sc); err != nil {
+		t.Errorf("shape: %v", err)
+	}
+	if _, err := AblationTemperature(sc); err != nil {
+		t.Errorf("temperature: %v", err)
+	}
+	if _, err := AblationWeightedVoting(sc); err != nil {
+		t.Errorf("voting: %v", err)
+	}
+	if _, err := AblationPunishment(sc); err != nil {
+		t.Errorf("punishment: %v", err)
+	}
+	if _, err := AblationScheme(sc); err != nil {
+		t.Errorf("scheme: %v", err)
+	}
+}
+
+// TestColdChainMatchesLegacySeeding pins that the chain rewrite preserved
+// the cold path's per-cell seed derivation: runMixtureSweep's cold output
+// is a pure function of (seed, pct, replica), unchanged from the
+// independent-jobs layout (the golden directional tests above depend on
+// it).
+func TestColdChainMatchesLegacySeeding(t *testing.T) {
+	sc := Scale{TrainSteps: 100, MeasureSteps: 50, Peers: 20, Replicas: 2, Workers: 2, Seed: 11}
+	_, a, err := runMixtureSweep(sc, 2 /* altruistic */, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := runMixtureSweep(sc, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("cold mixture sweep not reproducible")
+	}
+}

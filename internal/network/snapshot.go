@@ -1,0 +1,93 @@
+package network
+
+import "fmt"
+
+// TransferSnapshot is the serializable state of a TransferManager: the
+// configuration scalars and every in-flight transfer, listed sources
+// ascending and downloaders ascending within a source (the manager's
+// deterministic step order).
+type TransferSnapshot struct {
+	FileSize  float64
+	NextID    int
+	Step      int
+	PeerBound int
+	Transfers []Transfer
+}
+
+// Snapshot writes the manager's full state into dst (allocated when nil),
+// reusing dst's transfer buffer, and returns dst.
+func (m *TransferManager) Snapshot(dst *TransferSnapshot) *TransferSnapshot {
+	if dst == nil {
+		dst = &TransferSnapshot{}
+	}
+	dst.FileSize = m.fileSize
+	dst.NextID = m.nextID
+	dst.Step = m.step
+	dst.PeerBound = len(m.byDown)
+	dst.Transfers = dst.Transfers[:0]
+	for s := 0; s < len(m.bySource); s++ {
+		for _, t := range m.bySource[s] {
+			dst.Transfers = append(dst.Transfers, *t)
+		}
+	}
+	return dst
+}
+
+// RestoreFrom overwrites the manager's full state from a snapshot. The dense
+// per-peer tables and an internal transfer arena are reused, so restoring a
+// snapshot whose shape the manager has already seen allocates nothing.
+// Transfers started after a restore are independent heap values, as usual.
+func (m *TransferManager) RestoreFrom(s *TransferSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("network: RestoreFrom(nil) snapshot")
+	}
+	if !(s.FileSize > 0) {
+		return fmt.Errorf("network: snapshot file size must be > 0, got %v", s.FileSize)
+	}
+	m.fileSize = s.FileSize
+	m.nextID = s.NextID
+	m.step = s.Step
+	// Clear the dense tables, keeping their backing arrays.
+	for i := range m.byDown {
+		m.byDown[i] = nil
+	}
+	for i := range m.bySource {
+		for j := range m.bySource[i] {
+			m.bySource[i][j] = nil
+		}
+		m.bySource[i] = m.bySource[i][:0]
+	}
+	if s.PeerBound > 0 {
+		m.grow(s.PeerBound - 1)
+	}
+	// Copy the transfers into the reusable arena and relink the indexes. The
+	// snapshot order (sources ascending, downloaders ascending within a
+	// source) keeps the per-source slices sorted without inserting.
+	if cap(m.restoreArena) < len(s.Transfers) {
+		m.restoreArena = make([]Transfer, len(s.Transfers))
+	}
+	m.restoreArena = m.restoreArena[:len(s.Transfers)]
+	m.active = 0
+	prevSource, prevDown := -1, -1
+	for i := range s.Transfers {
+		m.restoreArena[i] = s.Transfers[i]
+		t := &m.restoreArena[i]
+		if t.Source < prevSource || (t.Source == prevSource && t.Downloader <= prevDown) {
+			return fmt.Errorf("network: snapshot transfers out of order at index %d", i)
+		}
+		prevSource, prevDown = t.Source, t.Downloader
+		if t.Downloader < 0 || t.Source < 0 || t.Downloader == t.Source {
+			return fmt.Errorf("network: snapshot transfer %d has invalid peers (%d, %d)",
+				t.ID, t.Downloader, t.Source)
+		}
+		m.grow(t.Downloader)
+		m.grow(t.Source)
+		if m.byDown[t.Downloader] != nil {
+			return fmt.Errorf("network: snapshot has two transfers for downloader %d", t.Downloader)
+		}
+		m.byDown[t.Downloader] = t
+		m.bySource[t.Source] = append(m.bySource[t.Source], t)
+		m.active++
+	}
+	return nil
+}

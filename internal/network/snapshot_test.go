@@ -1,0 +1,125 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+)
+
+func buildManager(t *testing.T) *TransferManager {
+	t.Helper()
+	tm, err := NewTransferManager(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 12; d++ {
+		if _, err := tm.Start(d, 20+d%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance a few steps so Remaining values are mid-flight.
+	up := func(int) float64 { return 1 }
+	var res StepResult
+	for i := 0; i < 3; i++ {
+		tm.Step(up, EqualAllocator, &res)
+	}
+	return tm
+}
+
+func TestTransferSnapshotRoundTrip(t *testing.T) {
+	src := buildManager(t)
+	snap := src.Snapshot(nil)
+
+	dst, err := NewTransferManager(99) // differing config, overwritten by restore
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Start(1, 2); err != nil { // stale state to clear
+		t.Fatal(err)
+	}
+	if err := dst.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Active() != src.Active() || dst.FileSize() != src.FileSize() ||
+		dst.PeerBound() != src.PeerBound() {
+		t.Fatal("restored manager shape differs")
+	}
+	// Both managers must now evolve identically, including completion order
+	// and new-transfer ids.
+	up := func(s int) float64 { return float64(s%3) + 0.5 }
+	var ra, rb StepResult
+	for i := 0; i < 40; i++ {
+		src.Step(up, EqualAllocator, &ra)
+		dst.Step(up, EqualAllocator, &rb)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("step %d diverged", i)
+		}
+	}
+	ia, err := src.Start(15, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := dst.Start(15, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia != ib {
+		t.Errorf("post-restore transfer ids differ: %d vs %d", ia, ib)
+	}
+}
+
+func TestTransferSnapshotDeterministicOrder(t *testing.T) {
+	a := buildManager(t).Snapshot(nil)
+	b := buildManager(t).Snapshot(nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("snapshots of identical managers differ")
+	}
+	for i := 1; i < len(a.Transfers); i++ {
+		p, q := a.Transfers[i-1], a.Transfers[i]
+		if q.Source < p.Source || (q.Source == p.Source && q.Downloader <= p.Downloader) {
+			t.Fatal("snapshot transfers not in canonical order")
+		}
+	}
+}
+
+func TestTransferRestoreAllocationFree(t *testing.T) {
+	src := buildManager(t)
+	snap := src.Snapshot(nil)
+	if err := src.RestoreFrom(snap); err != nil { // warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := src.RestoreFrom(snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm restore allocates %v times, want 0", allocs)
+	}
+}
+
+func TestTransferRestoreRejectsBadSnapshots(t *testing.T) {
+	tm, err := NewTransferManager(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.RestoreFrom(nil); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+	if err := tm.RestoreFrom(&TransferSnapshot{FileSize: 0}); err == nil {
+		t.Error("zero file size should fail")
+	}
+	bad := &TransferSnapshot{FileSize: 5, Transfers: []Transfer{
+		{ID: 1, Downloader: 3, Source: 2},
+		{ID: 2, Downloader: 1, Source: 1},
+	}}
+	if err := tm.RestoreFrom(bad); err == nil {
+		t.Error("out-of-order / self-transfer snapshot should fail")
+	}
+	dup := &TransferSnapshot{FileSize: 5, Transfers: []Transfer{
+		{ID: 1, Downloader: 3, Source: 2},
+		{ID: 2, Downloader: 3, Source: 4},
+	}}
+	if err := tm.RestoreFrom(dup); err == nil {
+		t.Error("duplicate downloader should fail")
+	}
+}

@@ -84,6 +84,11 @@ type TransferManager struct {
 	// Per-step scratch reused by Step.
 	downs  []int
 	shares []float64
+
+	// restoreArena holds the Transfer values a RestoreFrom call links into
+	// the dense indexes, reused across restores so a warm restore allocates
+	// nothing.
+	restoreArena []Transfer
 }
 
 // NewTransferManager creates a manager for files of the given size (in

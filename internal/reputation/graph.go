@@ -34,7 +34,10 @@
 // order, and the dangling and convergence sums run serially in index order.
 package reputation
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // TrustGraph is a directed weighted graph of local trust statements:
 // Weight(i, j) is how much peer i trusts peer j, derived from i's direct
@@ -137,6 +140,48 @@ func (g *TrustGraph) NormalizedRow(i int) map[int]float64 {
 		row[j] = w / sum
 	}
 	return row
+}
+
+// Edge is one directed local-trust statement — the unit of graph snapshots
+// and of the planned append-only edge log.
+type Edge struct {
+	From int
+	To   int
+	W    float64
+}
+
+// AppendEdges appends every edge of the graph to dst in ascending (From, To)
+// order and returns the extended slice. The deterministic order makes
+// snapshots comparable byte-for-byte regardless of map iteration order.
+func (g *TrustGraph) AppendEdges(dst []Edge) []Edge {
+	var cols []int
+	for from, row := range g.edges {
+		if len(row) == 0 {
+			continue
+		}
+		cols = cols[:0]
+		for to := range row {
+			cols = append(cols, to)
+		}
+		sort.Ints(cols)
+		for _, to := range cols {
+			dst = append(dst, Edge{From: from, To: to, W: row[to]})
+		}
+	}
+	return dst
+}
+
+// LoadEdges replaces the graph's content with the given edges (accumulating
+// duplicates, like repeated AddTrust calls). Row maps are kept, so loading a
+// snapshot whose edges the graph has already seen does not grow buckets.
+func (g *TrustGraph) LoadEdges(edges []Edge) error {
+	g.Clear()
+	for _, e := range edges {
+		if err := g.AddTrust(e.From, e.To, e.W); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Clear removes every trust statement in place, keeping the peer count and

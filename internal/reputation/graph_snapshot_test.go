@@ -1,0 +1,61 @@
+package reputation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAppendEdgesCanonicalOrder(t *testing.T) {
+	g := randomGraph(t, 20, 0.2, 3)
+	edges := g.AppendEdges(nil)
+	for i := 1; i < len(edges); i++ {
+		p, q := edges[i-1], edges[i]
+		if q.From < p.From || (q.From == p.From && q.To <= p.To) {
+			t.Fatalf("edges out of canonical order at %d: %+v then %+v", i, p, q)
+		}
+	}
+	// Two builds of the same graph emit identical lists despite map order.
+	other := randomGraph(t, 20, 0.2, 3)
+	if !reflect.DeepEqual(edges, other.AppendEdges(nil)) {
+		t.Error("edge lists of identical graphs differ")
+	}
+}
+
+func TestLoadEdgesRoundTrip(t *testing.T) {
+	src := randomGraph(t, 15, 0.2, 7)
+	edges := src.AppendEdges(nil)
+	dst := randomGraph(t, 15, 0.2, 99) // different content, replaced by load
+	if err := dst.LoadEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			if src.Trust(i, j) != dst.Trust(i, j) {
+				t.Fatalf("trust(%d,%d) differs after load", i, j)
+			}
+		}
+	}
+	// EigenTrust over the restored graph is bit-identical.
+	cfg := DefaultEigenTrust()
+	a, err := EigenTrust(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EigenTrust(dst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("EigenTrust differs over restored graph")
+	}
+}
+
+func TestLoadEdgesRejectsOutOfRange(t *testing.T) {
+	g, err := NewTrustGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LoadEdges([]Edge{{From: 0, To: 9, W: 1}}); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepChain is an ordered sequence of sweep points that share learned
+// state: point k+1 warm-starts from the snapshot point k took at the end of
+// its training phase. Chains are the unit of scheduling — a chain always
+// runs on one worker, in order, so its results are a pure function of its
+// own point sequence no matter how many workers the pool has or which chains
+// ran beside it. Independent chains (different replicas, different varied
+// behavior types) shard across the pool exactly like independent jobs did.
+type SweepChain struct {
+	Name   string
+	Points []Job
+}
+
+// ChainOptions controls how a chain executes its points.
+type ChainOptions struct {
+	// WarmStart carries each point's post-training learned state into the
+	// next point: the successor engine restores the predecessor's snapshot
+	// and re-trains for only the burn-in budget instead of its full
+	// TrainSteps. False runs every point cold (full training) — the
+	// executable reference the differential tests compare against; the
+	// results are then identical to running the points as independent jobs.
+	WarmStart bool
+	// BurnInSteps is the post-restore training budget of a warm point.
+	// <= 0 derives DefaultBurnInDivisor-th of the point's TrainSteps.
+	BurnInSteps int
+	// CarryFullState restores the predecessor's complete engine state into
+	// each warm point (article community, transfer mesh, scheme state, RNG
+	// stream — Engine.RestoreFrom), the checkpoint/resume semantics. The
+	// default (false) restores only the learned Q-matrices
+	// (Engine.RestoreLearnersFrom): each point measures its own freshly
+	// seeded community under its own seed, so a warm point differs from its
+	// cold reference only in where training starts — which keeps the
+	// differential tolerance tight and the warm step cost at the cold
+	// step's level instead of dragging a neighboring configuration's
+	// saturated editor sets through every vote session.
+	CarryFullState bool
+}
+
+// DefaultBurnInDivisor sets the default warm-start burn-in to
+// TrainSteps/20. Five percent of the cold training budget is enough for the
+// restored policies to adapt to a neighboring configuration (the QuickScale
+// differential test pins the tolerance) while keeping the warm sweep's step
+// count — and therefore, with the allocation-free step loop, its wall-clock
+// — well under half of the cold sweep's.
+const DefaultBurnInDivisor = 20
+
+// burnIn resolves the training budget for a warm (non-first) chain point.
+func (o ChainOptions) burnIn(cfg Config) int {
+	if o.BurnInSteps > 0 {
+		return o.BurnInSteps
+	}
+	return cfg.TrainSteps / DefaultBurnInDivisor
+}
+
+// ChainResult is the outcome of one chain: per-point results in point
+// order, and the first error encountered (points after an error are not
+// run).
+type ChainResult struct {
+	Name    string
+	Results []Result
+	Err     error
+}
+
+// RunChains executes every chain across a worker pool and returns results in
+// chain order. Chains are independent — no state crosses chain boundaries —
+// so, as with RunJobs, the output is bit-identical for every worker count;
+// only whole chains are scheduled. workers <= 0 uses GOMAXPROCS.
+func RunChains(chains []SweepChain, opt ChainOptions, workers int) []ChainResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(chains) {
+		workers = len(chains)
+	}
+	out := make([]ChainResult, len(chains))
+	if len(chains) == 0 {
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runChain(chains[i], opt)
+			}
+		}()
+	}
+	for i := range chains {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// runChain executes one chain sequentially. The first point always trains
+// cold; in warm mode every later point is restored from its predecessor's
+// post-training snapshot and re-trained for the burn-in budget only. The
+// snapshot container is reused across points, so the per-point
+// snapshot/restore cost is two buffer copies and no steady-state
+// allocation.
+func runChain(c SweepChain, opt ChainOptions) ChainResult {
+	cr := ChainResult{Name: c.Name, Results: make([]Result, 0, len(c.Points))}
+	var snap *EngineSnapshot
+	for pi, pt := range c.Points {
+		eng, err := New(pt.Config)
+		if err != nil {
+			cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
+			return cr
+		}
+		if opt.WarmStart && pi > 0 {
+			restore := eng.RestoreLearnersFrom
+			if opt.CarryFullState {
+				restore = eng.RestoreFrom
+			}
+			if err := restore(snap); err != nil {
+				cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
+				return cr
+			}
+			eng.TrainN(opt.burnIn(pt.Config))
+		} else {
+			eng.Train()
+		}
+		if opt.WarmStart && pi < len(c.Points)-1 {
+			if opt.CarryFullState {
+				snap = eng.Snapshot(snap)
+			} else {
+				snap = eng.SnapshotLearners(snap)
+			}
+		}
+		res, err := eng.Measure()
+		if err != nil {
+			cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
+			return cr
+		}
+		cr.Results = append(cr.Results, res)
+	}
+	return cr
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"collabnet/internal/incentive"
+)
+
+// chainTestChains builds nChains chains of nPoints neighboring-mixture
+// points each.
+func chainTestChains(nChains, nPoints int) []SweepChain {
+	chains := make([]SweepChain, nChains)
+	for c := 0; c < nChains; c++ {
+		pts := make([]Job, nPoints)
+		for p := 0; p < nPoints; p++ {
+			cfg := Quick()
+			cfg.Peers = 24
+			cfg.TrainSteps = 120
+			cfg.MeasureSteps = 60
+			cfg.SeedArticles = 6
+			f := 0.3 + 0.1*float64(p)
+			cfg.Mix = Mixture{Rational: f, Altruistic: (1 - f) / 2, Irrational: (1 - f) / 2}
+			cfg.Seed = uint64(1000*c + p + 1)
+			pts[p] = Job{Name: "pt", Config: cfg}
+		}
+		chains[c] = SweepChain{Name: "chain", Points: pts}
+	}
+	return chains
+}
+
+// TestRunChainsDeterministicAcrossWorkerCounts pins the acceptance
+// criterion: same seeds + same chain order produce bit-identical sweep
+// results for every worker count, warm and cold, with and without full-state
+// carry.
+func TestRunChainsDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, opt := range []ChainOptions{
+		{WarmStart: false},
+		{WarmStart: true},
+		{WarmStart: true, CarryFullState: true},
+		{WarmStart: true, BurnInSteps: 17},
+	} {
+		chains := chainTestChains(5, 4)
+		ref := RunChains(chains, opt, 1)
+		for _, workers := range []int{2, 3, 8} {
+			got := RunChains(chains, opt, workers)
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("opt=%+v: results differ between workers=1 and workers=%d", opt, workers)
+			}
+		}
+	}
+}
+
+// TestRunChainsColdMatchesRunJobs pins that the cold chain path is the same
+// executable as the independent-jobs runner: identical configs produce
+// identical results through either API.
+func TestRunChainsColdMatchesRunJobs(t *testing.T) {
+	chains := chainTestChains(2, 3)
+	var jobs []Job
+	for _, c := range chains {
+		jobs = append(jobs, c.Points...)
+	}
+	jrs := RunJobs(jobs, 2)
+	crs := RunChains(chains, ChainOptions{}, 2)
+	i := 0
+	for _, cr := range crs {
+		if cr.Err != nil {
+			t.Fatal(cr.Err)
+		}
+		for _, res := range cr.Results {
+			if jrs[i].Err != nil {
+				t.Fatal(jrs[i].Err)
+			}
+			if !reflect.DeepEqual(res, jrs[i].Results[0]) {
+				t.Errorf("cold chain result %d differs from RunJobs", i)
+			}
+			i++
+		}
+	}
+}
+
+// TestRunChainsWarmDiffersFromCold sanity-checks that warm start actually
+// changes the training trajectory of later points (if it did not, the
+// benchmark's speedup would be measuring nothing).
+func TestRunChainsWarmDiffersFromCold(t *testing.T) {
+	chains := chainTestChains(1, 3)
+	cold := RunChains(chains, ChainOptions{}, 1)
+	warm := RunChains(chains, ChainOptions{WarmStart: true}, 1)
+	if cold[0].Err != nil || warm[0].Err != nil {
+		t.Fatal(cold[0].Err, warm[0].Err)
+	}
+	if !reflect.DeepEqual(cold[0].Results[0], warm[0].Results[0]) {
+		t.Error("first chain point must be identical warm and cold (it always trains cold)")
+	}
+	if reflect.DeepEqual(cold[0].Results[1:], warm[0].Results[1:]) {
+		t.Error("warm start had no effect on later points")
+	}
+}
+
+// TestRunChainsErrorAborts pins that a bad point surfaces its error and
+// stops the chain without failing the sibling chains.
+func TestRunChainsErrorAborts(t *testing.T) {
+	chains := chainTestChains(2, 3)
+	chains[0].Points[1].Config.MeasureSteps = 0 // invalid
+	crs := RunChains(chains, ChainOptions{WarmStart: true}, 2)
+	if crs[0].Err == nil {
+		t.Error("invalid point should carry its error")
+	}
+	if len(crs[0].Results) != 1 {
+		t.Errorf("chain should stop at the failing point, got %d results", len(crs[0].Results))
+	}
+	if crs[1].Err != nil {
+		t.Errorf("sibling chain should succeed: %v", crs[1].Err)
+	}
+}
+
+// TestRunChainsEmpty covers the no-op path.
+func TestRunChainsEmpty(t *testing.T) {
+	if out := RunChains(nil, ChainOptions{}, 4); len(out) != 0 {
+		t.Error("empty chain set should return empty results")
+	}
+}
+
+// TestChainBurnInDefault pins the burn-in derivation.
+func TestChainBurnInDefault(t *testing.T) {
+	cfg := Quick()
+	cfg.TrainSteps = 1000
+	if got := (ChainOptions{}).burnIn(cfg); got != 1000/DefaultBurnInDivisor {
+		t.Errorf("default burn-in = %d, want %d", got, 1000/DefaultBurnInDivisor)
+	}
+	if got := (ChainOptions{BurnInSteps: 123}).burnIn(cfg); got != 123 {
+		t.Errorf("explicit burn-in = %d, want 123", got)
+	}
+}
+
+// TestChainPeerMismatchSurfaces pins that a chain whose points disagree on
+// peer count fails the warm restore loudly instead of silently mixing
+// shapes.
+func TestChainPeerMismatchSurfaces(t *testing.T) {
+	chains := chainTestChains(1, 2)
+	chains[0].Points[1].Config.Peers = 30
+	crs := RunChains(chains, ChainOptions{WarmStart: true}, 1)
+	if crs[0].Err == nil {
+		t.Error("peer-count mismatch inside a warm chain should error")
+	}
+}
+
+// TestChainCrossSchemeWarm runs a warm chain across incentive kinds (the
+// scheme ablation's layout) and requires determinism.
+func TestChainCrossSchemeWarm(t *testing.T) {
+	kinds := []incentive.Kind{
+		incentive.KindNone, incentive.KindReputation, incentive.KindTitForTat,
+		incentive.KindKarma, incentive.KindEigenTrust,
+	}
+	build := func() []SweepChain {
+		pts := make([]Job, len(kinds))
+		for i, k := range kinds {
+			cfg := Quick()
+			cfg.Peers = 24
+			cfg.TrainSteps = 100
+			cfg.MeasureSteps = 50
+			cfg.SeedArticles = 6
+			cfg.Scheme = k
+			cfg.Seed = 7
+			pts[i] = Job{Name: k.String(), Config: cfg}
+		}
+		return []SweepChain{{Name: "schemes", Points: pts}}
+	}
+	a := RunChains(build(), ChainOptions{WarmStart: true, CarryFullState: true}, 1)
+	b := RunChains(build(), ChainOptions{WarmStart: true, CarryFullState: true}, 1)
+	if a[0].Err != nil {
+		t.Fatal(a[0].Err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("cross-scheme warm chain is nondeterministic")
+	}
+}

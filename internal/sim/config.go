@@ -136,6 +136,12 @@ type Config struct {
 	// step — the failure-injection knob; 0 reproduces the paper's stable
 	// network.
 	ChurnProb float64
+
+	// RevisionCap bounds each article's retained revision log to the newest
+	// RevisionCap revisions (a ring evicting the oldest), removing the last
+	// amortized allocator from the step loop. 0 keeps full history (the
+	// default); quality metrics stay exact either way via lifetime counters.
+	RevisionCap int
 }
 
 // Default returns the configuration of the paper's experiments. The
@@ -217,6 +223,9 @@ func (c Config) Validate() error {
 	}
 	if c.ChurnProb < 0 || c.ChurnProb >= 1 {
 		return fmt.Errorf("sim: ChurnProb must be in [0,1), got %v", c.ChurnProb)
+	}
+	if c.RevisionCap < 0 {
+		return fmt.Errorf("sim: RevisionCap must be >= 0, got %d", c.RevisionCap)
 	}
 	return nil
 }

@@ -124,7 +124,7 @@ func New(cfg Config) (*Engine, error) {
 
 // seedArticles creates the initial articles with random creators.
 func (e *Engine) seedArticles() {
-	e.store = articles.NewStore()
+	e.store = articles.NewStoreWithRevisionCap(e.cfg.RevisionCap)
 	for k := 0; k < e.cfg.SeedArticles; k++ {
 		creator := e.rng.Intn(e.cfg.Peers)
 		e.store.Create(fmt.Sprintf("seed-article-%d", k), creator, 0)
@@ -159,19 +159,35 @@ func (e *Engine) BehaviorCounts() map[agent.Behavior]int {
 // with "no traffic yet" — a temporal confound that inflates sharing in
 // every arm and masks the incentive effect.
 func (e *Engine) Run() (Result, error) {
+	e.Train()
+	return e.Measure()
+}
+
+// Train runs the full configured training phase (TrainSteps steps).
+func (e *Engine) Train() { e.TrainN(e.cfg.TrainSteps) }
+
+// TrainN runs n training steps at the training temperature with the
+// configured episodic reputation resets. The warm-start chains use it with a
+// shortened post-restore burn-in budget; Run uses it with the full
+// TrainSteps.
+func (e *Engine) TrainN(n int) {
 	episode := e.cfg.TrainEpisode
 	if episode <= 0 {
-		episode = e.cfg.TrainSteps + 1 // single episode
+		episode = n + 1 // single episode
 	}
-	for s := 0; s < e.cfg.TrainSteps; s++ {
+	for s := 0; s < n; s++ {
 		if s > 0 && s%episode == 0 {
 			e.scheme.Reset()
 		}
 		e.stepOnce(e.cfg.TrainTemp, true)
 	}
-	// Phase boundary: "the reputation values are reset but the agents keep
-	// their Q-Matrices". Transfers and the article community persist — only
-	// the reputation state starts over.
+}
+
+// Measure runs the measurement phase and returns its metrics. The phase
+// boundary follows the paper: "the reputation values are reset but the
+// agents keep their Q-Matrices" — transfers and the article community
+// persist, only the reputation state starts over.
+func (e *Engine) Measure() (Result, error) {
 	e.scheme.Reset()
 	e.metrics = newCollector()
 	for s := 0; s < e.cfg.MeasureSteps; s++ {

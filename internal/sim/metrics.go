@@ -84,20 +84,30 @@ func (r Result) String() string {
 		r.Scheme, r.SharedArticles, r.SharedBandwidth, r.Downloads, r.VerdictAccuracy())
 }
 
-// collector accumulates raw sums during the measurement phase.
+// numBehaviors sizes the collector's dense per-behavior accumulators; the
+// three types are consecutive small integers (Rational, Irrational,
+// Altruistic), so the measurement hot path indexes arrays instead of
+// hashing map keys — the per-peer-per-step map lookups used to make a
+// measurement step measurably dearer than a training step, which directly
+// eroded the warm-start sweep speedup (measurement cost is the part warm
+// chains cannot amortize).
+const numBehaviors = 3
+
+// collector accumulates raw sums during the measurement phase. All
+// per-behavior accumulators are dense arrays indexed by agent.Behavior.
 type collector struct {
 	steps int
 
-	fileSum map[agent.Behavior]float64
-	bwSum   map[agent.Behavior]float64
-	usSum   map[agent.Behavior]float64
-	peerN   map[agent.Behavior]int // peer-steps observed
+	fileSum [numBehaviors]float64
+	bwSum   [numBehaviors]float64
+	usSum   [numBehaviors]float64
+	peerN   [numBehaviors]int // peer-steps observed
 
-	constructive map[agent.Behavior]int
-	destructive  map[agent.Behavior]int
-	accepted     map[agent.Behavior]int
-	succVotes    map[agent.Behavior]int
-	failVotes    map[agent.Behavior]int
+	constructive [numBehaviors]int
+	destructive  [numBehaviors]int
+	accepted     [numBehaviors]int
+	succVotes    [numBehaviors]int
+	failVotes    [numBehaviors]int
 
 	acceptedGood, acceptedBad, declinedGood, declinedBad int
 
@@ -107,19 +117,7 @@ type collector struct {
 	voteBans, punishments int
 }
 
-func newCollector() *collector {
-	return &collector{
-		fileSum:      make(map[agent.Behavior]float64),
-		bwSum:        make(map[agent.Behavior]float64),
-		usSum:        make(map[agent.Behavior]float64),
-		peerN:        make(map[agent.Behavior]int),
-		constructive: make(map[agent.Behavior]int),
-		destructive:  make(map[agent.Behavior]int),
-		accepted:     make(map[agent.Behavior]int),
-		succVotes:    make(map[agent.Behavior]int),
-		failVotes:    make(map[agent.Behavior]int),
-	}
-}
+func newCollector() *collector { return &collector{} }
 
 func (c *collector) result(scheme string, peers int, counts map[agent.Behavior]int) Result {
 	res := Result{

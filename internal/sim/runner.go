@@ -22,6 +22,19 @@ type JobResult struct {
 	Err     error
 }
 
+// DeriveSeeds expands one seed into n deterministic derived seeds — the
+// exact sequence RunReplicas hands its replicas, exported so sweep layers
+// that re-arrange replicas into warm-start chains reproduce the cold path's
+// seeding bit-for-bit.
+func DeriveSeeds(seed uint64, n int) []uint64 {
+	src := xrand.New(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = src.Uint64()
+	}
+	return out
+}
+
 // RunReplicas runs the same configuration replicas times with derived seeds
 // and returns the results in replica order. workers <= 0 uses GOMAXPROCS.
 // Seeds are derived deterministically from cfg.Seed before any goroutine
@@ -31,10 +44,9 @@ func RunReplicas(cfg Config, replicas, workers int) ([]Result, error) {
 		return nil, fmt.Errorf("sim: replicas must be > 0, got %d", replicas)
 	}
 	jobs := make([]Job, replicas)
-	seedSrc := xrand.New(cfg.Seed)
-	for i := range jobs {
+	for i, s := range DeriveSeeds(cfg.Seed, replicas) {
 		c := cfg
-		c.Seed = seedSrc.Uint64()
+		c.Seed = s
 		jobs[i] = Job{Name: fmt.Sprintf("replica-%d", i), Config: c}
 	}
 	jrs := RunJobs(jobs, workers)

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/articles"
+	"collabnet/internal/incentive"
+	"collabnet/internal/network"
+)
+
+// EngineSnapshot is the complete serializable state of an Engine between
+// steps: the step counter, the RNG stream, the online set, every agent's
+// Q-matrices, the incentive scheme's state (ledgers, karma balances,
+// tit-for-tat history, or the EigenTrust trust graph and cached vector), the
+// article store, and the in-flight transfers. An engine restored from a
+// snapshot and stepped N times is bit-identical to the snapshotted engine
+// stepped N times — the property the warm-start chains and the round-trip
+// tests rely on.
+//
+// All fields are deterministic functions of the engine state (edge lists
+// and revision windows are emitted in canonical order), so two freshly
+// allocated snapshots (nil dst) of equal engines compare equal with
+// reflect.DeepEqual. A reused container is only guaranteed equal when the
+// engines also share shape history: sections a save does not overwrite — a
+// non-rational slot's learner buffers, another scheme kind's State section
+// — retain whatever earlier saves left in them.
+type EngineSnapshot struct {
+	Step      int
+	Rng       [4]uint64
+	Online    []bool
+	Agents    []agent.Snapshot
+	Scheme    incentive.State
+	Store     articles.StoreSnapshot
+	Transfers network.TransferSnapshot
+}
+
+// Snapshot writes the engine's full state into dst (allocated when nil),
+// reusing dst's buffers, and returns dst. Chains reuse one container across
+// points, so steady-state snapshotting allocates almost nothing.
+func (e *Engine) Snapshot(dst *EngineSnapshot) *EngineSnapshot {
+	if dst == nil {
+		dst = &EngineSnapshot{}
+	}
+	dst = e.SnapshotLearners(dst)
+	dst.Step = e.step
+	dst.Rng = e.rng.State()
+	dst.Online = append(dst.Online[:0], e.online...)
+	e.scheme.(incentive.Snapshotter).SaveState(&dst.Scheme)
+	e.store.Snapshot(&dst.Store)
+	e.tm.Snapshot(&dst.Transfers)
+	return dst
+}
+
+// RestoreFrom overwrites the engine's state from a snapshot taken on an
+// engine with the same peer count. The engine's own configuration (mixture,
+// scheme kind, temperatures, probabilities) stays in force — restore moves
+// state, not configuration — with two deliberate tolerances for warm-start
+// chains across neighboring sweep points:
+//
+//   - Population mixture: agents are restored positionally. A slot that is
+//     rational on both sides gets its Q-matrices back; a slot whose type
+//     changed starts fresh (learners zeroed), to be re-trained by the
+//     chain's burn-in.
+//   - Scheme kind: when the snapshot was taken under a different incentive
+//     scheme, the engine's scheme is Reset to its initial state instead of
+//     restored — cross-kind scheme state has no meaningful mapping.
+//
+// Restoring into an engine whose shape the snapshot has seen before (the
+// chain steady state) allocates nothing.
+func (e *Engine) RestoreFrom(s *EngineSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("sim: RestoreFrom(nil) snapshot")
+	}
+	if len(s.Online) != e.cfg.Peers || len(s.Agents) != e.cfg.Peers {
+		return fmt.Errorf("sim: snapshot is for %d peers, engine has %d",
+			len(s.Agents), e.cfg.Peers)
+	}
+	if e.metrics != nil {
+		return fmt.Errorf("sim: cannot restore mid-measurement")
+	}
+	e.step = s.Step
+	e.rng.SetState(s.Rng)
+	copy(e.online, s.Online)
+	for i, a := range e.agents {
+		if err := a.RestoreFrom(&s.Agents[i]); err != nil {
+			return fmt.Errorf("sim: peer %d: %w", i, err)
+		}
+	}
+	if err := e.scheme.(incentive.Snapshotter).LoadState(&s.Scheme); err != nil {
+		if !errors.Is(err, incentive.ErrStateKind) {
+			return err
+		}
+		// Cross-scheme chain point: no state to carry over; start the
+		// scheme from its initial conditions.
+		e.scheme.Reset()
+	}
+	if err := e.store.RestoreFrom(&s.Store); err != nil {
+		return err
+	}
+	return e.tm.RestoreFrom(&s.Transfers)
+}
+
+// SnapshotLearners writes only the agents' learned state into dst
+// (allocated when nil), reusing dst's buffers, and returns dst — the cheap
+// counterpart of RestoreLearnersFrom for chains that do not carry the full
+// engine state, skipping the O(revisions + transfers + trust edges) copies
+// a full Snapshot pays for sections the restore would never read.
+func (e *Engine) SnapshotLearners(dst *EngineSnapshot) *EngineSnapshot {
+	if dst == nil {
+		dst = &EngineSnapshot{}
+	}
+	if cap(dst.Agents) < len(e.agents) {
+		dst.Agents = make([]agent.Snapshot, len(e.agents))
+	}
+	dst.Agents = dst.Agents[:len(e.agents)]
+	for i, a := range e.agents {
+		a.Snapshot(&dst.Agents[i])
+	}
+	return dst
+}
+
+// RestoreLearnersFrom restores only the agents' learned Q-matrices from a
+// snapshot, leaving everything else — RNG stream, article community,
+// transfer mesh, scheme state, step counter — at the engine's own initial
+// conditions. This is the default warm-start transfer between sweep points:
+// the learned strategies are the expensive part of training, while the
+// community state a neighboring configuration accumulated would bias the
+// point's measurement (and its step cost) away from the cold reference. The
+// same positional mixture tolerance as RestoreFrom applies.
+func (e *Engine) RestoreLearnersFrom(s *EngineSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("sim: RestoreLearnersFrom(nil) snapshot")
+	}
+	if len(s.Agents) != e.cfg.Peers {
+		return fmt.Errorf("sim: snapshot is for %d peers, engine has %d",
+			len(s.Agents), e.cfg.Peers)
+	}
+	for i, a := range e.agents {
+		if err := a.RestoreFrom(&s.Agents[i]); err != nil {
+			return fmt.Errorf("sim: peer %d: %w", i, err)
+		}
+	}
+	return nil
+}

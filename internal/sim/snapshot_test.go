@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"collabnet/internal/incentive"
+)
+
+// snapshotTestConfig returns a small config exercising every stateful
+// subsystem: churn (online set + transfer cancellation), editing/voting,
+// and the given incentive scheme.
+func snapshotTestConfig(kind incentive.Kind) Config {
+	cfg := Quick()
+	cfg.Peers = 30
+	cfg.TrainSteps = 0
+	cfg.MeasureSteps = 1
+	cfg.SeedArticles = 8
+	cfg.Scheme = kind
+	cfg.ChurnProb = 0.05
+	cfg.OpenEditing = true
+	cfg.Mix = Mixture{Rational: 0.5, Altruistic: 0.3, Irrational: 0.2}
+	return cfg
+}
+
+var allSchemeKinds = []incentive.Kind{
+	incentive.KindNone, incentive.KindReputation, incentive.KindTitForTat,
+	incentive.KindKarma, incentive.KindEigenTrust,
+}
+
+// TestSnapshotRoundTripDeterminism is the warm-start correctness anchor:
+// for every scheme kind, Snapshot → Restore → N steps must be bit-identical
+// to the uninterrupted run. The final states are compared through their
+// snapshots, which canonicalize edge lists and ring buffers.
+func TestSnapshotRoundTripDeterminism(t *testing.T) {
+	for _, kind := range allSchemeKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := snapshotTestConfig(kind)
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 120; i++ {
+				ref.StepOnce(1, true)
+			}
+			mid := ref.Snapshot(nil)
+
+			fork, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Divergent warm-up: the fork must not depend on its own history.
+			for i := 0; i < 37; i++ {
+				fork.StepOnce(2, true)
+			}
+			if err := fork.RestoreFrom(mid); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 0; i < 150; i++ {
+				ref.StepOnce(1, true)
+				fork.StepOnce(1, true)
+			}
+			a, b := ref.Snapshot(nil), fork.Snapshot(nil)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s: restored run diverged from uninterrupted run", kind)
+			}
+		})
+	}
+}
+
+// TestSnapshotIsIndependentCopy pins that stepping the engine does not
+// mutate an existing snapshot.
+func TestSnapshotIsIndependentCopy(t *testing.T) {
+	cfg := snapshotTestConfig(incentive.KindReputation)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		eng.StepOnce(1, true)
+	}
+	snap := eng.Snapshot(nil)
+	want := eng.Snapshot(nil)
+	for i := 0; i < 60; i++ {
+		eng.StepOnce(1, true)
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Error("stepping the engine mutated a taken snapshot")
+	}
+}
+
+// TestSnapshotContainerReuse pins that re-snapshotting into a used container
+// produces the same value as a fresh one (the chain scheduler reuses one
+// container across points).
+func TestSnapshotContainerReuse(t *testing.T) {
+	cfg := snapshotTestConfig(incentive.KindEigenTrust)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reused EngineSnapshot
+	for i := 0; i < 40; i++ {
+		eng.StepOnce(1, true)
+	}
+	eng.Snapshot(&reused) // stale content to overwrite
+	for i := 0; i < 40; i++ {
+		eng.StepOnce(1, true)
+	}
+	fresh := eng.Snapshot(nil)
+	eng.Snapshot(&reused)
+	if !reflect.DeepEqual(fresh, &reused) {
+		t.Error("reused snapshot container differs from a fresh snapshot")
+	}
+}
+
+// TestRestoreAcrossMixtures pins the positional mixture tolerance: a
+// snapshot from one population mixture restores into an engine with a
+// neighboring mixture, slots that stayed rational keep their Q-matrices,
+// and slots that changed type start fresh.
+func TestRestoreAcrossMixtures(t *testing.T) {
+	cfgA := snapshotTestConfig(incentive.KindReputation)
+	cfgA.Mix = Mixture{Rational: 0.5, Altruistic: 0.3, Irrational: 0.2}
+	a, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a.StepOnce(1, true)
+	}
+	snap := a.Snapshot(nil)
+
+	cfgB := cfgA
+	cfgB.Mix = Mixture{Rational: 0.6, Altruistic: 0.2, Irrational: 0.2}
+	b, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	nrA, _, _ := cfgA.Mix.Counts(cfgA.Peers)
+	nrB, _, _ := cfgB.Mix.Counts(cfgB.Peers)
+	if nrB <= nrA {
+		t.Fatalf("test setup: expected more rationals in B (%d vs %d)", nrB, nrA)
+	}
+	// A slot rational on both sides carries the learned Q-values.
+	carried := b.Agents()[0].SharingLearner()
+	if reflect.DeepEqual(carried.Row(0), make([]float64, carried.Actions())) {
+		// Row 0 may legitimately be zero if state 0 was never visited; check
+		// the whole matrix.
+		allZero := true
+		for s := 0; s < carried.States(); s++ {
+			for _, v := range carried.Row(s) {
+				if v != 0 {
+					allZero = false
+				}
+			}
+		}
+		if allZero {
+			t.Error("rational slot did not carry its trained Q-matrix")
+		}
+	}
+	// A slot that became rational starts from zero.
+	fresh := b.Agents()[nrB-1].SharingLearner()
+	for s := 0; s < fresh.States(); s++ {
+		for _, v := range fresh.Row(s) {
+			if v != 0 {
+				t.Fatalf("newly rational slot has non-zero Q-values")
+			}
+		}
+	}
+	// The restored engine must still run deterministically.
+	for i := 0; i < 50; i++ {
+		b.StepOnce(1, true)
+	}
+}
+
+// TestRestoreAcrossSchemeKinds pins the cross-kind tolerance: restoring a
+// snapshot taken under another incentive scheme resets the engine's scheme
+// to initial conditions instead of failing, and the run stays deterministic.
+func TestRestoreAcrossSchemeKinds(t *testing.T) {
+	cfgA := snapshotTestConfig(incentive.KindKarma)
+	a, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		a.StepOnce(1, true)
+	}
+	snap := a.Snapshot(nil)
+
+	cfgB := cfgA
+	cfgB.Scheme = incentive.KindReputation
+	run := func() *EngineSnapshot {
+		b, err := New(cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RestoreFrom(snap); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			b.StepOnce(1, true)
+		}
+		return b.Snapshot(nil)
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Error("cross-scheme restore is nondeterministic")
+	}
+}
+
+// TestRestoreErrors pins the validation surface.
+func TestRestoreErrors(t *testing.T) {
+	cfg := snapshotTestConfig(incentive.KindReputation)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RestoreFrom(nil); err == nil {
+		t.Error("RestoreFrom(nil) should fail")
+	}
+	if err := eng.RestoreLearnersFrom(nil); err == nil {
+		t.Error("RestoreLearnersFrom(nil) should fail")
+	}
+	snap := eng.Snapshot(nil)
+	other := cfg
+	other.Peers = cfg.Peers + 5
+	big, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.RestoreFrom(snap); err == nil {
+		t.Error("peer-count mismatch should fail")
+	}
+	if err := big.RestoreLearnersFrom(snap); err == nil {
+		t.Error("peer-count mismatch should fail for learners-only restore")
+	}
+}
+
+// TestRestoreAllocationFree pins the acceptance criterion: a warm restore
+// into an engine whose shape the snapshot has seen before allocates nothing
+// (reputation scheme, the default of the figure sweeps).
+func TestRestoreAllocationFree(t *testing.T) {
+	cfg := snapshotTestConfig(incentive.KindReputation)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		eng.StepOnce(1, true)
+	}
+	snap := eng.Snapshot(nil)
+	if err := eng.RestoreFrom(snap); err != nil { // warm the restore path
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := eng.RestoreFrom(snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm RestoreFrom allocates %v times per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		eng.Snapshot(snap)
+	})
+	if allocs != 0 {
+		t.Errorf("warm Snapshot allocates %v times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,36 @@
+package xrand
+
+import "testing"
+
+func TestStateRoundTrip(t *testing.T) {
+	src := New(42)
+	for i := 0; i < 100; i++ {
+		src.Uint64()
+	}
+	st := src.State()
+	fork := New(7) // different stream, then restored
+	fork.SetState(st)
+	for i := 0; i < 1000; i++ {
+		if a, b := src.Uint64(), fork.Uint64(); a != b {
+			t.Fatalf("restored stream diverges at %d: %x vs %x", i, a, b)
+		}
+	}
+}
+
+func TestStateCaptureDoesNotAdvance(t *testing.T) {
+	s := New(3)
+	_ = s.State()
+	want := New(3).Uint64()
+	if got := s.Uint64(); got != want {
+		t.Error("State() must not consume randomness")
+	}
+}
+
+func TestSetStateZeroGuard(t *testing.T) {
+	s := New(1)
+	s.SetState([4]uint64{})
+	// Must not wedge in the all-zero fixed point.
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("all-zero state not guarded")
+	}
+}

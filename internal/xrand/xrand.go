@@ -50,6 +50,20 @@ func (s *Source) Reseed(seed uint64) {
 	}
 }
 
+// State returns the generator's full internal state for checkpointing. A
+// Source restored with SetState continues the exact output sequence.
+func (s *Source) State() [4]uint64 { return s.s }
+
+// SetState restores a state previously captured with State. The all-zero
+// state is invalid for xoshiro and is replaced by a fixed nonzero word, the
+// same guard Reseed applies.
+func (s *Source) SetState(st [4]uint64) {
+	s.s = st
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
