@@ -13,7 +13,7 @@
 # (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 4
+BENCH_N ?= 5
 
 .PHONY: build test vet fmt-check check bench bench-diff bench-guard \
 	cover fuzz-smoke figure-smoke clean
@@ -84,7 +84,7 @@ bench-guard:
 # runs it as a non-blocking report step; run it locally before recording a
 # PR.
 COVER_MIN  ?= 80
-COVER_PKGS ?= ./internal/articles ./internal/sim
+COVER_PKGS ?= ./internal/articles ./internal/sim ./internal/reputation
 cover:
 	@$(GO) test -coverprofile=cover.out ./... > cover.txt 2>&1 || { cat cover.txt; exit 1; }
 	@cat cover.txt

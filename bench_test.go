@@ -373,6 +373,81 @@ func BenchmarkEigenTrustVariants(b *testing.B) {
 	})
 }
 
+// BenchmarkTrustGraphChurn is the tentpole benchmark: a CSR-rebuild-heavy
+// density-churn workload over the map-backed TrustGraph vs the edge-log
+// LogGraph. Each iteration accumulates trust on existing edges, churns the
+// sparsity pattern (delete a few random edges, add a few new ones — what a
+// live download mesh does as peers come and go), and refreshes the
+// EigenTrust CSR. The map graph's refresh detects the pattern change and
+// rebuilds by walking n hash maps; the log graph compacts its tail with the
+// counting-scatter merge and hands the CSR a layout-compatible adjacency.
+// The log variant must beat the map variant at n >= 10k (the acceptance
+// bar recorded in BENCH_5.json).
+func BenchmarkTrustGraphChurn(b *testing.B) {
+	const avgDeg = 8
+	const updates = 64 // value-only accumulations per iteration
+	const churn = 8    // edges deleted and re-added per iteration
+	for _, n := range []int{1000, 10000, 100000} {
+		// One shared op schedule per size so both variants replay the
+		// identical statement stream.
+		type op struct {
+			from, to int
+			w        float64
+		}
+		setup := func(g reputation.Graph, rng *xrand.Source) []op {
+			edges := make([]op, 0, n*avgDeg)
+			for k := 0; k < n*avgDeg; k++ {
+				e := op{from: rng.Intn(n), to: rng.Intn(n), w: rng.Float64() + 0.1}
+				if e.from == e.to {
+					continue
+				}
+				if err := g.AddTrust(e.from, e.to, e.w); err != nil {
+					b.Fatal(err)
+				}
+				edges = append(edges, e)
+			}
+			return edges
+		}
+		iterate := func(g reputation.Graph, edges []op, rng *xrand.Source, csr *reputation.CSR) {
+			for k := 0; k < updates; k++ {
+				e := edges[rng.Intn(len(edges))]
+				g.AddTrust(e.from, e.to, 0.01)
+			}
+			for k := 0; k < churn; k++ {
+				// Delete a random known edge and add a fresh one, keeping
+				// the density steady while breaking the sparsity pattern.
+				del := edges[rng.Intn(len(edges))]
+				g.SetTrust(del.from, del.to, 0)
+				add := op{from: rng.Intn(n), to: rng.Intn(n), w: rng.Float64() + 0.1}
+				if add.from != add.to {
+					g.AddTrust(add.from, add.to, add.w)
+					edges[rng.Intn(len(edges))] = add
+				}
+			}
+			csr.Refresh(g)
+		}
+		for _, variant := range []struct {
+			name string
+			make func() reputation.Graph
+		}{
+			{"map", func() reputation.Graph { g, _ := reputation.NewTrustGraph(n); return g }},
+			{"log", func() reputation.Graph { g, _ := reputation.NewLogGraph(n); return g }},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, variant.name), func(b *testing.B) {
+				g := variant.make()
+				rng := xrand.New(uint64(n))
+				edges := setup(g, rng)
+				csr := reputation.NewCSR(g)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					iterate(g, edges, rng, csr)
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkMaxFlow(b *testing.B) {
 	rng := xrand.New(5)
 	const n = 60

@@ -9,6 +9,7 @@
 //	collabsim -fig 4 -workers 8 # shard sweep points across 8 workers
 //	collabsim -fig 4 -warm      # warm-start chains (snapshot + burn-in)
 //	collabsim -fig 4 -warm -cold # run both paths, report the speedup
+//	collabsim -fig 4 -scale paper -warm -checkpoint ckpt/  # resumable sweep
 //	collabsim -ablation shape
 //	collabsim -fig 4 -benchjson BENCH_1.json   # also record wall-clock JSON
 //	collabsim -benchparse bench.out -benchjson BENCH_1.json
@@ -20,7 +21,12 @@
 // warm-start chains (each sweep point restored from its predecessor's
 // trained snapshot, re-trained for -burnin steps only); -cold is the
 // default full-retraining reference, and giving both runs the two paths
-// back to back and prints the wall-clock comparison. -benchjson records the
+// back to back and prints the wall-clock comparison. -checkpoint DIR
+// persists every sweep chain's progress (completed point results + carry
+// snapshot, binary codec) under DIR after each point and resumes
+// interrupted chains from it on the next invocation — an interrupted
+// `-scale paper -warm` sweep continues where it stopped with bit-identical
+// results; clear DIR when changing the experiment or scale. -benchjson records the
 // wall-clock of this invocation's experiment as one JSON benchmark record;
 // -benchparse instead converts `go test -bench` text output into the same
 // JSON schema, so CI can track benchmark trajectories across PRs
@@ -56,6 +62,7 @@ func main() {
 		warm       = flag.Bool("warm", false, "run sweeps as warm-start chains (snapshot + burn-in per point)")
 		cold       = flag.Bool("cold", false, "run sweeps cold (full retraining per point; with -warm, run both and compare timing)")
 		burnIn     = flag.Int("burnin", 0, "warm-start burn-in steps per sweep point (0 = TrainSteps/20)")
+		checkpoint = flag.String("checkpoint", "", "persist sweep-chain progress under this directory and resume interrupted chains from it")
 		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -76,7 +83,7 @@ func main() {
 		fmt.Println("figures:    -fig 1 … -fig 7  (Figures 1-7 of the paper)")
 		fmt.Println("ablations:  -ablation shape | temperature | voting | punishment | scheme | histogram")
 		fmt.Println("scales:     -scale quick (reduced) | -scale paper (full 100 peers, 10k training steps)")
-		fmt.Println("tooling:    -workers N | -benchjson FILE | -benchparse FILE | -benchbase OLD -benchdiff NEW")
+		fmt.Println("tooling:    -workers N | -warm [-cold] | -checkpoint DIR | -benchjson FILE | -benchparse FILE | -benchbase OLD -benchdiff NEW")
 		return
 	}
 
@@ -99,6 +106,7 @@ func main() {
 	sc.Seed = *seed
 	sc.Workers = *workers
 	sc.BurnInSteps = *burnIn
+	sc.CheckpointDir = *checkpoint
 
 	runTimed := func(warmStart bool) ([]experiments.Figure, time.Duration, error) {
 		s := sc

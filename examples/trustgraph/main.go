@@ -19,7 +19,11 @@ func main() {
 		colluders = 3 // peers 8..10 boost each other
 		n         = honest + colluders
 	)
-	g, err := reputation.NewTrustGraph(n)
+	// The edge-log graph is the production trust store: writes append to a
+	// log and a deterministic compaction folds them into a CSR adjacency.
+	// Swapping in reputation.NewTrustGraph (the map-backed reference) gives
+	// bit-identical results — the differential suite pins the two.
+	g, err := reputation.NewLogGraph(n)
 	if err != nil {
 		log.Fatal(err)
 	}

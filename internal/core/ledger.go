@@ -19,6 +19,18 @@ type Ledger struct {
 	voteBanned    bool // voting rights revoked (Section III-C2 punishment)
 	regainedEdits int  // accepted edits while banned, toward RegainEdits
 
+	// Memoized reputation evaluations, keyed on the contribution value they
+	// were computed from. The reputation function is a construction-time
+	// constant, so a cache entry can never go stale: RS/RE compare the
+	// current contribution against the cached input and re-evaluate only on
+	// change. The engine reads each reputation several times per step
+	// (action selection, vote weights, allocation, learning) while the
+	// contribution moves once, so this removes most of the logistic's
+	// math.Exp calls — the hot spot the PR 4 profile identified.
+	rsIn, rsOut float64
+	reIn, reOut float64
+	rsOk, reOk  bool
+
 	// Lifetime counters for metrics; never reset except by Reset.
 	SuccVotes  int // votes cast with the majority
 	FailVotes  int // votes cast against the majority
@@ -51,11 +63,23 @@ func (l *Ledger) CS() float64 { return l.cs.Value() }
 // CE returns the current editing/voting contribution value.
 func (l *Ledger) CE() float64 { return l.ce.Value() }
 
-// RS returns the sharing reputation RS(CS).
-func (l *Ledger) RS() float64 { return l.repFn.Eval(l.cs.Value()) }
+// RS returns the sharing reputation RS(CS), memoized per contribution
+// value.
+func (l *Ledger) RS() float64 {
+	if v := l.cs.Value(); !l.rsOk || v != l.rsIn {
+		l.rsIn, l.rsOut, l.rsOk = v, l.repFn.Eval(v), true
+	}
+	return l.rsOut
+}
 
-// RE returns the editing reputation RE(CE).
-func (l *Ledger) RE() float64 { return l.repFn.Eval(l.ce.Value()) }
+// RE returns the editing reputation RE(CE), memoized per contribution
+// value.
+func (l *Ledger) RE() float64 {
+	if v := l.ce.Value(); !l.reOk || v != l.reIn {
+		l.reIn, l.reOut, l.reOk = v, l.repFn.Eval(v), true
+	}
+	return l.reOut
+}
 
 // StepSharing advances the sharing contribution by one time step in which
 // the peer shared the given fractions of its articles and upload bandwidth.

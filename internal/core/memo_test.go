@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+// TestLedgerReputationMemoMatchesDirectEval drives a ledger through a
+// random op sequence and checks after every op that the memoized RS/RE
+// equal a direct evaluation of the reputation function — the memo is keyed
+// on the contribution value, so it can never go stale.
+func TestLedgerReputationMemoMatchesDirectEval(t *testing.T) {
+	p := Default()
+	l, err := NewLedger(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := p.ReputationFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(41)
+	check := func(step int) {
+		t.Helper()
+		if got, want := l.RS(), fn.Eval(l.CS()); got != want {
+			t.Fatalf("step %d: RS memo %v != direct %v", step, got, want)
+		}
+		if got, want := l.RE(), fn.Eval(l.CE()); got != want {
+			t.Fatalf("step %d: RE memo %v != direct %v", step, got, want)
+		}
+		// Repeated reads return the identical value.
+		if l.RS() != l.RS() || l.RE() != l.RE() {
+			t.Fatalf("step %d: repeated reads disagree", step)
+		}
+	}
+	check(-1)
+	for s := 0; s < 2000; s++ {
+		switch rng.Intn(6) {
+		case 0, 1:
+			l.StepSharing(rng.Float64(), rng.Float64())
+		case 2:
+			l.StepEditing(rng.Intn(3), rng.Intn(2))
+		case 3:
+			l.RecordVoteOutcome(rng.Bool(0.5))
+		case 4:
+			l.RecordEditOutcome(rng.Bool(0.5)) // may punish-reset CS and CE
+		case 5:
+			if rng.Bool(0.05) {
+				l.Reset()
+			}
+		}
+		check(s)
+	}
+	// Snapshot round trip restores the contribution values, and the memo
+	// follows them.
+	l.StepSharing(1, 1)
+	var st LedgerState
+	l.SaveState(&st)
+	before := l.RS()
+	l.StepSharing(0, 0) // move the value
+	if l.RS() == before {
+		t.Fatal("decay did not move RS; test cannot observe the reload")
+	}
+	l.LoadState(st)
+	if l.RS() != before {
+		t.Fatalf("RS after LoadState = %v, want %v", l.RS(), before)
+	}
+}
+
+// TestLedgerReputationMemoAllocationFree pins the memoized read path: no
+// allocation whether the cache hits or misses.
+func TestLedgerReputationMemoAllocationFree(t *testing.T) {
+	l, err := NewLedger(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StepSharing(0.5, 0.5)
+	if allocs := testing.AllocsPerRun(200, func() {
+		_ = l.RS()
+		_ = l.RE()
+	}); allocs != 0 {
+		t.Errorf("memoized hit path allocates %v/op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		l.StepSharing(0.5, 0.5) // invalidates via value change
+		_ = l.RS()
+		l.StepEditing(1, 1)
+		_ = l.RE()
+	}); allocs != 0 {
+		t.Errorf("memoized miss path allocates %v/op", allocs)
+	}
+}

@@ -69,6 +69,13 @@ type Scale struct {
 	// BurnInSteps is the per-point warm-start burn-in; <= 0 derives
 	// TrainSteps / sim.DefaultBurnInDivisor.
 	BurnInSteps int
+
+	// CheckpointDir persists each sweep chain's progress (results +
+	// carry snapshot, binary codec) under this directory and resumes
+	// interrupted chains from it, so a paper-scale sweep survives process
+	// restarts with bit-identical results. Empty disables checkpointing;
+	// clear the directory when changing the experiment or its scale.
+	CheckpointDir string
 }
 
 // PaperScale reproduces the paper's full experiment sizes.
@@ -84,7 +91,11 @@ func QuickScale() Scale {
 
 // chainOptions converts the scale's warm-start knobs for sim.RunChains.
 func (s Scale) chainOptions() sim.ChainOptions {
-	return sim.ChainOptions{WarmStart: s.WarmStart, BurnInSteps: s.BurnInSteps}
+	return sim.ChainOptions{
+		WarmStart:     s.WarmStart,
+		BurnInSteps:   s.BurnInSteps,
+		CheckpointDir: s.CheckpointDir,
+	}
 }
 
 // runChainSweep executes the chains across the worker pool and aggregates

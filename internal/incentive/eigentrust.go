@@ -46,10 +46,18 @@ func DefaultGlobalTrustConfig() GlobalTrustConfig {
 // (the sparsity pattern stabilizes once the download mesh has formed, after
 // which each refresh is a value-only renormalization plus O(nnz)
 // iterations).
+//
+// The local-trust store is the edge-log reputation.LogGraph: RecordTransfer
+// is an O(1) log append, and the scheme drives the log's compaction from
+// its own batched refresh cadence — each eigenvector solve compacts the
+// tail accumulated since the previous refresh and, when the sparsity
+// pattern is stable, refreshes the CSR with a value-only copy instead of
+// rebuilding the adjacency from per-row maps. Results are bit-identical to
+// a map-backed graph (the reputation differential suite pins this).
 type GlobalTrust struct {
 	cfg   GlobalTrustConfig
 	n     int
-	graph *reputation.TrustGraph
+	graph *reputation.LogGraph
 	ws    *reputation.EigenTrustWorkspace
 
 	trust []float64 // latest global trust vector (distribution over peers)
@@ -70,7 +78,7 @@ func NewGlobalTrust(n int, cfg GlobalTrustConfig) (*GlobalTrust, error) {
 	if cfg.Floor < 0 {
 		return nil, fmt.Errorf("incentive: Floor must be >= 0, got %v", cfg.Floor)
 	}
-	graph, err := reputation.NewTrustGraph(n)
+	graph, err := reputation.NewLogGraph(n)
 	if err != nil {
 		return nil, err
 	}
@@ -99,10 +107,12 @@ func (g *GlobalTrust) Trust(peer int) float64 {
 }
 
 // Graph exposes the local-trust graph (for metrics and tests).
-func (g *GlobalTrust) Graph() *reputation.TrustGraph { return g.graph }
+func (g *GlobalTrust) Graph() reputation.Graph { return g.graph }
 
 // recompute solves for the global trust vector through the reusable
-// workspace and refreshes the squashed observables.
+// workspace and refreshes the squashed observables. The workspace's CSR
+// refresh compacts the edge log first, so the scheme's refresh cadence is
+// also the log's compaction cadence.
 func (g *GlobalTrust) recompute() error {
 	tv, err := g.ws.Compute(g.graph, g.cfg.Trust)
 	if err != nil {

@@ -73,9 +73,10 @@ type TitForTatState struct {
 }
 
 // GlobalTrustState is the mutable state of the EigenTrust-backed scheme: the
-// local-trust graph as an edge list plus the cached trust vector and refresh
-// bookkeeping. The CSR workspace is derived state and rebuilds itself from
-// the graph on the next refresh.
+// local-trust edge-log graph in its canonical compacted form (ascending
+// (From, To) edge list — the log tail is folded in by the save) plus the
+// cached trust vector and refresh bookkeeping. The CSR workspace is derived
+// state and rebuilds itself from the graph on the next refresh.
 type GlobalTrustState struct {
 	Edges        []reputation.Edge
 	Trust        []float64

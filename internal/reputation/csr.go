@@ -45,10 +45,16 @@ type CSR struct {
 	dangling []int32
 	// cur is the scatter-cursor scratch, reused by Rebuild.
 	cur []int
+
+	// Edge-log fast-path key: when the CSR was last built from logSrc at
+	// pattern generation logPatGen, a Refresh against the same compacted
+	// graph is a pure value copy — no per-row pattern probing at all.
+	logSrc    *LogGraph
+	logPatGen uint64
 }
 
 // NewCSR builds the CSR form of g's normalized local-trust matrix.
-func NewCSR(g *TrustGraph) *CSR {
+func NewCSR(g Graph) *CSR {
 	c := &CSR{}
 	c.Rebuild(g)
 	return c
@@ -97,8 +103,26 @@ func (c *CSR) Row(i int, fn func(j int, v float64)) {
 // Rebuild reconstructs both layouts from g, reusing every buffer whose
 // capacity suffices. Rows are normalized with their entries summed in
 // ascending column order, so the stored values are bit-reproducible for any
-// map iteration order.
-func (c *CSR) Rebuild(g *TrustGraph) {
+// map iteration order — and identical between the map-backed and the
+// edge-log graph. Known implementations dispatch to specialized builds (the
+// edge-log graph's compacted adjacency is already in CSR layout, so its
+// build is a copy plus one transpose scatter); anything else goes through
+// the Graph interface.
+func (c *CSR) Rebuild(g Graph) {
+	switch t := g.(type) {
+	case *TrustGraph:
+		c.rebuildFromMap(t)
+	case *LogGraph:
+		c.rebuildFromLog(t)
+	default:
+		c.rebuildGeneric(g)
+	}
+}
+
+// rebuildFromMap is the map-backed build: the original three-pass
+// counting-scatter construction reading the row maps directly.
+func (c *CSR) rebuildFromMap(g *TrustGraph) {
+	c.logSrc = nil
 	n := g.Len()
 	if n > math.MaxInt32 {
 		// int32 column indices bound the representation; graphs beyond
@@ -176,6 +200,131 @@ func (c *CSR) Rebuild(g *TrustGraph) {
 	c.normalizeFromRaw()
 }
 
+// rebuildFromLog builds both layouts from an edge-log graph. The graph's
+// compacted adjacency is already the forward layout with raw weights —
+// columns ascending, only positive entries — so the build is a straight
+// copy plus a single forward→transpose scatter (sources ascending keeps
+// every transpose row sorted), then the shared normalization pass.
+func (c *CSR) rebuildFromLog(g *LogGraph) {
+	g.Compact()
+	n := g.Len()
+	c.n = n
+	c.rowPtr = growInts(c.rowPtr, n+1)
+	c.tRowPtr = growInts(c.tRowPtr, n+1)
+	c.cur = growInts(c.cur, n)
+	c.dangling = c.dangling[:0]
+
+	nnz := len(g.colIdx)
+	copy(c.rowPtr, g.rowPtr)
+	c.colIdx = growInt32s(c.colIdx, nnz)
+	c.val = growFloats(c.val, nnz)
+	copy(c.colIdx, g.colIdx)
+	copy(c.val, g.val)
+	c.tColIdx = growInt32s(c.tColIdx, nnz)
+	c.tVal = growFloats(c.tVal, nnz)
+	c.tPos = growInts(c.tPos, nnz)
+
+	// In-degrees and dangling rows.
+	for i := 0; i <= n; i++ {
+		c.tRowPtr[i] = 0
+	}
+	for _, j := range c.colIdx {
+		c.tRowPtr[j+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.tRowPtr[i+1] += c.tRowPtr[i]
+		if c.rowPtr[i+1] == c.rowPtr[i] {
+			c.dangling = append(c.dangling, int32(i))
+		}
+	}
+
+	// Forward → transpose scatter: rows ascending, so each transpose row's
+	// sources come out ascending.
+	copy(c.cur, c.tRowPtr[:n])
+	for i := 0; i < n; i++ {
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			j := c.colIdx[k]
+			s := c.cur[j]
+			c.cur[j] = s + 1
+			c.tColIdx[s] = int32(i)
+			c.tVal[s] = c.val[k]
+			c.tPos[k] = s
+		}
+	}
+	c.normalizeFromRaw()
+	c.logSrc = g
+	c.logPatGen = g.patGen
+}
+
+// rebuildGeneric builds both layouts from any Graph implementation through
+// its OutEdges iterator, with the same two-scatter no-sort construction and
+// the same arithmetic order as the specialized builds.
+func (c *CSR) rebuildGeneric(g Graph) {
+	c.logSrc = nil
+	n := g.Len()
+	if n > math.MaxInt32 {
+		panic("reputation: CSR supports at most 2^31-1 peers")
+	}
+	c.n = n
+	c.rowPtr = growInts(c.rowPtr, n+1)
+	c.tRowPtr = growInts(c.tRowPtr, n+1)
+	c.cur = growInts(c.cur, n)
+	c.dangling = c.dangling[:0]
+
+	for i := 0; i <= n; i++ {
+		c.rowPtr[i] = 0
+		c.tRowPtr[i] = 0
+	}
+	nnz := 0
+	for i := 0; i < n; i++ {
+		deg := 0
+		g.OutEdges(i, func(j int, w float64) {
+			if w > 0 {
+				deg++
+				c.tRowPtr[j+1]++
+			}
+		})
+		c.rowPtr[i+1] = deg
+		nnz += deg
+		if deg == 0 {
+			c.dangling = append(c.dangling, int32(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.rowPtr[i+1] += c.rowPtr[i]
+		c.tRowPtr[i+1] += c.tRowPtr[i]
+	}
+	c.colIdx = growInt32s(c.colIdx, nnz)
+	c.val = growFloats(c.val, nnz)
+	c.tColIdx = growInt32s(c.tColIdx, nnz)
+	c.tVal = growFloats(c.tVal, nnz)
+	c.tPos = growInts(c.tPos, nnz)
+
+	copy(c.cur, c.tRowPtr[:n])
+	for i := 0; i < n; i++ {
+		g.OutEdges(i, func(j int, w float64) {
+			if w > 0 {
+				s := c.cur[j]
+				c.cur[j] = s + 1
+				c.tColIdx[s] = int32(i)
+				c.tVal[s] = w
+			}
+		})
+	}
+	copy(c.cur, c.rowPtr[:n])
+	for j := 0; j < n; j++ {
+		for s := c.tRowPtr[j]; s < c.tRowPtr[j+1]; s++ {
+			i := c.tColIdx[s]
+			k := c.cur[i]
+			c.cur[i] = k + 1
+			c.colIdx[k] = int32(j)
+			c.val[k] = c.tVal[s]
+			c.tPos[k] = s
+		}
+	}
+	c.normalizeFromRaw()
+}
+
 // normalizeFromRaw divides each forward row (currently holding raw weights)
 // by its ascending-order sum and writes the normalized values into both
 // layouts.
@@ -200,9 +349,35 @@ func (c *CSR) normalizeFromRaw() {
 // allocation, no scatter — and Refresh reports true. Any structural change
 // (different size, new or removed edges) falls back to a full Rebuild and
 // reports false. Either way the CSR matches g on return.
-func (c *CSR) Refresh(g *TrustGraph) bool {
-	if g.Len() != c.n {
-		c.Rebuild(g)
+//
+// For an edge-log graph the stability check is O(1): the graph is
+// compacted and its pattern generation compared with the one recorded at
+// the last build, so a stable refresh is one value copy plus the
+// normalization pass — no per-row probing. The map-backed graph keeps its
+// original per-row pattern probe, and other implementations always rebuild.
+func (c *CSR) Refresh(g Graph) bool {
+	switch t := g.(type) {
+	case *TrustGraph:
+		return c.refreshFromMap(t)
+	case *LogGraph:
+		t.Compact()
+		if c.logSrc == t && c.logPatGen == t.patGen && c.n == t.n {
+			copy(c.val, t.val)
+			c.normalizeFromRaw()
+			return true
+		}
+		c.rebuildFromLog(t)
+		return false
+	default:
+		c.rebuildGeneric(g)
+		return false
+	}
+}
+
+// refreshFromMap is Refresh for the map-backed reference graph.
+func (c *CSR) refreshFromMap(g *TrustGraph) bool {
+	if g.Len() != c.n || c.logSrc != nil {
+		c.rebuildFromMap(g)
 		return false
 	}
 	for i := 0; i < c.n; i++ {

@@ -88,7 +88,7 @@ func (cfg EigenTrustConfig) fillPreTrust(p []float64) {
 // per call; callers that recompute trust repeatedly over an evolving graph
 // should hold an EigenTrustWorkspace instead, which reuses the CSR and all
 // iteration buffers across calls.
-func EigenTrust(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
+func EigenTrust(g Graph, cfg EigenTrustConfig) ([]float64, error) {
 	return NewEigenTrustWorkspace().Compute(g, cfg)
 }
 
@@ -100,7 +100,7 @@ func EigenTrust(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
 // accumulated in ascending source order, dangling and convergence sums in
 // index order), and zero entries only ever contribute exact +0 additions —
 // so the results are bit-identical, not merely close.
-func EigenTrustDense(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
+func EigenTrustDense(g Graph, cfg EigenTrustConfig) ([]float64, error) {
 	n := g.Len()
 	if err := cfg.validate(n); err != nil {
 		return nil, err

@@ -1,0 +1,128 @@
+package reputation
+
+import (
+	"reflect"
+	"testing"
+
+	"collabnet/internal/xrand"
+)
+
+func TestGossipSpreadInformsEveryone(t *testing.T) {
+	rng := xrand.New(3)
+	res, err := Spread(200, 0, DefaultGossip(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 200 {
+		t.Fatalf("informed %d of 200 peers", res.Informed)
+	}
+	if res.Rounds <= 0 || res.Rounds >= DefaultGossip().MaxRound {
+		t.Errorf("suspicious round count %d", res.Rounds)
+	}
+	if res.Messages < 199 {
+		t.Errorf("cannot inform 199 peers with %d messages", res.Messages)
+	}
+}
+
+func TestGossipSpreadSinglePeer(t *testing.T) {
+	rng := xrand.New(1)
+	res, err := Spread(1, 0, DefaultGossip(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 1 || res.Rounds != 0 || res.Messages != 0 {
+		t.Errorf("single peer result = %+v", res)
+	}
+}
+
+func TestGossipSpreadErrors(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := Spread(0, 0, DefaultGossip(), rng); err == nil {
+		t.Error("n = 0 should error")
+	}
+	if _, err := Spread(5, 9, DefaultGossip(), rng); err == nil {
+		t.Error("origin out of range should error")
+	}
+	if _, err := Spread(5, 0, GossipConfig{Fanout: 0, MaxRound: 10}, rng); err == nil {
+		t.Error("fanout 0 should error")
+	}
+	if _, err := Spread(5, 0, GossipConfig{Fanout: 2, MaxRound: 0}, rng); err == nil {
+		t.Error("MaxRound 0 should error")
+	}
+}
+
+func TestGossipSpreadRespectsMaxRound(t *testing.T) {
+	rng := xrand.New(9)
+	cfg := GossipConfig{Fanout: 1, MaxRound: 1}
+	res, err := Spread(1000, 0, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.Informed > 2 {
+		t.Errorf("one fanout-1 round informed %d peers", res.Informed)
+	}
+}
+
+// TestGossipSpreadDeterministic pins the dissemination to the RNG stream:
+// equal seeds give identical results — the property that keeps experiments
+// built on gossip reproducible regardless of which graph store feeds the
+// reputation values being disseminated.
+func TestGossipSpreadDeterministic(t *testing.T) {
+	run := func() GossipResult {
+		rng := xrand.New(42)
+		res, err := Spread(500, 7, GossipConfig{Fanout: 3, MaxRound: 50}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestAntiEntropyRoundsShape(t *testing.T) {
+	if r := AntiEntropyRounds(1, 2); r != 0 {
+		t.Errorf("n=1 rounds = %d", r)
+	}
+	if r := AntiEntropyRounds(0, 2); r != 0 {
+		t.Errorf("n=0 rounds = %d", r)
+	}
+	// Monotone in n, decreasing in fanout, O(log n) growth.
+	r1k := AntiEntropyRounds(1000, 2)
+	r1m := AntiEntropyRounds(1000000, 2)
+	if r1m <= r1k {
+		t.Errorf("rounds not monotone: n=1k %d, n=1M %d", r1k, r1m)
+	}
+	if r1m > 4*r1k {
+		t.Errorf("rounds not logarithmic-ish: n=1k %d, n=1M %d", r1k, r1m)
+	}
+	if hi, lo := AntiEntropyRounds(10000, 1), AntiEntropyRounds(10000, 8); hi <= lo {
+		t.Errorf("higher fanout should need fewer rounds: f=1 %d, f=8 %d", hi, lo)
+	}
+	// Clamped fanout: f < 1 behaves like f = 1.
+	if AntiEntropyRounds(100, 0) != AntiEntropyRounds(100, 1) {
+		t.Error("fanout < 1 should clamp to 1")
+	}
+}
+
+// TestGossipCostMatchesAnalyticEstimate cross-checks the simulated rounds
+// against the analytic companion on a mid-size network: both should land in
+// the same O(log n) ballpark.
+func TestGossipCostMatchesAnalyticEstimate(t *testing.T) {
+	rng := xrand.New(5)
+	const n = 2000
+	cfg := DefaultGossip()
+	res, err := Spread(n, 0, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := AntiEntropyRounds(n, cfg.Fanout)
+	if res.Rounds > 4*est || est > 4*res.Rounds {
+		t.Errorf("simulated %d rounds vs analytic %d: out of ballpark", res.Rounds, est)
+	}
+}

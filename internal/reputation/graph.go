@@ -24,6 +24,22 @@
 // returned slice is owned by the workspace and valid until the next call.
 // In steady state, Compute performs zero allocations.
 //
+// # Graph storage
+//
+// Two implementations of the Graph interface hold the local-trust
+// statements. TrustGraph is the map-backed executable reference: one
+// map[int]float64 per row, simple and obviously correct, but every CSR
+// rebuild walks n hash maps and the per-row buckets dominate memory at
+// large n. LogGraph is the production store on the road to the million-peer
+// target: writes append to an edge log, reads merge the last compacted CSR
+// adjacency with the small uncompacted tail, and a deterministic
+// counting-scatter compaction (log-size watermark or explicit Compact)
+// folds the tail back into the CSR — no sorting, no maps, no per-edge
+// allocation in steady state. A randomized differential test and the
+// graph-differential fuzz target pin the two implementations to identical
+// observable behavior over interleaved add/set/clear/compact/query
+// sequences.
+//
 // # Determinism
 //
 // EigenTrust, EigenTrustDense, EigenTrustWorkspace.Compute, and
@@ -32,6 +48,11 @@
 // fixed by the CSR layout (sources ascending) rather than by scheduling or
 // map iteration order, row normalization sums entries in ascending column
 // order, and the dangling and convergence sums run serially in index order.
+// Because normalization always sums rows in ascending column order, the
+// vectors are also bit-identical between the map-backed and the edge-log
+// graph, and MaxFlow canonicalizes its input through AppendEdges so its
+// augmenting order — and therefore its flow values — cannot depend on map
+// iteration order either.
 package reputation
 
 import (
@@ -39,9 +60,43 @@ import (
 	"sort"
 )
 
+// Graph is the trust-store interface shared by the map-backed TrustGraph
+// (the executable reference) and the edge-log LogGraph (the scalable
+// store). All implementations agree on semantics: self-trust is ignored,
+// negative trust clamps to zero, SetTrust with zero removes the edge, and
+// AppendEdges emits the canonical ascending (From, To) edge list.
+type Graph interface {
+	// Len returns the number of peers.
+	Len() int
+	// Trust returns the local trust of from in to (0 when absent).
+	Trust(from, to int) float64
+	// OutDegree returns the number of peers i directly trusts.
+	OutDegree(i int) int
+	// OutEdges calls fn for every outgoing edge of peer i. The visiting
+	// order is implementation-defined (but deterministic for LogGraph); fn
+	// must not mutate the graph.
+	OutEdges(i int, fn func(to int, w float64))
+	// SetTrust sets the local trust of from in to.
+	SetTrust(from, to int, w float64) error
+	// AddTrust accumulates w onto the existing local trust of from in to.
+	AddTrust(from, to int, w float64) error
+	// AppendEdges appends every edge in ascending (From, To) order to dst
+	// and returns the extended slice.
+	AppendEdges(dst []Edge) []Edge
+	// LoadEdges replaces the graph's content with the given edges,
+	// accumulating duplicates like repeated AddTrust calls.
+	LoadEdges(edges []Edge) error
+	// Clear removes every trust statement, keeping the peer count.
+	Clear()
+}
+
 // TrustGraph is a directed weighted graph of local trust statements:
 // Weight(i, j) is how much peer i trusts peer j, derived from i's direct
 // experience. It is the common input to EigenTrust and MaxFlow.
+//
+// TrustGraph is the map-backed executable reference implementation of
+// Graph; large or churn-heavy graphs should use LogGraph, which the
+// differential suite pins to identical behavior.
 type TrustGraph struct {
 	n     int
 	edges []map[int]float64 // edges[i][j] = local trust of i in j
@@ -202,3 +257,9 @@ func (g *TrustGraph) Clone() *TrustGraph {
 	}
 	return cp
 }
+
+// compile-time interface checks: both graph implementations satisfy Graph.
+var (
+	_ Graph = (*TrustGraph)(nil)
+	_ Graph = (*LogGraph)(nil)
+)

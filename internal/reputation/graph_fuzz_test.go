@@ -1,0 +1,114 @@
+package reputation
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzGraphDifferential is the graph-differential fuzz target: the input
+// bytes are decoded into an interleaved op stream (add/set/delete/clear/
+// compact) that drives the edge-log graph and the map-backed reference in
+// lockstep; any divergence in point reads, degrees, the canonical edge
+// list, or the resulting EigenTrust vector fails the run. fuzz-smoke picks
+// it up automatically.
+func FuzzGraphDifferential(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 2})
+	f.Add([]byte{6, 0, 1, 100, 1, 0, 2, 50, 3, 0, 0, 0, 4, 0, 0, 0, 0, 2, 1, 200})
+	f.Add([]byte{3, 2, 0, 1, 255, 1, 1, 0, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 2 + int(data[0]%10)
+		data = data[1:]
+		ref, err := NewTrustGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, err := NewLogGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg.SetWatermark(1 + n/2) // keep auto-compaction in play
+		for len(data) >= 4 {
+			kind := int(data[0] % 5)
+			a := int(data[1]) % n
+			b := int(data[2]) % n
+			w := float64(data[3]) / 16
+			data = data[4:]
+			applyGraphOp(ref, kind, a, b, w)
+			applyGraphOp(lg, kind, a, b, w)
+		}
+		for i := 0; i < n; i++ {
+			if ref.OutDegree(i) != lg.OutDegree(i) {
+				t.Fatalf("OutDegree(%d) diverged: map %d log %d", i, ref.OutDegree(i), lg.OutDegree(i))
+			}
+			for j := 0; j < n; j++ {
+				if rv, lv := ref.Trust(i, j), lg.Trust(i, j); rv != lv {
+					t.Fatalf("Trust(%d,%d) diverged: map %v log %v", i, j, rv, lv)
+				}
+			}
+		}
+		if re, le := ref.AppendEdges(nil), lg.AppendEdges(nil); len(re)+len(le) > 0 && !reflect.DeepEqual(re, le) {
+			t.Fatalf("edge lists diverged: map %v log %v", re, le)
+		}
+		cfg := DefaultEigenTrust()
+		vm, err := EigenTrust(ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The workspace owns its result; copy before the second solve.
+		want := append([]float64(nil), vm...)
+		vl, err := EigenTrust(lg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, vl) {
+			t.Fatalf("EigenTrust diverged:\nmap %v\nlog %v", want, vl)
+		}
+	})
+}
+
+// FuzzLogGraphCompactIdempotent checks that compaction is a pure
+// canonicalization: compacting any reachable graph state changes no
+// observable, and compacting twice equals compacting once.
+func FuzzLogGraphCompactIdempotent(f *testing.F) {
+	f.Add(uint64(3), []byte{0, 1, 10, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, seedN uint64, data []byte) {
+		n := 2 + int(seedN%14)
+		lg, err := NewLogGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(data) >= 3 {
+			a, b := int(data[0])%n, int(data[1])%n
+			w := float64(data[2]) / 8
+			if data[2]%3 == 0 {
+				lg.SetTrust(a, b, w)
+			} else {
+				lg.AddTrust(a, b, w)
+			}
+			data = data[3:]
+		}
+		before := lg.AppendEdges(nil) // compacts
+		for _, e := range before {
+			if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n || e.From == e.To {
+				t.Fatalf("non-canonical edge %+v", e)
+			}
+			if !(e.W > 0) || math.IsNaN(e.W) {
+				t.Fatalf("non-positive stored weight %+v", e)
+			}
+		}
+		lg.Compact() // second compact must be a no-op
+		after := lg.AppendEdges(nil)
+		if len(before) != len(after) {
+			t.Fatalf("re-compaction changed size: %d vs %d", len(before), len(after))
+		}
+		for k := range before {
+			if before[k] != after[k] {
+				t.Fatalf("re-compaction changed edge %d: %+v vs %+v", k, before[k], after[k])
+			}
+		}
+	})
+}

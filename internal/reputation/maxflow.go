@@ -1,6 +1,114 @@
 package reputation
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// flowEps is the residual-capacity threshold below which an arc counts as
+// saturated, shielding the augmenting search from float round-off crumbs.
+const flowEps = 1e-12
+
+// flowNet is a reusable residual network for the max-flow trust metric:
+// paired arcs (2k = forward with the edge's capacity, 2k+1 = reverse with
+// capacity 0) over a deterministic adjacency built once from a canonical
+// ascending (From, To) edge list. Because the adjacency order is fixed by
+// the edge list — never by map iteration — every run over equal graphs
+// takes identical augmenting paths and produces bit-identical flows,
+// regardless of which Graph implementation the edges came from.
+type flowNet struct {
+	n      int
+	arcPtr []int     // node adjacency ranges into arcIdx (n+1)
+	arcIdx []int32   // arc ids per node: forward arcs (targets ascending), then reverse arcs (sources ascending)
+	head   []int32   // arc target node
+	cap0   []float64 // initial capacities
+	res    []float64 // residual capacities, reset from cap0 per run
+	parent []int32   // BFS: arc that discovered the node (-1 unvisited, -2 source)
+	queue  []int32
+}
+
+// newFlowNet builds the residual network for n peers from edges in
+// ascending (From, To) order (the AppendEdges contract).
+func newFlowNet(n int, edges []Edge) *flowNet {
+	m := len(edges)
+	f := &flowNet{
+		n:      n,
+		arcPtr: make([]int, n+1),
+		arcIdx: make([]int32, 2*m),
+		head:   make([]int32, 2*m),
+		cap0:   make([]float64, 2*m),
+		res:    make([]float64, 2*m),
+		parent: make([]int32, n),
+		queue:  make([]int32, 0, n),
+	}
+	for k, e := range edges {
+		f.head[2*k] = int32(e.To)
+		f.cap0[2*k] = e.W
+		f.head[2*k+1] = int32(e.From)
+		f.arcPtr[e.From+1]++
+		f.arcPtr[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		f.arcPtr[i+1] += f.arcPtr[i]
+	}
+	// Scatter forward arcs first, then reverse arcs; within each group the
+	// canonical edge order keeps per-node neighbors ascending, so the whole
+	// adjacency is a pure function of the edge list.
+	cur := make([]int, n)
+	copy(cur, f.arcPtr[:n])
+	for k, e := range edges {
+		f.arcIdx[cur[e.From]] = int32(2 * k)
+		cur[e.From]++
+	}
+	for k, e := range edges {
+		f.arcIdx[cur[e.To]] = int32(2*k + 1)
+		cur[e.To]++
+	}
+	return f
+}
+
+// maxflow runs Edmonds-Karp (BFS augmenting paths, O(V·E²)) from source to
+// sink, resetting the residual capacities first so a flowNet can be reused
+// across many (source, sink) pairs.
+func (f *flowNet) maxflow(source, sink int) float64 {
+	copy(f.res, f.cap0)
+	total := 0.0
+	for {
+		for i := range f.parent {
+			f.parent[i] = -1
+		}
+		f.parent[source] = -2
+		f.queue = append(f.queue[:0], int32(source))
+		for qi := 0; qi < len(f.queue) && f.parent[sink] == -1; qi++ {
+			u := f.queue[qi]
+			for a := f.arcPtr[u]; a < f.arcPtr[u+1]; a++ {
+				arc := f.arcIdx[a]
+				v := f.head[arc]
+				if f.res[arc] > flowEps && f.parent[v] == -1 {
+					f.parent[v] = arc
+					f.queue = append(f.queue, v)
+				}
+			}
+		}
+		if f.parent[sink] == -1 {
+			break // no augmenting path remains
+		}
+		// Bottleneck along the path, then augment (arc^1 is the pair).
+		b := math.Inf(1)
+		for v := int32(sink); int(v) != source; v = f.head[f.parent[v]^1] {
+			if c := f.res[f.parent[v]]; c < b {
+				b = c
+			}
+		}
+		for v := int32(sink); int(v) != source; v = f.head[f.parent[v]^1] {
+			arc := f.parent[v]
+			f.res[arc] -= b
+			f.res[arc^1] += b
+		}
+		total += b
+	}
+	return total
+}
 
 // MaxFlow computes the maximum flow from source to sink in the trust graph,
 // treating each local trust value as an edge capacity. Feldman et al. (EC
@@ -10,10 +118,12 @@ import "fmt"
 // colluding clique cannot push more trust to itself than the cut between it
 // and the honest region admits.
 //
-// The implementation is Edmonds-Karp (BFS augmenting paths), O(V·E²), which
-// is comfortably fast at collaboration-network scale. An error is reported
-// for out-of-range endpoints; flow from a node to itself is defined as 0.
-func MaxFlow(g *TrustGraph, source, sink int) (float64, error) {
+// The graph is canonicalized into its ascending (From, To) edge list before
+// the search, so the result is a pure function of the graph's content:
+// bit-identical across runs and across Graph implementations (the map graph
+// and the edge-log graph produce the same flows). An error is reported for
+// out-of-range endpoints; flow from a node to itself is defined as 0.
+func MaxFlow(g Graph, source, sink int) (float64, error) {
 	n := g.Len()
 	if source < 0 || source >= n || sink < 0 || sink >= n {
 		return 0, fmt.Errorf("reputation: MaxFlow endpoints (%d,%d) out of range [0,%d)", source, sink, n)
@@ -21,80 +131,28 @@ func MaxFlow(g *TrustGraph, source, sink int) (float64, error) {
 	if source == sink {
 		return 0, nil
 	}
-	// Build residual adjacency: cap[i][j] initialized from the graph.
-	residual := make([]map[int]float64, n)
-	for i := 0; i < n; i++ {
-		residual[i] = make(map[int]float64)
-	}
-	for i := 0; i < n; i++ {
-		g.OutEdges(i, func(j int, w float64) {
-			if w > 0 {
-				residual[i][j] += w
-			}
-		})
-	}
-	total := 0.0
-	parent := make([]int, n)
-	for {
-		// BFS for an augmenting path in the residual graph.
-		for i := range parent {
-			parent[i] = -1
-		}
-		parent[source] = source
-		queue := []int{source}
-		for len(queue) > 0 && parent[sink] == -1 {
-			u := queue[0]
-			queue = queue[1:]
-			for v, c := range residual[u] {
-				if c > 1e-12 && parent[v] == -1 {
-					parent[v] = u
-					queue = append(queue, v)
-				}
-			}
-		}
-		if parent[sink] == -1 {
-			break // no augmenting path remains
-		}
-		// Find the bottleneck along the path.
-		bottleneck := residual[parent[sink]][sink]
-		for v := sink; v != source; v = parent[v] {
-			if c := residual[parent[v]][v]; c < bottleneck {
-				bottleneck = c
-			}
-		}
-		// Augment.
-		for v := sink; v != source; v = parent[v] {
-			u := parent[v]
-			residual[u][v] -= bottleneck
-			if residual[u][v] <= 1e-12 {
-				delete(residual[u], v)
-			}
-			residual[v][u] += bottleneck
-		}
-		total += bottleneck
-	}
-	return total, nil
+	return newFlowNet(n, g.AppendEdges(nil)).maxflow(source, sink), nil
 }
 
 // MaxFlowTrust computes the max-flow reputation the evaluator assigns to
 // every other peer, normalized so the largest value is 1 (and 0 when the
 // evaluator reaches nobody). This is the subjective per-peer trust vector of
-// the Feldman scheme, as opposed to EigenTrust's single global vector.
-func MaxFlowTrust(g *TrustGraph, evaluator int) ([]float64, error) {
+// the Feldman scheme, as opposed to EigenTrust's single global vector. The
+// edge list is extracted once and one residual network is reused across all
+// sinks.
+func MaxFlowTrust(g Graph, evaluator int) ([]float64, error) {
 	n := g.Len()
 	if evaluator < 0 || evaluator >= n {
 		return nil, fmt.Errorf("reputation: evaluator %d out of range [0,%d)", evaluator, n)
 	}
+	net := newFlowNet(n, g.AppendEdges(nil))
 	out := make([]float64, n)
 	maxV := 0.0
 	for j := 0; j < n; j++ {
 		if j == evaluator {
 			continue
 		}
-		f, err := MaxFlow(g, evaluator, j)
-		if err != nil {
-			return nil, err
-		}
+		f := net.maxflow(evaluator, j)
 		out[j] = f
 		if f > maxV {
 			maxV = f
@@ -112,6 +170,6 @@ func MaxFlowTrust(g *TrustGraph, evaluator int) ([]float64, error) {
 // max-flow/min-cut theorem equals MaxFlow. Exposed separately for the
 // property-based tests and for diagnosing collusion resistance (the cut
 // identifies the trust bottleneck between cliques).
-func MinCut(g *TrustGraph, source, sink int) (float64, error) {
+func MinCut(g Graph, source, sink int) (float64, error) {
 	return MaxFlow(g, source, sink)
 }

@@ -16,14 +16,18 @@ import (
 // This is a convenience wrapper that builds a fresh workspace per call;
 // repeated callers should hold an EigenTrustWorkspace and use
 // ComputeParallel to reuse the CSR and iteration buffers.
-func EigenTrustParallel(g *TrustGraph, cfg EigenTrustConfig, workers int) ([]float64, error) {
+func EigenTrustParallel(g Graph, cfg EigenTrustConfig, workers int) ([]float64, error) {
 	return NewEigenTrustWorkspace().ComputeParallel(g, cfg, workers)
 }
 
-// MaxFlowTrustParallel computes MaxFlowTrust with one goroutine per sink
-// shard — the per-sink flows are independent, so this is embarrassingly
-// parallel and exact.
-func MaxFlowTrustParallel(g *TrustGraph, evaluator, workers int) ([]float64, error) {
+// MaxFlowTrustParallel computes MaxFlowTrust with the sinks sharded across
+// worker goroutines — the per-sink flows are independent, so this is
+// embarrassingly parallel and exact. The graph is canonicalized into one
+// shared edge list up front (the only access to g), and each worker runs
+// its own residual network over it, so the results are bit-identical to the
+// serial MaxFlowTrust for every worker count and the graph sees no
+// concurrent reads.
+func MaxFlowTrustParallel(g Graph, evaluator, workers int) ([]float64, error) {
 	n := g.Len()
 	if evaluator < 0 || evaluator >= n {
 		return nil, fmt.Errorf("reputation: evaluator %d out of range [0,%d)", evaluator, n)
@@ -31,32 +35,23 @@ func MaxFlowTrustParallel(g *TrustGraph, evaluator, workers int) ([]float64, err
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	edges := g.AppendEdges(nil)
 	out := make([]float64, n)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			net := newFlowNet(n, edges)
 			for j := w; j < n; j += workers {
 				if j == evaluator {
 					continue
 				}
-				f, err := MaxFlow(g, evaluator, j)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[j] = f
+				out[j] = net.maxflow(evaluator, j)
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	maxV := 0.0
 	for _, f := range out {
 		if f > maxV {

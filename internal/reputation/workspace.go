@@ -59,21 +59,21 @@ func (ws *EigenTrustWorkspace) CSR() *CSR { return &ws.csr }
 // Compute runs the serial sparse power iteration on g and returns the
 // global trust vector. Steady-state calls (same graph size, stable sparsity
 // pattern) allocate nothing.
-func (ws *EigenTrustWorkspace) Compute(g *TrustGraph, cfg EigenTrustConfig) ([]float64, error) {
+func (ws *EigenTrustWorkspace) Compute(g Graph, cfg EigenTrustConfig) ([]float64, error) {
 	return ws.run(g, cfg, 1)
 }
 
 // ComputeParallel is Compute with the gather phase partitioned across
 // workers (0 = GOMAXPROCS). Results are bit-identical to Compute for every
 // worker count.
-func (ws *EigenTrustWorkspace) ComputeParallel(g *TrustGraph, cfg EigenTrustConfig, workers int) ([]float64, error) {
+func (ws *EigenTrustWorkspace) ComputeParallel(g Graph, cfg EigenTrustConfig, workers int) ([]float64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return ws.run(g, cfg, workers)
 }
 
-func (ws *EigenTrustWorkspace) run(g *TrustGraph, cfg EigenTrustConfig, workers int) ([]float64, error) {
+func (ws *EigenTrustWorkspace) run(g Graph, cfg EigenTrustConfig, workers int) ([]float64, error) {
 	n := g.Len()
 	if err := cfg.validate(n); err != nil {
 		return nil, err

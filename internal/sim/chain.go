@@ -41,6 +41,17 @@ type ChainOptions struct {
 	// step's level instead of dragging a neighboring configuration's
 	// saturated editor sets through every vote session.
 	CarryFullState bool
+	// CheckpointDir persists each chain's progress to
+	// <CheckpointDir>/<chain-name>.ckpt after every completed point: the
+	// results so far plus the carry snapshot, in the binary snapshot codec.
+	// When a chain starts and a usable checkpoint exists, its completed
+	// points are skipped (their stored results reused) and the carry
+	// snapshot is restored — so an interrupted paper-scale sweep resumes
+	// across process restarts with bit-identical results to an
+	// uninterrupted run. Stale or corrupt checkpoints are ignored; clear
+	// the directory when changing the sweep's configuration or scale.
+	// Empty disables persistence.
+	CheckpointDir string
 }
 
 // DefaultBurnInDivisor sets the default warm-start burn-in to
@@ -107,11 +118,30 @@ func RunChains(chains []SweepChain, opt ChainOptions, workers int) []ChainResult
 // post-training snapshot and re-trained for the burn-in budget only. The
 // snapshot container is reused across points, so the per-point
 // snapshot/restore cost is two buffer copies and no steady-state
-// allocation.
+// allocation. With a CheckpointDir, completed points are loaded from (and
+// progress persisted to) the chain's checkpoint file, so a restarted
+// process continues the chain where it stopped with identical results.
 func runChain(c SweepChain, opt ChainOptions) ChainResult {
 	cr := ChainResult{Name: c.Name, Results: make([]Result, 0, len(c.Points))}
 	var snap *EngineSnapshot
-	for pi, pt := range c.Points {
+	var ck *chainCheckpoint
+	start := 0
+	if opt.CheckpointDir != "" {
+		if loaded, ok := loadChainCheckpoint(opt.CheckpointDir, c.Name, len(c.Points)); ok {
+			ck = loaded
+			cr.Results = append(cr.Results, ck.Done...)
+			start = len(ck.Done)
+		} else {
+			ck = &chainCheckpoint{Name: c.Name}
+		}
+		// Use the checkpoint's snapshot as the carry container so writing a
+		// checkpoint never copies the snapshot separately. It is only read
+		// at a warm restore of a non-first point, by which time it has been
+		// filled (by the loaded checkpoint or by the predecessor point).
+		snap = &ck.Snap
+	}
+	for pi := start; pi < len(c.Points); pi++ {
+		pt := c.Points[pi]
 		eng, err := New(pt.Config)
 		if err != nil {
 			cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
@@ -130,7 +160,7 @@ func runChain(c SweepChain, opt ChainOptions) ChainResult {
 		} else {
 			eng.Train()
 		}
-		if opt.WarmStart && pi < len(c.Points)-1 {
+		if opt.WarmStart && (pi < len(c.Points)-1 || ck != nil) {
 			if opt.CarryFullState {
 				snap = eng.Snapshot(snap)
 			} else {
@@ -143,6 +173,13 @@ func runChain(c SweepChain, opt ChainOptions) ChainResult {
 			return cr
 		}
 		cr.Results = append(cr.Results, res)
+		if ck != nil {
+			ck.Done = cr.Results
+			if err := writeChainCheckpoint(opt.CheckpointDir, ck); err != nil {
+				cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
+				return cr
+			}
+		}
 	}
 	return cr
 }

@@ -121,6 +121,14 @@ type Config struct {
 	// VoteParticipation is the probability that an eligible voter casts a
 	// ballot on a given proposal.
 	VoteParticipation float64
+	// VoterCap bounds how many ballots one proposal collects: when > 0, the
+	// participating eligible editors are reservoir-sampled down to at most
+	// VoterCap voters (deterministically from the run's seed). 0 keeps the
+	// paper's full participation — every eligible editor who passes the
+	// VoteParticipation coin votes. The cap keeps vote sessions O(VoterCap)
+	// in ballot volume at million-peer article communities, where the
+	// editor set of a popular article grows with the population.
+	VoterCap int
 	// SeedArticles is the number of articles created (by random peers)
 	// before the simulation starts, so there is something to edit.
 	SeedArticles int
@@ -217,6 +225,9 @@ func (c Config) Validate() error {
 	}
 	if c.VoteParticipation < 0 || c.VoteParticipation > 1 {
 		return fmt.Errorf("sim: VoteParticipation must be in [0,1], got %v", c.VoteParticipation)
+	}
+	if c.VoterCap < 0 {
+		return fmt.Errorf("sim: VoterCap must be >= 0, got %d", c.VoterCap)
 	}
 	if c.SeedArticles < 0 {
 		return fmt.Errorf("sim: SeedArticles must be >= 0, got %d", c.SeedArticles)

@@ -45,15 +45,21 @@ type Engine struct {
 
 	// Vote-session scratch, reused across every edit session the engine
 	// runs: the dense ballot arena, the Outcome whose winner/loser slices
-	// Resolve recycles, the editor-set buffer, and one persistent
-	// eligibility closure reading sessEditor/sessArt (re-pointed per
-	// session, so no closure is allocated per proposal).
-	arena      *articles.SessionArena
-	voteOut    articles.Outcome
-	editorsBuf []int
-	sessEditor int
-	sessArt    *articles.Article
-	sessElig   func(voter int) bool
+	// Resolve recycles, the reservoir buffer for capped voter sampling, and
+	// persistent closures reading sessEditor/sessArt/sessQuality
+	// (re-pointed per session, so no closure is allocated per proposal).
+	// Voters are drawn directly from the article's sorted editor slice via
+	// EachEditor — no per-proposal copy of the editor set.
+	arena       *articles.SessionArena
+	voteOut     articles.Outcome
+	editorsBuf  []int
+	sessEditor  int
+	sessArt     *articles.Article
+	sessQuality articles.Quality
+	sessSeen    int // participating voters seen by the reservoir this session
+	sessElig    func(voter int) bool
+	sessVoteAll func(voter int) bool // full participation: cast inline
+	sessVoteRes func(voter int) bool // VoterCap: reservoir-sample voters
 
 	step    int
 	metrics *collector // nil while not collecting
@@ -100,6 +106,26 @@ func New(cfg Config) (*Engine, error) {
 	e.sessElig = func(v int) bool {
 		return v != e.sessEditor && v >= 0 && v < e.cfg.Peers &&
 			e.online[v] && e.sessArt.IsEditor(v) && e.scheme.CanVote(v)
+	}
+	e.sessVoteAll = func(v int) bool {
+		if e.sessElig(v) && e.rng.Bool(e.cfg.VoteParticipation) {
+			e.castBallot(v)
+		}
+		return true
+	}
+	e.sessVoteRes = func(v int) bool {
+		if !e.sessElig(v) || !e.rng.Bool(e.cfg.VoteParticipation) {
+			return true
+		}
+		// Algorithm R over the participating voters: the t-th one replaces
+		// a uniformly chosen slot with probability VoterCap/t.
+		e.sessSeen++
+		if len(e.editorsBuf) < e.cfg.VoterCap {
+			e.editorsBuf = append(e.editorsBuf, v)
+		} else if j := e.rng.Intn(e.sessSeen); j < e.cfg.VoterCap {
+			e.editorsBuf[j] = v
+		}
+		return true
 	}
 	nr, na, _ := cfg.Mix.Counts(cfg.Peers)
 	rmin := cfg.Params.RMin()
@@ -380,11 +406,30 @@ func (e *Engine) upShared(source int) float64 {
 	return e.shareBW[source]
 }
 
+// castBallot casts the current session's ballot for voter v: honest voters
+// approve constructive edits and reject destructive ones, dishonest voters
+// do the opposite.
+func (e *Engine) castBallot(v int) {
+	honest := e.evAction[v].Vote() == agent.Constructive
+	approve := (e.sessQuality == articles.Good) == honest
+	w := e.scheme.VoteWeight(v)
+	if !(w > 0) {
+		w = 1e-9 // degenerate weights never block a ballot
+	}
+	if err := e.arena.Cast(articles.Ballot{Voter: v, Approve: approve, Weight: w}); err != nil {
+		// Eligibility was checked; a cast failure is a programming error.
+		panic(err)
+	}
+}
+
 // runEditSession executes one edit proposal by editor: conduct from the
 // editor's chosen action, a weighted vote among the article's other
 // successful editors, resolution against the editor-dependent majority, and
 // the booking of all outcomes. The session runs in the engine's reusable
-// arena, so the whole path is allocation-free once warm.
+// arena and iterates the article's sorted editor slice in place
+// (EachEditor), so the whole path is allocation-free once warm and never
+// copies the editor set. With Config.VoterCap > 0 the participating voters
+// are reservoir-sampled down to the cap before any ballot is cast.
 func (e *Engine) runEditSession(editor int) {
 	art := e.store.At(e.rng.Intn(e.store.Len()))
 	conduct := e.evAction[editor].Edit()
@@ -393,23 +438,17 @@ func (e *Engine) runEditSession(editor int) {
 		quality = articles.Bad
 	}
 	prop := articles.Proposal{Article: art.ID, Editor: editor, Quality: quality, Step: e.step}
-	e.sessEditor, e.sessArt = editor, art
+	e.sessEditor, e.sessArt, e.sessQuality = editor, art, quality
 	e.arena.Begin(prop, e.sessElig)
-	e.editorsBuf = art.EditorsInto(e.editorsBuf)
-	for _, v := range e.editorsBuf {
-		if !e.sessElig(v) || !e.rng.Bool(e.cfg.VoteParticipation) {
-			continue
+	if e.cfg.VoterCap > 0 {
+		e.sessSeen = 0
+		e.editorsBuf = e.editorsBuf[:0]
+		art.EachEditor(e.sessVoteRes)
+		for _, v := range e.editorsBuf {
+			e.castBallot(v)
 		}
-		honest := e.evAction[v].Vote() == agent.Constructive
-		approve := (quality == articles.Good) == honest
-		w := e.scheme.VoteWeight(v)
-		if !(w > 0) {
-			w = 1e-9 // degenerate weights never block a ballot
-		}
-		if err := e.arena.Cast(articles.Ballot{Voter: v, Approve: approve, Weight: w}); err != nil {
-			// Eligibility was checked; a cast failure is a programming error.
-			panic(err)
-		}
+	} else {
+		art.EachEditor(e.sessVoteAll)
 	}
 	out := &e.voteOut
 	if err := e.arena.Resolve(e.scheme.RequiredMajority(editor), art.IsEditor(editor), out); err != nil {

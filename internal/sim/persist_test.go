@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotCodecRoundTripBitIdentical pins the persistence acceptance
+// bar: for every scheme kind, encoding a full engine snapshot and decoding
+// it into a fresh container reproduces every field bit-identically
+// (reflect.DeepEqual over the whole struct, floats included).
+func TestSnapshotCodecRoundTripBitIdentical(t *testing.T) {
+	for _, kind := range allSchemeKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := snapshotTestConfig(kind)
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 90; i++ {
+				eng.StepOnce(1, true)
+			}
+			snap := eng.Snapshot(nil)
+
+			var buf bytes.Buffer
+			if _, err := snap.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got := &EngineSnapshot{}
+			if _, err := got.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(snap, got) {
+				t.Fatal("decoded snapshot differs from the original")
+			}
+
+			// An engine restored from the decoded snapshot must continue
+			// bit-identically to one restored from the in-memory snapshot.
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.RestoreFrom(snap); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.RestoreFrom(got); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 60; i++ {
+				a.StepOnce(1, true)
+				b.StepOnce(1, true)
+			}
+			if !reflect.DeepEqual(a.Snapshot(nil), b.Snapshot(nil)) {
+				t.Fatal("engines diverged after restoring the decoded snapshot")
+			}
+		})
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	cfg := snapshotTestConfig(allSchemeKinds[4])
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		eng.StepOnce(1, true)
+	}
+	snap := eng.Snapshot(nil)
+	path := filepath.Join(t.TempDir(), "sub", "engine.snap")
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatal("file round trip differs")
+	}
+}
+
+func TestSnapshotCodecRejectsGarbage(t *testing.T) {
+	s := &EngineSnapshot{}
+	if _, err := s.ReadFrom(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Error("garbage should not decode")
+	}
+	if _, err := s.ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should not decode")
+	}
+	// Valid magic, truncated body.
+	if _, err := s.ReadFrom(bytes.NewReader([]byte(snapMagic))); err == nil {
+		t.Error("truncated input should not decode")
+	}
+	if _, err := ReadSnapshotFile(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+// checkpointChain builds a deterministic little warm-start sweep chain.
+func checkpointChain(points int) SweepChain {
+	c := SweepChain{Name: "ckpt chain/0"}
+	for p := 0; p < points; p++ {
+		cfg := Quick()
+		cfg.Peers = 20
+		cfg.TrainSteps = 120
+		cfg.MeasureSteps = 60
+		cfg.SeedArticles = 6
+		cfg.Seed = 77
+		cfg.Mix = Mixture{Rational: 1 - float64(p)*0.1, Altruistic: float64(p) * 0.1}
+		c.Points = append(c.Points, Job{Name: fmt.Sprintf("p%d", p), Config: cfg})
+	}
+	return c
+}
+
+// TestChainCheckpointResumeBitIdentical is the resume determinism pin: a
+// chain interrupted after k points and resumed from its checkpoint file (in
+// a fresh process, modeled by a fresh RunChains call) produces exactly the
+// results of an uninterrupted run.
+func TestChainCheckpointResumeBitIdentical(t *testing.T) {
+	const points = 3
+	opt := ChainOptions{WarmStart: true}
+	full := runChain(checkpointChain(points), opt)
+	if full.Err != nil {
+		t.Fatal(full.Err)
+	}
+
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	// "Interrupted" run: the same chain truncated to its first two points —
+	// exactly the state a killed process leaves behind in the checkpoint.
+	prefix := checkpointChain(points)
+	prefix.Points = prefix.Points[:2]
+	if cr := runChain(prefix, opt); cr.Err != nil {
+		t.Fatal(cr.Err)
+	}
+	// Resumed run: loads the checkpoint, skips the two completed points.
+	resumed := runChain(checkpointChain(points), opt)
+	if resumed.Err != nil {
+		t.Fatal(resumed.Err)
+	}
+	if !reflect.DeepEqual(full.Results, resumed.Results) {
+		t.Fatal("resumed chain results differ from the uninterrupted run")
+	}
+	// Completed chains resume to their stored results without re-running.
+	again := runChain(checkpointChain(points), opt)
+	if again.Err != nil {
+		t.Fatal(again.Err)
+	}
+	if !reflect.DeepEqual(full.Results, again.Results) {
+		t.Fatal("re-resumed chain results differ")
+	}
+}
+
+// TestChainCheckpointThroughRunChains exercises the public path end to end:
+// RunChains with a CheckpointDir equals RunChains without one, both cold
+// and warm, and stale checkpoints from a different chain name are ignored.
+func TestChainCheckpointThroughRunChains(t *testing.T) {
+	mk := func(name string) []SweepChain {
+		c := checkpointChain(2)
+		c.Name = name
+		return []SweepChain{c}
+	}
+	for _, warm := range []bool{false, true} {
+		dir := t.TempDir()
+		ref := RunChains(mk("a"), ChainOptions{WarmStart: warm}, 1)
+		got := RunChains(mk("a"), ChainOptions{WarmStart: warm, CheckpointDir: dir}, 1)
+		if ref[0].Err != nil || got[0].Err != nil {
+			t.Fatal(ref[0].Err, got[0].Err)
+		}
+		if !reflect.DeepEqual(ref[0].Results, got[0].Results) {
+			t.Fatalf("warm=%v: checkpointed run differs", warm)
+		}
+		// A different chain name must not pick up the existing file.
+		other := RunChains(mk("b"), ChainOptions{WarmStart: warm, CheckpointDir: dir}, 1)
+		if other[0].Err != nil {
+			t.Fatal(other[0].Err)
+		}
+		if !reflect.DeepEqual(ref[0].Results, other[0].Results) {
+			t.Fatalf("warm=%v: fresh chain under a new name differs", warm)
+		}
+	}
+}
+
+func TestChainCheckpointIgnoresCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	c := checkpointChain(2)
+	// Pre-plant garbage where the checkpoint would live.
+	if err := atomicWrite(checkpointPath(dir, c.Name), func(w io.Writer) error {
+		_, err := w.Write([]byte("garbage"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opt := ChainOptions{WarmStart: true, CheckpointDir: dir}
+	got := runChain(c, opt)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	want := runChain(checkpointChain(2), ChainOptions{WarmStart: true})
+	if !reflect.DeepEqual(want.Results, got.Results) {
+		t.Fatal("corrupt checkpoint changed the results")
+	}
+}

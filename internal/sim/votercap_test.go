@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func voterCapConfig(cap int) Config {
+	cfg := Quick()
+	cfg.Peers = 30
+	cfg.TrainSteps = 250
+	cfg.MeasureSteps = 150
+	cfg.SeedArticles = 6
+	cfg.EditProb = 0.2 // vote-heavy so the cap actually bites
+	cfg.OpenEditing = true
+	cfg.Mix = Mixture{Rational: 0.6, Altruistic: 0.2, Irrational: 0.2}
+	cfg.VoterCap = cap
+	return cfg
+}
+
+// TestVoterCapDeterministic pins the reservoir sampling to the seed: equal
+// configurations produce bit-identical runs.
+func TestVoterCapDeterministic(t *testing.T) {
+	run := func() (Result, *EngineSnapshot) {
+		eng, err := New(voterCapConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Train()
+		res, err := eng.Measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, eng.Snapshot(nil)
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("same seed, different results under VoterCap")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed, different final engine state under VoterCap")
+	}
+}
+
+// TestVoterCapAboveEditorsMatchesFullParticipation: a cap no session can
+// reach draws no extra RNG and must reproduce the uncapped run
+// bit-identically — the paper's full-participation voting stays the
+// default semantics.
+func TestVoterCapAboveEditorsMatchesFullParticipation(t *testing.T) {
+	run := func(cap int) *EngineSnapshot {
+		cfg := voterCapConfig(cap)
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			eng.StepOnce(1, true)
+		}
+		return eng.Snapshot(nil)
+	}
+	// Peers = 30, so a cap of 30 can never be exceeded (the editor is not
+	// an eligible voter of its own proposal).
+	if !reflect.DeepEqual(run(0), run(30)) {
+		t.Fatal("unreachable cap changed the run")
+	}
+}
+
+// TestVoterCapBoundsBallots pins the cap's effect: no single session books
+// more ballots than the cap, and the capped run's total ballot volume stays
+// well below the uncapped run's (so the cap demonstrably bites).
+func TestVoterCapBoundsBallots(t *testing.T) {
+	ballots := func(voterCap, steps int) (total, maxSession int) {
+		eng, err := New(voterCapConfig(voterCap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			prev := 0 // ballots booked earlier this step
+			eng.StepOnce(1, true)
+			stepTotal := 0
+			for v := range eng.succVotes {
+				stepTotal += eng.succVotes[v] + eng.failVotes[v]
+			}
+			total += stepTotal
+			// A step can resolve several sessions; a per-session bound needs
+			// single-session steps, so only track steps with one session.
+			if sess := sessionsThisStep(eng); sess == 1 && stepTotal-prev > maxSession {
+				maxSession = stepTotal
+			}
+		}
+		return total, maxSession
+	}
+	const voterCap = 2
+	cappedTotal, cappedMax := ballots(voterCap, 500)
+	uncappedTotal, _ := ballots(0, 500)
+	if uncappedTotal <= cappedTotal {
+		t.Fatalf("cap had no effect on ballot volume: capped %d, uncapped %d",
+			cappedTotal, uncappedTotal)
+	}
+	if cappedMax > voterCap {
+		t.Fatalf("a single session booked %d ballots under cap %d", cappedMax, voterCap)
+	}
+}
+
+// sessionsThisStep counts the edit sessions the engine resolved in its last
+// step (each books exactly one editor outcome).
+func sessionsThisStep(e *Engine) int {
+	n := 0
+	for i := range e.succEdits {
+		n += e.succEdits[i] + e.failEdits[i]
+	}
+	return n
+}
+
+func TestVoterCapValidation(t *testing.T) {
+	cfg := Quick()
+	cfg.VoterCap = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative VoterCap should fail validation")
+	}
+}
+
+// TestVoterCapStepAllocationFree extends the zero-alloc step pin to the
+// reservoir path: a warm engine with a small cap still steps without
+// allocating.
+func TestVoterCapStepAllocationFree(t *testing.T) {
+	cfg := voterCapConfig(4)
+	cfg.ChurnProb = 0
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		eng.StepOnce(1, true)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { eng.StepOnce(1, true) }); allocs != 0 {
+		t.Errorf("capped step allocates %v/op, want 0", allocs)
+	}
+}
