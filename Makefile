@@ -13,10 +13,10 @@
 # (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 5
+BENCH_N ?= 6
 
 .PHONY: build test vet fmt-check check bench bench-diff bench-guard \
-	cover fuzz-smoke figure-smoke clean
+	cover fuzz-smoke figure-smoke scenario-smoke clean
 
 build:
 	$(GO) build ./...
@@ -136,7 +136,7 @@ figure-smoke:
 		$(GO) run ./cmd/collabsim -fig $$fig -scale quick \
 			-csv $(FIGURE_OUT)/cold > /dev/null || exit 1; \
 	done
-	@for ab in shape temperature voting punishment scheme histogram; do \
+	@for ab in shape temperature voting punishment scheme histogram attack; do \
 		echo "figure-smoke: ablation $$ab (cold)"; \
 		$(GO) run ./cmd/collabsim -ablation $$ab -scale quick \
 			-csv $(FIGURE_OUT)/cold > /dev/null || exit 1; \
@@ -146,12 +146,24 @@ figure-smoke:
 		$(GO) run ./cmd/collabsim -fig $$fig -scale quick -warm \
 			-csv $(FIGURE_OUT)/warm > /dev/null || exit 1; \
 	done
-	@for ab in shape temperature voting punishment scheme; do \
+	@for ab in shape temperature voting punishment scheme attack; do \
 		echo "figure-smoke: ablation $$ab (warm)"; \
 		$(GO) run ./cmd/collabsim -ablation $$ab -scale quick -warm \
 			-csv $(FIGURE_OUT)/warm > /dev/null || exit 1; \
 	done
 	@echo "figure-smoke: CSVs under $(FIGURE_OUT)/"
+
+# scenario-smoke runs every built-in adversarial scenario (fixed seeds, so
+# the reports are the pinned ones the scenario tests assert on) and renders
+# the scheme-robustness ablation through the warm-start chain path, writing
+# its CSV under FIGURE_OUT. CI runs it in the figure-smoke job; any scenario
+# failure or rendering error fails the target.
+scenario-smoke:
+	$(GO) run ./cmd/collabsim -scenario all
+	@echo "scenario-smoke: ablation attack (warm)"
+	@$(GO) run ./cmd/collabsim -ablation attack -scale quick -warm \
+		-csv $(FIGURE_OUT)/scenario > /dev/null
+	@echo "scenario-smoke: ok"
 
 # clean removes scratch output only: BENCH_*.json are version-controlled
 # trajectory records the bench-diff gate depends on, so they stay.

@@ -17,6 +17,7 @@ import (
 	"collabnet/internal/game"
 	"collabnet/internal/network"
 	"collabnet/internal/reputation"
+	"collabnet/internal/scenario"
 	"collabnet/internal/sim"
 	"collabnet/internal/xrand"
 )
@@ -466,6 +467,92 @@ func BenchmarkMaxFlow(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := reputation.MaxFlow(g, 0, n-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioCollusion runs one reduced collusion scenario end to end
+// per iteration (Sybil cliques + fabricated trust injection on EigenTrust) —
+// the adversarial suite's wall-clock anchor.
+func BenchmarkScenarioCollusion(b *testing.B) {
+	spec := scenario.Spec{
+		Name:             "bench-collusion",
+		Attack:           scenario.AttackCollusion,
+		AttackerFraction: 0.2,
+		CliqueSize:       4,
+		TrustBoost:       0.5,
+		Scheme:           "eigentrust",
+		Peers:            40,
+		TrainSteps:       300,
+		MeasureSteps:     150,
+		Seed:             11,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineChurnStep measures the step loop with identity churn in it:
+// every 10th iteration a rotating peer sheds its identity (ResetPeer) before
+// the step. The whitewash scenarios run on this path; it must stay
+// (amortized) allocation-free like the plain step loop.
+func BenchmarkEngineChurnStep(b *testing.B) {
+	cfg := sim.Default()
+	cfg.Peers = 100
+	cfg.TrainSteps = 0
+	cfg.MeasureSteps = 1
+	eng, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		eng.StepOnce(1, true)
+	}
+	victim := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10 == 0 {
+			if err := eng.ResetPeer(victim); err != nil {
+				b.Fatal(err)
+			}
+			victim = (victim + 1) % cfg.Peers
+		}
+		eng.StepOnce(1, true)
+	}
+}
+
+// BenchmarkMaxFlowTrustReuse measures the all-sinks max-flow trust solve
+// through a reused FlowWorkspace over the edge-log graph FlowTrust actually
+// holds — the kernel it recomputes on every refresh and every identity
+// reset. The reuse path must report 0 allocs/op.
+func BenchmarkMaxFlowTrustReuse(b *testing.B) {
+	rng := xrand.New(5)
+	const n = 60
+	g, err := reputation.NewLogGraph(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bool(0.15) {
+				g.SetTrust(i, j, rng.Float64()*5)
+			}
+		}
+	}
+	g.Compact()
+	var ws reputation.FlowWorkspace
+	out := make([]float64, n)
+	if err := ws.MaxFlowTrustInto(g, 0, out); err != nil { // warm the buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.MaxFlowTrustInto(g, 0, out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,10 @@
 //	collabsim -fig 4 -warm -cold # run both paths, report the speedup
 //	collabsim -fig 4 -scale paper -warm -checkpoint ckpt/  # resumable sweep
 //	collabsim -ablation shape
+//	collabsim -ablation attack -warm            # scheme-robustness sweep
+//	collabsim -scenario collusion               # one adversarial scenario
+//	collabsim -scenario all                     # every built-in scenario
+//	collabsim -scenario specs/custom.json       # JSON spec file
 //	collabsim -fig 4 -benchjson BENCH_1.json   # also record wall-clock JSON
 //	collabsim -benchparse bench.out -benchjson BENCH_1.json
 //	collabsim -benchbase BENCH_1.json -benchdiff BENCH_2.json   # CI regression gate
@@ -49,7 +53,8 @@ import (
 func main() {
 	var (
 		figNum     = flag.Int("fig", 0, "paper figure to regenerate (1-7)")
-		ablation   = flag.String("ablation", "", "ablation to run: shape|temperature|voting|punishment|scheme|histogram")
+		ablation   = flag.String("ablation", "", "ablation to run: shape|temperature|voting|punishment|scheme|histogram|attack")
+		scen       = flag.String("scenario", "", "adversarial scenario to run: built-in name, JSON spec file, or 'all'")
 		scale      = flag.String("scale", "quick", "experiment scale: quick|paper")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -81,7 +86,8 @@ func main() {
 
 	if *list {
 		fmt.Println("figures:    -fig 1 … -fig 7  (Figures 1-7 of the paper)")
-		fmt.Println("ablations:  -ablation shape | temperature | voting | punishment | scheme | histogram")
+		fmt.Println("ablations:  -ablation shape | temperature | voting | punishment | scheme | histogram | attack")
+		fmt.Println("scenarios:  -scenario " + scenarioNames() + " | all | <file.json>")
 		fmt.Println("scales:     -scale quick (reduced) | -scale paper (full 100 peers, 10k training steps)")
 		fmt.Println("tooling:    -workers N | -warm [-cold] | -checkpoint DIR | -benchjson FILE | -benchparse FILE | -benchbase OLD -benchdiff NEW")
 		return
@@ -93,6 +99,14 @@ func main() {
 			out = "BENCH_1.json"
 		}
 		if err := parseBenchFile(*benchParse, out); err != nil {
+			fmt.Fprintln(os.Stderr, "collabsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scen != "" {
+		if err := runScenarios(*scen, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "collabsim:", err)
 			os.Exit(1)
 		}
@@ -227,6 +241,9 @@ func run(figNum int, ablation string, sc experiments.Scale) ([]experiments.Figur
 		return []experiments.Figure{fig}, err
 	case "histogram":
 		fig, err := experiments.ReputationHistogram(sc)
+		return []experiments.Figure{fig}, err
+	case "attack":
+		fig, err := experiments.AblationAttack(sc)
 		return []experiments.Figure{fig}, err
 	case "":
 		return nil, nil

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"collabnet/internal/scenario"
+	"collabnet/internal/sim"
+)
+
+// runScenarios resolves the -scenario argument ("all", a built-in name, or a
+// JSON spec file), runs the scenarios across the worker pool, and prints one
+// summary line per report followed by the full reports as JSON.
+func runScenarios(arg string, workers int) error {
+	var specs []scenario.Spec
+	if arg == "all" {
+		specs = scenario.Builtins()
+	} else {
+		sp, err := scenario.Resolve(arg)
+		if err != nil {
+			return err
+		}
+		specs = []scenario.Spec{sp}
+	}
+	jobs := make([]sim.Job, len(specs))
+	reports := make([]*scenario.Report, len(specs))
+	for i, sp := range specs {
+		job, rep, err := scenario.Job(sp)
+		if err != nil {
+			return err
+		}
+		jobs[i] = job
+		reports[i] = rep
+	}
+	for _, res := range sim.RunJobs(jobs, workers) {
+		if res.Err != nil {
+			return fmt.Errorf("scenario %s: %w", res.Name, res.Err)
+		}
+	}
+	for _, rep := range reports {
+		fmt.Println(rep.String())
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// scenarioNames joins the built-in names for -list and usage text.
+func scenarioNames() string {
+	return strings.Join(scenario.Names(), " | ")
+}

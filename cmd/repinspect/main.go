@@ -3,10 +3,17 @@
 // how long does it take to earn the edit right, and what majority do its
 // edits need?
 //
+// With -graph it instead inspects the trust graph under attack: a
+// deterministic collusion-plus-churn workload on the edge-log graph, with
+// the attack-relevant statistics (in-clique trust mass, dangling rows,
+// row-clear/compaction counters) and the clique's trust share under each
+// trust metric.
+//
 // Usage:
 //
 //	repinspect -articles 0.5 -bandwidth 1.0 -steps 200
 //	repinspect -beta 0.1 -articles 1 -bandwidth 1
+//	repinspect -graph -peers 40 -clique 4 -boost 0.5 -rejoin 100 -steps 400
 package main
 
 import (
@@ -23,8 +30,21 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 0.5, "sustained bandwidth sharing level in [0,1]")
 		steps     = flag.Int("steps", 200, "time steps to simulate")
 		beta      = flag.Float64("beta", 0, "override logistic beta (0 keeps the default)")
+		graph     = flag.Bool("graph", false, "inspect the trust graph under a collusion+churn workload instead")
+		peers     = flag.Int("peers", 40, "graph mode: total peers")
+		cliqueN   = flag.Int("clique", 4, "graph mode: colluding clique size")
+		boost     = flag.Float64("boost", 0.5, "graph mode: fabricated per-step in-clique trust weight")
+		rejoin    = flag.Int("rejoin", 100, "graph mode: whitewash cadence in steps (0 = no churn)")
 	)
 	flag.Parse()
+
+	if *graph {
+		if err := graphStats(*peers, *cliqueN, *steps, *rejoin, *boost); err != nil {
+			fmt.Fprintln(os.Stderr, "repinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	p := core.Default()
 	if *beta > 0 {

@@ -79,6 +79,7 @@ type Agent struct {
 	editConduct *QLearner // states × 2 conducts; nil for non-rational
 	voteConduct *QLearner // states × 2 conducts; nil for non-rational
 	rmin        float64
+	policy      Policy // scripted override installed by scenarios; nil normally
 }
 
 // New creates an agent of the given behavior. rmin is the network's minimum

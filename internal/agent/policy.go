@@ -1,0 +1,65 @@
+package agent
+
+// PolicyContext is the per-decision observation handed to a scripted
+// policy: the deciding peer's slot, the engine step, and the peer's current
+// sharing/editing reputation scores. It is a value type so hot-path calls
+// never allocate.
+type PolicyContext struct {
+	Peer int
+	Step int
+	RS   float64
+	RE   float64
+}
+
+// Policy is a scripted, non-learning decision rule that overrides an
+// agent's behavior-derived actions. The adversarial scenario suite installs
+// policies on attacker slots so that collusion cliques, whitewashers, and
+// mid-run invaders can coexist with Q-learning peers in one engine: the
+// engine consults the policy (when set) instead of the behavior switch, and
+// the learners — if any — are neither sampled nor updated for that slot.
+//
+// Policies must be deterministic functions of their context (no internal
+// randomness, no wall clock): the engine's serial==parallel bit-identity
+// and the fixed-seed scenario pins depend on it.
+type Policy interface {
+	// Name identifies the policy in scenario reports.
+	Name() string
+	// Sharing returns this step's sharing action.
+	Sharing(ctx PolicyContext) SharingAction
+	// EditVote returns this step's edit/vote conduct pair.
+	EditVote(ctx PolicyContext) EditVoteAction
+}
+
+// SourcePicker is optionally implemented by policies that steer download
+// source selection — the collusion clique's lever for keeping its trust
+// feedback in-clique. PickSource receives the candidate sharer slots and
+// their selection weights (parallel slices owned by the engine and shared
+// across all peers this step; the policy must NOT mutate either slice) and
+// returns an index into sharers, or a negative value to let the engine run
+// its usual weighted draw.
+type SourcePicker interface {
+	PickSource(ctx PolicyContext, sharers []int, weights []float64) int
+}
+
+// SetPolicy installs (or, with nil, removes) a scripted policy on the
+// agent. Policies are scenario wiring, not learned state: they are not part
+// of snapshots and survive snapshot restores.
+func (a *Agent) SetPolicy(p Policy) { a.policy = p }
+
+// Policy returns the installed scripted policy (nil for ordinary agents).
+func (a *Agent) Policy() Policy { return a.policy }
+
+// ResetLearners zeroes the agent's Q-matrices in place — the learned-state
+// half of an identity reset. Non-rational agents, which carry no learners,
+// are a no-op.
+func (a *Agent) ResetLearners() {
+	if a.sharing != nil {
+		a.sharing.Reset()
+	}
+	if a.editConduct != nil {
+		a.editConduct.Reset()
+	}
+	if a.voteConduct != nil {
+		a.voteConduct.Reset()
+	}
+}

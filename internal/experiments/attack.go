@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"collabnet/internal/scenario"
+	"collabnet/internal/sim"
+)
+
+// attackFractions is the hostile-population sweep of the robustness
+// ablation.
+var attackFractions = []float64{0.1, 0.2, 0.3}
+
+// attackArm is one scheme configuration of the robustness ablation.
+type attackArm struct {
+	name   string
+	scheme string
+	pre    []int
+}
+
+// attackArms compares the trade- and trust-based schemes: karma and
+// tit-for-tat (direct-relation baselines), EigenTrust with the uniform and
+// the pre-trusted teleport distributions, and the max-flow metric whose
+// min-cut bound is the collusion-resistant reference.
+var attackArms = []attackArm{
+	{name: "karma", scheme: "karma"},
+	{name: "tit-for-tat", scheme: "tit-for-tat"},
+	{name: "eigentrust", scheme: "eigentrust"},
+	{name: "eigentrust+pretrust", scheme: "eigentrust", pre: []int{0, 1, 2}},
+	{name: "maxflow", scheme: "maxflow", pre: []int{0}},
+}
+
+// AblationAttack is the scheme-robustness ablation: the collusion scenario
+// (Sybil cliques with fabricated trust injection) swept over the attacker
+// fraction, one series per incentive scheme, measured by the attackers'
+// share of the network's total sharing score. Each (scheme, replica) pair is
+// one warm-startable sweep chain over the fractions, so the sweep rides the
+// same chain scheduler (snapshot + burn-in, checkpointable) as the paper
+// figures. A scheme is robust where its curve stays at or below the y=x
+// population-share diagonal.
+func AblationAttack(sc Scale) (Figure, error) {
+	if err := sc.Validate(); err != nil {
+		return Figure{}, err
+	}
+	seeds := sim.DeriveSeeds(sc.Seed, sc.Replicas)
+	var chains []sim.SweepChain
+	reports := make([][][]*scenario.Report, len(attackArms)) // [arm][replica][fraction]
+	for ai, arm := range attackArms {
+		reports[ai] = make([][]*scenario.Report, sc.Replicas)
+		for rep := 0; rep < sc.Replicas; rep++ {
+			pts := make([]sim.Job, len(attackFractions))
+			reports[ai][rep] = make([]*scenario.Report, len(attackFractions))
+			for pi, f := range attackFractions {
+				spec := scenario.Spec{
+					Name:             fmt.Sprintf("attack-%s-f%d-rep%d", arm.name, int(f*100), rep),
+					Attack:           scenario.AttackCollusion,
+					AttackerFraction: f,
+					CliqueSize:       4,
+					TrustBoost:       0.5,
+					Scheme:           arm.scheme,
+					PreTrusted:       arm.pre,
+					Peers:            sc.Peers,
+					TrainSteps:       sc.TrainSteps,
+					MeasureSteps:     sc.MeasureSteps,
+					Seed:             seeds[rep],
+				}
+				job, r, err := scenario.Job(spec)
+				if err != nil {
+					return Figure{}, err
+				}
+				pts[pi] = job
+				reports[ai][rep][pi] = r
+			}
+			chains = append(chains, sim.SweepChain{
+				Name:   fmt.Sprintf("attack-%s-rep%d", arm.name, rep),
+				Points: pts,
+			})
+		}
+	}
+	for _, cr := range sim.RunChains(chains, sc.chainOptions(), sc.Workers) {
+		if cr.Err != nil {
+			return Figure{}, fmt.Errorf("experiments: chain %s: %w", cr.Name, cr.Err)
+		}
+	}
+	fig := Figure{
+		ID:     "ablation-attack",
+		Title:  "Attacker reputation share under collusion, by scheme",
+		XLabel: "attacker fraction",
+		YLabel: "attacker reputation share",
+	}
+	for ai, arm := range attackArms {
+		s := Series{Name: arm.name}
+		for pi, f := range attackFractions {
+			var sum float64
+			for rep := 0; rep < sc.Replicas; rep++ {
+				sum += reports[ai][rep][pi].AttackerRepShare
+			}
+			s.Add(f, sum/float64(sc.Replicas))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	// The population-share diagonal: the containment reference every scheme
+	// is judged against.
+	ref := Series{Name: "population-share"}
+	for _, f := range attackFractions {
+		ref.Add(f, f)
+	}
+	fig.Series = append(fig.Series, ref)
+	return fig, nil
+}

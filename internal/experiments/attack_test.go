@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAblationAttack(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainSteps = 400
+	sc.MeasureSteps = 200
+	fig, err := AblationAttack(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != len(attackArms)+1 {
+		t.Fatalf("want %d series (arms + reference), got %d", len(attackArms)+1, len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(attackFractions) {
+			t.Fatalf("%s: want %d points, got %d", s.Name, len(attackFractions), len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("%s: reputation share out of range at x=%v: %v", s.Name, p.X, p.Y)
+			}
+		}
+	}
+	if ref := fig.Find("population-share"); ref == nil || ref.Points[0].Y != attackFractions[0] {
+		t.Error("missing or wrong population-share reference series")
+	}
+}
+
+// TestAblationAttackWarmDeterministic pins that the robustness sweep rides
+// the warm-start chain scheduler deterministically: two warm runs of the
+// same scale are bit-identical.
+func TestAblationAttackWarmDeterministic(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainSteps = 300
+	sc.MeasureSteps = 150
+	sc.WarmStart = true
+	a, err := AblationAttack(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AblationAttack(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("warm attack ablation is nondeterministic")
+	}
+}
+
+func TestAblationAttackRejectsBadScale(t *testing.T) {
+	if _, err := AblationAttack(Scale{}); err == nil {
+		t.Error("attack ablation should validate scale")
+	}
+}

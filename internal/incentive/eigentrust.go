@@ -206,6 +206,48 @@ func (g *GlobalTrust) Reset() {
 	}
 }
 
+// ResetPeer implements Scheme: every trust edge the peer is part of — its
+// outgoing row and all incoming edges — is removed in place, and the trust
+// vector is recomputed immediately so the fresh identity observes (and is
+// observed at) the pre-trust distribution from its first step. The row
+// clear and the recompute both run through reusable buffers, keeping the
+// churn path allocation-free in steady state.
+func (g *GlobalTrust) ResetPeer(peer int) {
+	if peer < 0 || peer >= g.n {
+		return
+	}
+	if err := g.graph.ClearPeer(peer); err != nil {
+		return
+	}
+	if err := g.recompute(); err != nil {
+		panic(err)
+	}
+}
+
+// Refresh forces an immediate eigenvector recompute regardless of the
+// cadence — used by the scenario instrumentation and the differential tests
+// to observe the vector at a deterministic point instead of waiting out
+// RefreshEvery.
+func (g *GlobalTrust) Refresh() {
+	if err := g.recompute(); err != nil {
+		panic(err)
+	}
+}
+
+// InjectTrust records a raw local-trust statement from one peer toward
+// another, bypassing any transfer — the fake-report attack surface the
+// collusion scenarios exercise: clique members assert trust in each other
+// without ever delivering bandwidth. Invalid edges (out of range, self,
+// non-positive) are ignored, mirroring AddTrust.
+func (g *GlobalTrust) InjectTrust(from, to int, w float64) {
+	if err := g.graph.AddTrust(from, to, w); err != nil {
+		return
+	}
+	if from != to && w > 0 {
+		g.dirty = true
+	}
+}
+
 // SharingScore implements Scheme: the squashed global trust, the agents'
 // observable state.
 func (g *GlobalTrust) SharingScore(peer int) float64 {

@@ -127,6 +127,17 @@ func (k *Karma) Reset() {
 	}
 }
 
+// ResetPeer implements Scheme: the rejoining identity collects a fresh
+// newcomer grant. This deliberately breaks supply conservation across a
+// churn event — exactly the whitewashing exploit trade-based schemes face
+// when identities are free (spend the balance, rejoin, be granted again).
+func (k *Karma) ResetPeer(peer int) {
+	if peer < 0 || peer >= len(k.balances) {
+		return
+	}
+	k.balances[peer] = k.cfg.InitialGrant
+}
+
 // SharingScore implements Scheme: balance squashed into [0,1) relative to
 // the initial grant.
 func (k *Karma) SharingScore(peer int) float64 {

@@ -125,6 +125,20 @@ func (r *Reputation) Reset() {
 	}
 }
 
+// ResetPeer implements Scheme: one peer's ledger and step accumulators back
+// to initial conditions, in place — reputation history does not follow an
+// identity across a rejoin.
+func (r *Reputation) ResetPeer(peer int) {
+	if peer < 0 || peer >= r.book.Len() {
+		return
+	}
+	r.book.Ledger(peer).Reset()
+	r.shareArticles[peer] = 0
+	r.shareBW[peer] = 0
+	r.succVotes[peer] = 0
+	r.accEdits[peer] = 0
+}
+
 // SharingScore implements Scheme.
 func (r *Reputation) SharingScore(peer int) float64 { return r.book.Ledger(peer).RS() }
 
@@ -194,14 +208,34 @@ func (n *None) EndStep() { n.rep.EndStep() }
 // Reset implements Scheme.
 func (n *None) Reset() { n.rep.Reset() }
 
+// ResetPeer implements Scheme (the tracked observable state is wiped; there
+// is no service differentiation to escape).
+func (n *None) ResetPeer(peer int) { n.rep.ResetPeer(peer) }
+
 // SharingScore implements Scheme.
 func (n *None) SharingScore(peer int) float64 { return n.rep.SharingScore(peer) }
 
 // EditingScore implements Scheme.
 func (n *None) EditingScore(peer int) float64 { return n.rep.EditingScore(peer) }
 
-// New constructs a scheme of the given kind for n peers.
+// Options carries cross-scheme configuration the engine threads through
+// from sim.Config. The zero value reproduces New's defaults exactly.
+type Options struct {
+	// PreTrusted lists the peers EigenTrust's teleport distribution favors
+	// (its collusion-resistance lever); the first entry also selects the
+	// max-flow scheme's evaluator. Empty keeps the uniform distribution.
+	PreTrusted []int
+}
+
+// New constructs a scheme of the given kind for n peers with default
+// options.
 func New(kind Kind, n int, p core.Params, weightedVoting bool) (Scheme, error) {
+	return NewWithOptions(kind, n, p, weightedVoting, Options{})
+}
+
+// NewWithOptions constructs a scheme of the given kind for n peers,
+// applying the cross-scheme options where the kind consumes them.
+func NewWithOptions(kind Kind, n int, p core.Params, weightedVoting bool, opt Options) (Scheme, error) {
 	switch kind {
 	case KindNone:
 		return NewNone(n, p)
@@ -212,7 +246,17 @@ func New(kind Kind, n int, p core.Params, weightedVoting bool) (Scheme, error) {
 	case KindKarma:
 		return NewKarma(n, DefaultKarmaConfig())
 	case KindEigenTrust:
-		return NewGlobalTrust(n, DefaultGlobalTrustConfig())
+		cfg := DefaultGlobalTrustConfig()
+		if len(opt.PreTrusted) > 0 {
+			cfg.Trust.PreTrusted = append([]int(nil), opt.PreTrusted...)
+		}
+		return NewGlobalTrust(n, cfg)
+	case KindMaxFlow:
+		cfg := DefaultFlowTrustConfig()
+		if len(opt.PreTrusted) > 0 {
+			cfg.Evaluator = opt.PreTrusted[0]
+		}
+		return NewFlowTrust(n, cfg)
 	default:
 		return nil, fmt.Errorf("incentive: unknown scheme kind %d", int(kind))
 	}

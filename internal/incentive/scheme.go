@@ -1,5 +1,5 @@
 // Package incentive defines the pluggable incentive-scheme interface the
-// simulation engine runs against, and its five implementations:
+// simulation engine runs against, and its six implementations:
 //
 //   - Reputation — the paper's scheme (Section III), wrapping internal/core.
 //   - None — the no-incentive baseline of Figure 3: equal bandwidth split,
@@ -13,6 +13,10 @@
 //     become local-trust statements, the damped principal eigenvector of
 //     the normalized trust matrix is recomputed on a batch cadence through
 //     a reusable sparse workspace, and bandwidth follows global trust.
+//   - FlowTrust — the maximum-flow trust metric of Feldman et al.
+//     (Section II-C): subjective trust bounded by the min-cut between the
+//     evaluator and each peer, the collusion-resistant baseline of the
+//     adversarial scenario suite.
 package incentive
 
 import "fmt"
@@ -61,6 +65,12 @@ type Scheme interface {
 	// Reset clears all accumulated state (the training→measurement phase
 	// boundary resets reputations but keeps Q-matrices).
 	Reset()
+	// ResetPeer clears one peer's accumulated state — its ledger, balance,
+	// reciprocity rows, or trust edges in both directions — as if the slot
+	// had been vacated and rejoined under a fresh identity. Out-of-range
+	// peers are ignored. Implementations must clear in place so the
+	// engine's identity-churn path stays allocation-free.
+	ResetPeer(peer int)
 
 	// SharingScore returns peer's sharing standing in [0,1] — the quantity
 	// the agents' state discretization observes (RS for the paper scheme).
@@ -80,6 +90,7 @@ const (
 	KindTitForTat
 	KindKarma
 	KindEigenTrust
+	KindMaxFlow
 )
 
 // String implements fmt.Stringer.
@@ -95,9 +106,23 @@ func (k Kind) String() string {
 		return "karma"
 	case KindEigenTrust:
 		return "eigentrust"
+	case KindMaxFlow:
+		return "maxflow"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// ParseKind maps a scheme name (as produced by Kind.String) back to its
+// Kind — the scenario registry and CLI flags use it to select schemes from
+// JSON and command lines.
+func ParseKind(name string) (Kind, error) {
+	for k := KindNone; k <= KindMaxFlow; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("incentive: unknown scheme %q", name)
 }
 
 func equalShares(shares []float64) {

@@ -44,6 +44,7 @@ type State struct {
 	Karma       KarmaState
 	TitForTat   TitForTatState
 	GlobalTrust GlobalTrustState
+	FlowTrust   FlowTrustState
 }
 
 // ReputationState is the mutable state of the paper's Reputation scheme (and
@@ -78,6 +79,17 @@ type TitForTatState struct {
 // cached trust vector and refresh bookkeeping. The CSR workspace is derived
 // state and rebuilds itself from the graph on the next refresh.
 type GlobalTrustState struct {
+	Edges        []reputation.Edge
+	Trust        []float64
+	Score        []float64
+	Dirty        bool
+	SinceRefresh int
+}
+
+// FlowTrustState is the mutable state of the max-flow trust scheme: the
+// same canonical edge-list form as GlobalTrustState (the flow network is
+// derived state, rebuilt at the next refresh).
+type FlowTrustState struct {
 	Edges        []reputation.Edge
 	Trust        []float64
 	Score        []float64

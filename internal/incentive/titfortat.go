@@ -115,6 +115,22 @@ func (t *TitForTat) Reset() {
 	}
 }
 
+// ResetPeer implements Scheme: the peer's reciprocity rows are cleared in
+// both directions (what it gave, and what others remember giving it), its
+// map buckets kept for reuse.
+func (t *TitForTat) ResetPeer(peer int) {
+	if peer < 0 || peer >= t.n {
+		return
+	}
+	clear(t.given[peer])
+	for j := range t.given {
+		delete(t.given[j], peer)
+	}
+	t.shareBW[peer] = 0
+	t.shareArts[peer] = 0
+	t.uploaded[peer] = 0
+}
+
 // SharingScore implements Scheme: lifetime uploaded volume squashed into
 // [0,1). Used only as the agents' observable state.
 func (t *TitForTat) SharingScore(peer int) float64 {

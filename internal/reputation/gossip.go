@@ -49,11 +49,15 @@ func Spread(n, origin int, cfg GossipConfig, rng *xrand.Source) (GossipResult, e
 	informed[origin] = true
 	count := 1
 	res := GossipResult{}
+	// One sender buffer for the whole run: the informed set only grows, so
+	// the slice reaches its final capacity within the first few rounds
+	// instead of reallocating from scratch every round.
+	senders := make([]int, 0, n)
 	for round := 0; round < cfg.MaxRound && count < n; round++ {
 		res.Rounds = round + 1
 		// Collect the currently informed set first so that this round's new
 		// recipients start pushing only next round (synchronous rounds).
-		var senders []int
+		senders = senders[:0]
 		for i, ok := range informed {
 			if ok {
 				senders = append(senders, i)

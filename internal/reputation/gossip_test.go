@@ -126,3 +126,19 @@ func TestGossipCostMatchesAnalyticEstimate(t *testing.T) {
 		t.Errorf("simulated %d rounds vs analytic %d: out of ballpark", res.Rounds, est)
 	}
 }
+
+// TestSpreadAllocationBounded pins the sender-buffer hoist: one Spread run
+// allocates exactly its two fixed buffers (the informed set and the sender
+// list), independent of how many rounds the dissemination takes — the
+// per-round sender rebuild reuses one slice instead of reallocating.
+func TestSpreadAllocationBounded(t *testing.T) {
+	rng := xrand.New(7)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Spread(500, 3, DefaultGossip(), rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("Spread allocates %v times per run, want <= 2 (informed + senders)", allocs)
+	}
+}

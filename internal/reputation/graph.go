@@ -88,6 +88,10 @@ type Graph interface {
 	LoadEdges(edges []Edge) error
 	// Clear removes every trust statement, keeping the peer count.
 	Clear()
+	// ClearPeer removes every trust statement peer i is part of — its whole
+	// outgoing row and every incoming edge — leaving the slot empty for
+	// reuse under a fresh identity. Out-of-range ids return an error.
+	ClearPeer(i int) error
 }
 
 // TrustGraph is a directed weighted graph of local trust statements:
@@ -245,6 +249,20 @@ func (g *TrustGraph) Clear() {
 	for i := range g.edges {
 		clear(g.edges[i])
 	}
+}
+
+// ClearPeer removes peer i's outgoing row and every incoming edge in place,
+// keeping the row maps for reuse — the identity-churn primitive: a peer that
+// rejoins under slot i starts with no trust history in either direction.
+func (g *TrustGraph) ClearPeer(i int) error {
+	if i < 0 || i >= g.n {
+		return fmt.Errorf("reputation: peer %d out of range [0,%d)", i, g.n)
+	}
+	clear(g.edges[i])
+	for j := range g.edges {
+		delete(g.edges[j], i)
+	}
+	return nil
 }
 
 // Clone returns a deep copy of the graph.

@@ -80,6 +80,11 @@ type LogGraph struct {
 	watermark int    // fixed compaction threshold; 0 = automatic
 	patGen    uint64 // bumped whenever the sparsity pattern changes
 
+	// Churn accounting, read by inspection tooling: how many times a peer
+	// row was cleared for identity reuse and how many compactions ran.
+	rowClears   uint64
+	compactions uint64
+
 	// slot is the dense per-column scratch used by compaction and merged
 	// reads: slot[col] holds a 1-based position, cleared back to zero after
 	// each row so no generation counters are needed.
@@ -132,6 +137,13 @@ func (g *LogGraph) NNZ() int { return len(g.val) }
 
 // TailLen returns the number of uncompacted statements in the log.
 func (g *LogGraph) TailLen() int { return len(g.tail) }
+
+// RowClears returns how many ClearPeer calls the graph has absorbed — the
+// identity-churn reuse count inspection tooling reports.
+func (g *LogGraph) RowClears() uint64 { return g.rowClears }
+
+// Compactions returns how many tail-folding compactions have run.
+func (g *LogGraph) Compactions() uint64 { return g.compactions }
 
 // SetWatermark fixes the tail length that triggers automatic compaction.
 // k <= 0 restores the automatic threshold max(4096, nnz/4).
@@ -363,6 +375,50 @@ func (g *LogGraph) Clear() {
 	g.patGen++
 }
 
+// ClearPeer removes peer i's outgoing row and every incoming edge in place —
+// the identity-churn primitive. The tail is folded in first, then the
+// compacted arrays are filtered with a single write cursor, so the pass is
+// O(nnz) with zero allocations and the slot can be reused under a fresh
+// identity immediately. The pattern generation is bumped only when edges
+// were actually removed, preserving the EigenTrust value-only refresh fast
+// path across no-op clears.
+func (g *LogGraph) ClearPeer(i int) error {
+	if i < 0 || i >= g.n {
+		return fmt.Errorf("reputation: peer %d out of range [0,%d)", i, g.n)
+	}
+	g.Compact()
+	w := 0
+	removed := false
+	col := int32(i)
+	for r := 0; r < g.n; r++ {
+		start, end := g.rowPtr[r], g.rowPtr[r+1]
+		g.rowPtr[r] = w
+		if r == i {
+			if end > start {
+				removed = true
+			}
+			continue
+		}
+		for k := start; k < end; k++ {
+			if g.colIdx[k] == col {
+				removed = true
+				continue
+			}
+			g.colIdx[w] = g.colIdx[k]
+			g.val[w] = g.val[k]
+			w++
+		}
+	}
+	g.rowPtr[g.n] = w
+	g.colIdx = g.colIdx[:w]
+	g.val = g.val[:w]
+	if removed {
+		g.patGen++
+	}
+	g.rowClears++
+	return nil
+}
+
 // Clone returns a deep copy of the graph (scratch buffers excluded).
 func (g *LogGraph) Clone() *LogGraph {
 	cp, _ := NewLogGraph(g.n)
@@ -384,6 +440,7 @@ func (g *LogGraph) Compact() {
 	if len(g.tail) == 0 {
 		return
 	}
+	g.compactions++
 	n := g.n
 
 	// Phase 1: bucket the tail by source row (stable counting scatter —

@@ -25,26 +25,34 @@ type flowNet struct {
 	res    []float64 // residual capacities, reset from cap0 per run
 	parent []int32   // BFS: arc that discovered the node (-1 unvisited, -2 source)
 	queue  []int32
+	cur    []int // scatter cursor scratch for build
 }
 
-// newFlowNet builds the residual network for n peers from edges in
-// ascending (From, To) order (the AppendEdges contract).
-func newFlowNet(n int, edges []Edge) *flowNet {
+// build (re)constructs the residual network for n peers from edges in
+// ascending (From, To) order (the AppendEdges contract), reusing the
+// network's buffers — repeated solves over a graph of stable size allocate
+// nothing.
+func (f *flowNet) build(n int, edges []Edge) {
 	m := len(edges)
-	f := &flowNet{
-		n:      n,
-		arcPtr: make([]int, n+1),
-		arcIdx: make([]int32, 2*m),
-		head:   make([]int32, 2*m),
-		cap0:   make([]float64, 2*m),
-		res:    make([]float64, 2*m),
-		parent: make([]int32, n),
-		queue:  make([]int32, 0, n),
+	f.n = n
+	f.arcPtr = growInts(f.arcPtr, n+1)
+	for i := range f.arcPtr {
+		f.arcPtr[i] = 0
 	}
+	f.arcIdx = growInt32s(f.arcIdx, 2*m)
+	f.head = growInt32s(f.head, 2*m)
+	f.cap0 = growFloats(f.cap0, 2*m)
+	f.res = growFloats(f.res, 2*m)
+	f.parent = growInt32s(f.parent, n)
+	if cap(f.queue) < n {
+		f.queue = make([]int32, 0, n)
+	}
+	f.cur = growInts(f.cur, n)
 	for k, e := range edges {
 		f.head[2*k] = int32(e.To)
 		f.cap0[2*k] = e.W
 		f.head[2*k+1] = int32(e.From)
+		f.cap0[2*k+1] = 0
 		f.arcPtr[e.From+1]++
 		f.arcPtr[e.To+1]++
 	}
@@ -54,16 +62,21 @@ func newFlowNet(n int, edges []Edge) *flowNet {
 	// Scatter forward arcs first, then reverse arcs; within each group the
 	// canonical edge order keeps per-node neighbors ascending, so the whole
 	// adjacency is a pure function of the edge list.
-	cur := make([]int, n)
-	copy(cur, f.arcPtr[:n])
+	copy(f.cur, f.arcPtr[:n])
 	for k, e := range edges {
-		f.arcIdx[cur[e.From]] = int32(2 * k)
-		cur[e.From]++
+		f.arcIdx[f.cur[e.From]] = int32(2 * k)
+		f.cur[e.From]++
 	}
 	for k, e := range edges {
-		f.arcIdx[cur[e.To]] = int32(2*k + 1)
-		cur[e.To]++
+		f.arcIdx[f.cur[e.To]] = int32(2*k + 1)
+		f.cur[e.To]++
 	}
+}
+
+// newFlowNet builds a fresh residual network.
+func newFlowNet(n int, edges []Edge) *flowNet {
+	f := &flowNet{}
+	f.build(n, edges)
 	return f
 }
 
@@ -141,18 +154,42 @@ func MaxFlow(g Graph, source, sink int) (float64, error) {
 // edge list is extracted once and one residual network is reused across all
 // sinks.
 func MaxFlowTrust(g Graph, evaluator int) ([]float64, error) {
+	out := make([]float64, g.Len())
+	var ws FlowWorkspace
+	if err := ws.MaxFlowTrustInto(g, evaluator, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FlowWorkspace holds the reusable scratch of repeated max-flow trust
+// solves: the extracted edge list and the residual network. The zero value
+// is ready to use; a workspace is single-goroutine like the graphs it reads.
+type FlowWorkspace struct {
+	edges []Edge
+	net   flowNet
+}
+
+// MaxFlowTrustInto computes MaxFlowTrust into out (len == g.Len()), reusing
+// the workspace's buffers — on a graph of stable size the solve allocates
+// nothing, which keeps identity-churn recomputes out of the allocator.
+func (w *FlowWorkspace) MaxFlowTrustInto(g Graph, evaluator int, out []float64) error {
 	n := g.Len()
 	if evaluator < 0 || evaluator >= n {
-		return nil, fmt.Errorf("reputation: evaluator %d out of range [0,%d)", evaluator, n)
+		return fmt.Errorf("reputation: evaluator %d out of range [0,%d)", evaluator, n)
 	}
-	net := newFlowNet(n, g.AppendEdges(nil))
-	out := make([]float64, n)
+	if len(out) != n {
+		return fmt.Errorf("reputation: out sized %d, graph has %d peers", len(out), n)
+	}
+	w.edges = g.AppendEdges(w.edges[:0])
+	w.net.build(n, w.edges)
 	maxV := 0.0
 	for j := 0; j < n; j++ {
 		if j == evaluator {
+			out[j] = 0
 			continue
 		}
-		f := net.maxflow(evaluator, j)
+		f := w.net.maxflow(evaluator, j)
 		out[j] = f
 		if f > maxV {
 			maxV = f
@@ -163,7 +200,7 @@ func MaxFlowTrust(g Graph, evaluator int) ([]float64, error) {
 			out[j] /= maxV
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // MinCut returns the capacity of the minimum source-sink cut, which by the

@@ -1,0 +1,91 @@
+package scenario
+
+import "collabnet/internal/agent"
+
+// freeRide is the pure exploiter: shares nothing, edits and votes
+// destructively, keeps downloading. Whitewashers and flipped invaders run
+// it.
+type freeRide struct{}
+
+func (freeRide) Name() string { return "free-ride" }
+
+func (freeRide) Sharing(agent.PolicyContext) agent.SharingAction {
+	return agent.EncodeSharing(agent.LevelNone, agent.LevelNone)
+}
+
+func (freeRide) EditVote(agent.PolicyContext) agent.EditVoteAction {
+	return agent.EncodeEditVote(agent.Destructive, agent.Destructive)
+}
+
+// honest is the sleeper's cover behavior before the invasion flips: full
+// sharing, constructive conduct — indistinguishable from an altruist.
+type honest struct{}
+
+func (honest) Name() string { return "honest" }
+
+func (honest) Sharing(agent.PolicyContext) agent.SharingAction {
+	return agent.EncodeSharing(agent.LevelFull, agent.LevelFull)
+}
+
+func (honest) EditVote(agent.PolicyContext) agent.EditVoteAction {
+	return agent.EncodeEditVote(agent.Constructive, agent.Constructive)
+}
+
+// clique is one Sybil collusion cell: members share at the half level (just
+// enough to appear in the sharer set and attract allocation), vote each
+// other's vandalism through, and steer their own downloads toward fellow
+// members so the delivered-bandwidth trust feedback stays in-clique.
+type clique struct {
+	members []int // sorted attacker slots of this cell
+}
+
+func (c *clique) Name() string { return "collusion-clique" }
+
+func (c *clique) Sharing(agent.PolicyContext) agent.SharingAction {
+	return agent.EncodeSharing(agent.LevelHalf, agent.LevelHalf)
+}
+
+func (c *clique) EditVote(agent.PolicyContext) agent.EditVoteAction {
+	return agent.EncodeEditVote(agent.Destructive, agent.Destructive)
+}
+
+func (c *clique) isMember(peer int) bool {
+	for _, m := range c.members {
+		if m == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// PickSource implements agent.SourcePicker: prefer the clique member the
+// deterministic (step+peer) rotation points at, then any in-clique sharer,
+// then fall back to the engine's weighted draw. The shared weights buffer is
+// never touched.
+func (c *clique) PickSource(ctx agent.PolicyContext, sharers []int, _ []float64) int {
+	if len(c.members) == 0 {
+		return -1
+	}
+	want := c.members[(ctx.Step+ctx.Peer)%len(c.members)]
+	fallback := -1
+	for k, s := range sharers {
+		if s == ctx.Peer {
+			continue
+		}
+		if s == want {
+			return k
+		}
+		if fallback < 0 && c.isMember(s) {
+			fallback = k
+		}
+	}
+	return fallback
+}
+
+// compile-time checks: the clique steers sources, the others only act.
+var (
+	_ agent.Policy       = freeRide{}
+	_ agent.Policy       = honest{}
+	_ agent.Policy       = (*clique)(nil)
+	_ agent.SourcePicker = (*clique)(nil)
+)

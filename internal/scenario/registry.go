@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Builtins returns the registry's built-in scenarios: one per attack
+// family, sized for CI smoke runs (a few seconds each) with fixed seeds so
+// their reports are pinned by tests. Callers may mutate the returned specs
+// freely — each call builds fresh values.
+func Builtins() []Spec {
+	return []Spec{
+		{
+			Name:             "collusion",
+			Attack:           AttackCollusion,
+			AttackerFraction: 0.2,
+			CliqueSize:       4,
+			TrustBoost:       0.5,
+			Scheme:           "eigentrust",
+			Peers:            60,
+			TrainSteps:       1500,
+			MeasureSteps:     600,
+			Seed:             11,
+		},
+		{
+			Name:             "whitewash",
+			Attack:           AttackWhitewash,
+			AttackerFraction: 0.2,
+			RejoinEvery:      250,
+			Scheme:           "reputation",
+			Peers:            60,
+			TrainSteps:       1500,
+			MeasureSteps:     600,
+			Seed:             12,
+		},
+		{
+			Name:             "invasion",
+			Attack:           AttackInvasion,
+			AttackerFraction: 0.25,
+			InvadeAt:         150,
+			Scheme:           "reputation",
+			Peers:            60,
+			TrainSteps:       1500,
+			MeasureSteps:     600,
+			Seed:             13,
+		},
+		{
+			Name:             "zipf",
+			Attack:           AttackZipf,
+			AttackerFraction: 0.2,
+			ZipfExponent:     1.2,
+			Scheme:           "reputation",
+			Peers:            60,
+			TrainSteps:       1500,
+			MeasureSteps:     600,
+			Seed:             14,
+		},
+	}
+}
+
+// Names lists the built-in scenario names, in registry order.
+func Names() []string {
+	bs := Builtins()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Load reads and validates one scenario spec from a JSON file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing %s: %w", path, err)
+	}
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Resolve maps a -scenario argument to a spec: a built-in name, or a path
+// to a JSON spec file (anything containing a path separator or ending in
+// .json is treated as a path).
+func Resolve(arg string) (Spec, error) {
+	if !strings.ContainsAny(arg, "/\\") && !strings.HasSuffix(arg, ".json") {
+		for _, b := range Builtins() {
+			if b.Name == arg {
+				return b, nil
+			}
+		}
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (built-ins: %s)",
+			arg, strings.Join(Names(), ", "))
+	}
+	return Load(arg)
+}

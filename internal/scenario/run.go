@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"fmt"
+
+	"collabnet/internal/agent"
+	"collabnet/internal/sim"
+)
+
+// Report is the robustness outcome of one scenario run.
+type Report struct {
+	Name      string `json:"name"`
+	Attack    Attack `json:"attack"`
+	Scheme    string `json:"scheme"`
+	Attackers int    `json:"attackers"`
+	Peers     int    `json:"peers"`
+
+	// HonestDownloadSuccess is completed over attempted downloads for the
+	// honest (rational) population during measurement — how well the network
+	// keeps serving its honest peers under the attack.
+	HonestDownloadSuccess float64 `json:"honest_download_success"`
+	// AttackerRepShare is the attackers' share of the network's total
+	// sharing score at the end of measurement. A robust scheme holds it at
+	// or below the attackers' population share.
+	AttackerRepShare float64 `json:"attacker_rep_share"`
+	// ContainmentStep is the first sampled measurement step at which the
+	// attackers' reputation share had fallen to their population share or
+	// below (-1: never contained within the measurement window).
+	ContainmentStep int `json:"containment_step"`
+
+	// Result carries the full per-behavior simulation metrics.
+	Result sim.Result `json:"result"`
+}
+
+// String gives a one-line summary for logs.
+func (r Report) String() string {
+	return fmt.Sprintf("%s[%s/%s]: honest-dl=%.3f attacker-rep=%.3f contained@%d",
+		r.Name, r.Attack, r.Scheme, r.HonestDownloadSuccess, r.AttackerRepShare, r.ContainmentStep)
+}
+
+// trustInjector is the fake-report surface trust-graph schemes expose
+// (GlobalTrust, FlowTrust): raw local-trust statements not backed by
+// delivered bandwidth.
+type trustInjector interface {
+	InjectTrust(from, to int, w float64)
+}
+
+// containSampleEvery is the containment-sampling cadence in measurement
+// steps. Sampling (a scheme-score scan) is cheap but not free; every 10th
+// step bounds the overhead while dating containment to ±10 steps.
+const containSampleEvery = 10
+
+// instrument wires one scenario into an engine: attacker policies at setup,
+// deterministic interventions and robustness sampling on the step hook. All
+// state is reset at install, so the same instrument re-arms correctly for
+// every point of a warm-start chain.
+type instrument struct {
+	spec      Spec
+	attackers []int
+	cliques   []*clique
+	popShare  float64
+	invadeAt  int
+
+	measureStep int
+	flipped     bool
+	containedAt int
+}
+
+// install arms the engine: policies on the attacker slots, the step hook
+// when the scenario needs interventions or sampling.
+func (in *instrument) install(e *sim.Engine) error {
+	in.measureStep = 0
+	in.flipped = false
+	in.containedAt = -1
+	agents := e.Agents()
+	switch in.spec.Attack {
+	case AttackCollusion:
+		for _, c := range in.cliques {
+			for _, m := range c.members {
+				agents[m].SetPolicy(c)
+			}
+		}
+	case AttackWhitewash, AttackZipf:
+		for _, a := range in.attackers {
+			agents[a].SetPolicy(freeRide{})
+		}
+	case AttackInvasion:
+		for _, a := range in.attackers {
+			agents[a].SetPolicy(honest{})
+		}
+	default:
+		return fmt.Errorf("scenario: unknown attack %q", in.spec.Attack)
+	}
+	if len(in.attackers) > 0 {
+		e.SetStepHook(in.hook)
+	}
+	return nil
+}
+
+// hook runs after every engine step. Everything here is a deterministic
+// function of engine state — no randomness — so scenario results stay
+// bit-identical across worker counts.
+func (in *instrument) hook(e *sim.Engine) {
+	switch in.spec.Attack {
+	case AttackWhitewash:
+		// Identity shedding on a staggered cadence: attacker k resets at
+		// steps congruent to its phase, so the resets spread evenly instead
+		// of thundering in one step.
+		step := e.StepIndex()
+		n := len(in.attackers)
+		for k, a := range in.attackers {
+			phase := k * in.spec.RejoinEvery / n
+			if (step+phase)%in.spec.RejoinEvery == 0 {
+				if err := e.ResetPeer(a); err != nil {
+					panic(err) // attacker slots are validated at build time
+				}
+			}
+		}
+	case AttackCollusion:
+		// Fabricated trust around each clique ring, when the scheme's trust
+		// graph accepts raw statements.
+		if in.spec.TrustBoost > 0 {
+			if ti, ok := e.Scheme().(trustInjector); ok {
+				for _, c := range in.cliques {
+					for k, m := range c.members {
+						next := c.members[(k+1)%len(c.members)]
+						if next != m {
+							ti.InjectTrust(m, next, in.spec.TrustBoost)
+						}
+					}
+				}
+			}
+		}
+	}
+	if !e.Measuring() {
+		return
+	}
+	in.measureStep++
+	if in.spec.Attack == AttackInvasion && !in.flipped && in.measureStep >= in.invadeAt {
+		in.flipped = true
+		agents := e.Agents()
+		for _, a := range in.attackers {
+			agents[a].SetPolicy(freeRide{})
+		}
+	}
+	if in.containedAt < 0 && in.measureStep%containSampleEvery == 0 {
+		if attackerShare(e, in.attackers) <= in.popShare {
+			in.containedAt = in.measureStep
+		}
+	}
+}
+
+// attackerShare returns the attackers' share of the network's total sharing
+// score (0 when the whole network scores 0).
+func attackerShare(e *sim.Engine, attackers []int) float64 {
+	scheme := e.Scheme()
+	var total, att float64
+	for i := 0; i < len(e.Agents()); i++ {
+		total += scheme.SharingScore(i)
+	}
+	if total <= 0 {
+		return 0
+	}
+	for _, a := range attackers {
+		att += scheme.SharingScore(a)
+	}
+	return att / total
+}
+
+// Job converts the spec into a runnable sim.Job wired with the attack's
+// setup and observation closures, plus the Report those closures fill when
+// the job runs. Each call builds independent state, so jobs from different
+// calls run concurrently without sharing anything.
+func Job(spec Spec) (sim.Job, *Report, error) {
+	spec = spec.withDefaults()
+	cfg, err := spec.Config()
+	if err != nil {
+		return sim.Job{}, nil, err
+	}
+	attackers := attackerSlots(cfg)
+	in := &instrument{
+		spec:      spec,
+		attackers: attackers,
+		popShare:  float64(len(attackers)) / float64(cfg.Peers),
+		invadeAt:  spec.InvadeAt,
+		cliques:   partitionCliques(attackers, spec.CliqueSize),
+	}
+	if in.invadeAt <= 0 {
+		in.invadeAt = cfg.MeasureSteps / 4
+	}
+	rep := &Report{
+		Name:            spec.Name,
+		Attack:          spec.Attack,
+		Scheme:          spec.Scheme,
+		Attackers:       len(attackers),
+		Peers:           cfg.Peers,
+		ContainmentStep: -1,
+	}
+	job := sim.Job{
+		Name:   spec.Name,
+		Config: cfg,
+		Setup:  in.install,
+		Observe: func(e *sim.Engine, res *sim.Result) {
+			rep.Result = *res
+			rep.HonestDownloadSuccess = res.PerBehavior[agent.Rational].DownloadSuccess()
+			rep.AttackerRepShare = attackerShare(e, attackers)
+			rep.ContainmentStep = in.containedAt
+		},
+	}
+	return job, rep, nil
+}
+
+// partitionCliques splits the attacker slots into cells of at most size
+// members, in slot order.
+func partitionCliques(attackers []int, size int) []*clique {
+	if size <= 0 {
+		size = len(attackers)
+	}
+	var out []*clique
+	for lo := 0; lo < len(attackers); lo += size {
+		hi := lo + size
+		if hi > len(attackers) {
+			hi = len(attackers)
+		}
+		out = append(out, &clique{members: attackers[lo:hi]})
+	}
+	return out
+}
+
+// Run executes one scenario to completion and returns its report.
+func Run(spec Spec) (Report, error) {
+	job, rep, err := Job(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	out := sim.RunJobs([]sim.Job{job}, 1)
+	if out[0].Err != nil {
+		return Report{}, out[0].Err
+	}
+	return *rep, nil
+}

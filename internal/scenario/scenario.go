@@ -1,0 +1,183 @@
+// Package scenario is the adversarial & churn scenario suite: a JSON-driven
+// registry of attack configurations that inject hostile populations and
+// identity churn into the simulation engine and measure how well each
+// incentive scheme contains them.
+//
+// A Spec names one attack family, an attacker fraction, and the base
+// simulation knobs. The attackers occupy the irrational tail of the slot
+// layout and carry scripted, non-learning agent.Policy implementations, so
+// the engine's per-behavior metrics cleanly split honest (rational,
+// Q-learning) peers from attackers. Four families are built in:
+//
+//   - collusion — Sybil cliques that serve each other, steer their downloads
+//     in-clique, and (on trust-graph schemes) inject fabricated local-trust
+//     edges, trying to inflate the clique's standing.
+//   - whitewash — free-riders that exploit, then periodically shed their
+//     identity (Engine.ResetPeer) to rejoin fresh and escape punishment.
+//   - invasion — sleepers that behave honestly through training and the
+//     early measurement phase, then flip to free-riding mid-measurement.
+//   - zipf — a zipf-skewed article popularity workload with a free-riding
+//     minority: the popularity-concentration stressor real content networks
+//     show.
+//
+// Every scenario is deterministic: policies are pure functions of their
+// observable context, interventions ride the engine's step hook with
+// deterministic cadences, and results are bit-identical for every worker
+// count.
+package scenario
+
+import (
+	"fmt"
+
+	"collabnet/internal/incentive"
+	"collabnet/internal/sim"
+)
+
+// Attack names one built-in attack family.
+type Attack string
+
+// The four attack families.
+const (
+	AttackCollusion Attack = "collusion"
+	AttackWhitewash Attack = "whitewash"
+	AttackInvasion  Attack = "invasion"
+	AttackZipf      Attack = "zipf"
+)
+
+// Spec is one adversarial scenario: an attack family plus the base
+// simulation configuration it runs against. The zero value of every optional
+// field resolves to a family-specific default in Validate/Config.
+type Spec struct {
+	// Name identifies the scenario in the registry, reports and checkpoints.
+	Name string `json:"name"`
+	// Attack selects the family.
+	Attack Attack `json:"attack"`
+	// AttackerFraction is the hostile share of the population in [0,1).
+	// Attackers occupy the irrational tail of the slot layout.
+	AttackerFraction float64 `json:"attacker_fraction"`
+
+	// CliqueSize (collusion) is the size of each Sybil clique the attackers
+	// are partitioned into. Default 4.
+	CliqueSize int `json:"clique_size,omitempty"`
+	// TrustBoost (collusion) is the per-step fabricated local-trust weight
+	// each clique member asserts toward the next member around the ring, on
+	// schemes whose trust graph accepts raw statements (eigentrust, maxflow).
+	// 0 disables injection.
+	TrustBoost float64 `json:"trust_boost,omitempty"`
+	// RejoinEvery (whitewash) is the identity-shed cadence in steps: each
+	// whitewasher resets every RejoinEvery steps, staggered so the resets
+	// spread evenly. Default 250.
+	RejoinEvery int `json:"rejoin_every,omitempty"`
+	// InvadeAt (invasion) is the measurement step at which the sleepers
+	// flip to free-riding. Default MeasureSteps/4.
+	InvadeAt int `json:"invade_at,omitempty"`
+	// ZipfExponent (zipf; usable by any family) skews the article-edit
+	// workload, threaded to sim.Config.ZipfExponent.
+	ZipfExponent float64 `json:"zipf_exponent,omitempty"`
+
+	// Scheme is the incentive scheme under test, by Kind.String name
+	// ("none", "reputation", "tit-for-tat", "karma", "eigentrust",
+	// "maxflow"). Default "reputation".
+	Scheme string `json:"scheme,omitempty"`
+	// PreTrusted is threaded to sim.Config.PreTrusted: EigenTrust's teleport
+	// anchors and the maxflow evaluator.
+	PreTrusted []int `json:"pre_trusted,omitempty"`
+	// Peers/TrainSteps/MeasureSteps/Seed override the sim defaults when > 0.
+	Peers        int    `json:"peers,omitempty"`
+	TrainSteps   int    `json:"train_steps,omitempty"`
+	MeasureSteps int    `json:"measure_steps,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	// ChurnProb adds background random churn on top of the attack.
+	ChurnProb float64 `json:"churn_prob,omitempty"`
+}
+
+// withDefaults returns the spec with family defaults resolved.
+func (s Spec) withDefaults() Spec {
+	if s.Scheme == "" {
+		s.Scheme = incentive.KindReputation.String()
+	}
+	if s.CliqueSize <= 0 {
+		s.CliqueSize = 4
+	}
+	if s.RejoinEvery <= 0 {
+		s.RejoinEvery = 250
+	}
+	return s
+}
+
+// Validate reports the first violated constraint.
+func (s Spec) Validate() error {
+	switch s.Attack {
+	case AttackCollusion, AttackWhitewash, AttackInvasion, AttackZipf:
+	default:
+		return fmt.Errorf("scenario: unknown attack %q", s.Attack)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if s.AttackerFraction < 0 || s.AttackerFraction >= 1 {
+		return fmt.Errorf("scenario: attacker fraction must be in [0,1), got %v", s.AttackerFraction)
+	}
+	if s.Attack != AttackZipf && s.AttackerFraction == 0 {
+		return fmt.Errorf("scenario: %s needs an attacker fraction > 0", s.Attack)
+	}
+	if s.Scheme != "" {
+		if _, err := incentive.ParseKind(s.Scheme); err != nil {
+			return err
+		}
+	}
+	if s.CliqueSize < 0 || s.RejoinEvery < 0 || s.InvadeAt < 0 {
+		return fmt.Errorf("scenario: clique size, rejoin cadence and invade step must be >= 0")
+	}
+	if s.ZipfExponent < 0 {
+		return fmt.Errorf("scenario: zipf exponent must be >= 0, got %v", s.ZipfExponent)
+	}
+	return nil
+}
+
+// Config assembles the sim.Config the scenario runs: attackers fill the
+// irrational tail of the mixture, so the engine's per-behavior metrics
+// separate honest learners from scripted attackers.
+func (s Spec) Config() (sim.Config, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Default()
+	kind, err := incentive.ParseKind(s.Scheme)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Scheme = kind
+	if s.Peers > 0 {
+		cfg.Peers = s.Peers
+	}
+	if s.TrainSteps > 0 {
+		cfg.TrainSteps = s.TrainSteps
+	}
+	if s.MeasureSteps > 0 {
+		cfg.MeasureSteps = s.MeasureSteps
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	cfg.ChurnProb = s.ChurnProb
+	cfg.ZipfExponent = s.ZipfExponent
+	cfg.PreTrusted = append([]int(nil), s.PreTrusted...)
+	cfg.Mix = sim.Mixture{Rational: 1 - s.AttackerFraction, Irrational: s.AttackerFraction}
+	// Attackers must be able to propose (destructive) edits despite their
+	// rock-bottom reputation, as in the paper's Figures 6-7 populations.
+	cfg.OpenEditing = true
+	return cfg, nil
+}
+
+// attackerSlots returns the slots the attackers occupy — the irrational
+// tail of the engine's slot layout under cfg's mixture.
+func attackerSlots(cfg sim.Config) []int {
+	nr, na, ni := cfg.Mix.Counts(cfg.Peers)
+	out := make([]int, 0, ni)
+	for i := nr + na; i < cfg.Peers; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"collabnet/internal/sim"
+)
+
+// quick shrinks a spec to test scale.
+func quick(s Spec) Spec {
+	s.Peers = 40
+	s.TrainSteps = 400
+	s.MeasureSteps = 200
+	return s
+}
+
+func TestBuiltinsValidateAndBuild(t *testing.T) {
+	bs := Builtins()
+	if len(bs) != 4 {
+		t.Fatalf("want 4 builtin scenarios, got %d", len(bs))
+	}
+	seen := map[Attack]bool{}
+	for _, s := range bs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %s invalid: %v", s.Name, err)
+		}
+		if _, _, err := Job(s); err != nil {
+			t.Errorf("builtin %s does not build: %v", s.Name, err)
+		}
+		seen[s.Attack] = true
+	}
+	for _, a := range []Attack{AttackCollusion, AttackWhitewash, AttackInvasion, AttackZipf} {
+		if !seen[a] {
+			t.Errorf("no builtin covers attack family %s", a)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Attack: "alien", AttackerFraction: 0.1},
+		{Name: "", Attack: AttackZipf},
+		{Name: "x", Attack: AttackCollusion, AttackerFraction: 0},
+		{Name: "x", Attack: AttackCollusion, AttackerFraction: 1.5},
+		{Name: "x", Attack: AttackZipf, ZipfExponent: -1},
+		{Name: "x", Attack: AttackWhitewash, AttackerFraction: 0.1, Scheme: "bogus"},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: %+v should not validate", i, s)
+		}
+	}
+}
+
+// TestScenarioRunsPinned is the fixed-seed determinism pin for every attack
+// family: the same spec run twice produces byte-identical reports, and the
+// runs actually exercised the attack (attackers present, downloads served).
+func TestScenarioRunsPinned(t *testing.T) {
+	for _, base := range Builtins() {
+		s := quick(base)
+		t.Run(s.Name, func(t *testing.T) {
+			a, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same spec, different reports:\n%+v\n%+v", a, b)
+			}
+			if a.Attackers == 0 {
+				t.Fatal("scenario ran without attackers")
+			}
+			if a.Result.Downloads == 0 {
+				t.Fatal("no downloads completed — scenario network is dead")
+			}
+			if a.HonestDownloadSuccess <= 0 || a.HonestDownloadSuccess > 1 {
+				t.Errorf("honest download success out of range: %v", a.HonestDownloadSuccess)
+			}
+			if a.AttackerRepShare < 0 || a.AttackerRepShare > 1 {
+				t.Errorf("attacker rep share out of range: %v", a.AttackerRepShare)
+			}
+		})
+	}
+}
+
+// TestScenarioWorkerCountIdentity runs all four builtins as one job batch
+// serially and with four workers: the reports must be bit-identical, the
+// scenario layer's serial==parallel guarantee.
+func TestScenarioWorkerCountIdentity(t *testing.T) {
+	run := func(workers int) []Report {
+		var jobs []sim.Job
+		var reps []*Report
+		for _, base := range Builtins() {
+			job, rep, err := Job(quick(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, job)
+			reps = append(reps, rep)
+		}
+		for _, jr := range sim.RunJobs(jobs, workers) {
+			if jr.Err != nil {
+				t.Fatal(jr.Err)
+			}
+		}
+		out := make([]Report, len(reps))
+		for i, r := range reps {
+			out[i] = *r
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("worker count changed scenario reports")
+	}
+}
+
+// TestMaxFlowBoundsCollusion is the suite's headline ablation claim at test
+// scale: under the same collusion attack with fabricated trust injection,
+// max-flow trust holds the attackers' reputation share at or below plain
+// EigenTrust's (the min-cut bounds what the clique can assert about itself),
+// and pre-trusted EigenTrust holds it below uniform-teleport EigenTrust.
+func TestMaxFlowBoundsCollusion(t *testing.T) {
+	base := quick(Builtins()[0]) // collusion
+	if base.Attack != AttackCollusion {
+		t.Fatal("builtin 0 should be the collusion scenario")
+	}
+
+	eigen := base
+	eigen.Scheme = "eigentrust"
+	re, err := Run(eigen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre := base
+	pre.Scheme = "eigentrust"
+	pre.PreTrusted = []int{0, 1, 2} // honest anchors
+	rp, err := Run(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flow := base
+	flow.Scheme = "maxflow"
+	flow.PreTrusted = []int{0} // evaluator anchor
+	rf, err := Run(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("eigentrust=%.4f eigentrust+pretrust=%.4f maxflow=%.4f (pop share %.2f)",
+		re.AttackerRepShare, rp.AttackerRepShare, rf.AttackerRepShare,
+		float64(re.Attackers)/float64(re.Peers))
+	if rf.AttackerRepShare > re.AttackerRepShare {
+		t.Errorf("maxflow should bound the clique at or below eigentrust: %.4f > %.4f",
+			rf.AttackerRepShare, re.AttackerRepShare)
+	}
+	if rp.AttackerRepShare > re.AttackerRepShare {
+		t.Errorf("pre-trust should damp the clique vs uniform teleport: %.4f > %.4f",
+			rp.AttackerRepShare, re.AttackerRepShare)
+	}
+}
+
+// TestInvasionFlips pins the sleeper mechanics: before InvadeAt the
+// attackers run the honest cover policy, after it the free-ride policy.
+func TestInvasionFlips(t *testing.T) {
+	s := quick(Builtins()[2]) // invasion
+	if s.Attack != AttackInvasion {
+		t.Fatal("builtin 2 should be the invasion scenario")
+	}
+	s.InvadeAt = 50
+	job, _, err := Job(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(job.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	cfg := job.Config
+	attackers := attackerSlots(cfg)
+	eng.Train()
+	for _, a := range attackers {
+		if got := eng.Agents()[a].Policy().Name(); got != "honest" {
+			t.Fatalf("attacker %d should still be under cover after training, runs %q", a, got)
+		}
+	}
+	if _, err := eng.Measure(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range attackers {
+		if got := eng.Agents()[a].Policy().Name(); got != "free-ride" {
+			t.Fatalf("attacker %d should have flipped during measurement, runs %q", a, got)
+		}
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	if _, err := Resolve("collusion"); err != nil {
+		t.Errorf("builtin name should resolve: %v", err)
+	}
+	if _, err := Resolve("no-such-scenario"); err == nil {
+		t.Error("unknown name should not resolve")
+	}
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "custom.json")
+	spec := Spec{
+		Name: "custom", Attack: AttackWhitewash, AttackerFraction: 0.1,
+		Scheme: "karma", Peers: 20, TrainSteps: 50, MeasureSteps: 30,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resolve(good)
+	if err != nil {
+		t.Fatalf("JSON spec should load: %v", err)
+	}
+	if got.Name != "custom" || got.Attack != AttackWhitewash {
+		t.Errorf("loaded spec mangled: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","attack":"whitewash","attacker_fraction":0.1,"bogus_key":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(bad); err == nil {
+		t.Error("unknown JSON keys should be rejected")
+	}
+	if _, err := Resolve(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should not resolve")
+	}
+}

@@ -147,6 +147,12 @@ func runChain(c SweepChain, opt ChainOptions) ChainResult {
 			cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
 			return cr
 		}
+		if pt.Setup != nil {
+			if err := pt.Setup(eng); err != nil {
+				cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
+				return cr
+			}
+		}
 		if opt.WarmStart && pi > 0 {
 			restore := eng.RestoreLearnersFrom
 			if opt.CarryFullState {
@@ -171,6 +177,9 @@ func runChain(c SweepChain, opt ChainOptions) ChainResult {
 		if err != nil {
 			cr.Err = fmt.Errorf("sim: chain %s point %s: %w", c.Name, pt.Name, err)
 			return cr
+		}
+		if pt.Observe != nil {
+			pt.Observe(eng, &res)
 		}
 		cr.Results = append(cr.Results, res)
 		if ck != nil {

@@ -145,6 +145,19 @@ type Config struct {
 	// network.
 	ChurnProb float64
 
+	// PreTrusted lists the peers EigenTrust's teleport distribution favors —
+	// the collusion-resistance lever of Kamvar et al., threaded through to
+	// reputation.EigenTrustConfig when Scheme is KindEigenTrust (the first
+	// entry also anchors the max-flow evaluator under KindMaxFlow). Empty
+	// keeps the uniform teleport distribution; other schemes ignore it.
+	PreTrusted []int
+
+	// ZipfExponent skews which articles attract edit proposals: article k
+	// (in creation order) is picked with weight (k+1)^-ZipfExponent, the
+	// popularity skew real content workloads show. 0 keeps the paper's
+	// uniform pick, bit-identical to previous behavior.
+	ZipfExponent float64
+
 	// RevisionCap bounds each article's retained revision log to the newest
 	// RevisionCap revisions (a ring evicting the oldest), removing the last
 	// amortized allocator from the step loop. 0 keeps full history (the
@@ -234,6 +247,14 @@ func (c Config) Validate() error {
 	}
 	if c.ChurnProb < 0 || c.ChurnProb >= 1 {
 		return fmt.Errorf("sim: ChurnProb must be in [0,1), got %v", c.ChurnProb)
+	}
+	for k, p := range c.PreTrusted {
+		if p < 0 || p >= c.Peers {
+			return fmt.Errorf("sim: PreTrusted[%d] = %d out of range [0,%d)", k, p, c.Peers)
+		}
+	}
+	if c.ZipfExponent < 0 {
+		return fmt.Errorf("sim: ZipfExponent must be >= 0, got %v", c.ZipfExponent)
 	}
 	if c.RevisionCap < 0 {
 		return fmt.Errorf("sim: RevisionCap must be >= 0, got %d", c.RevisionCap)

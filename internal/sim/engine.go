@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"collabnet/internal/agent"
 	"collabnet/internal/articles"
@@ -61,6 +62,15 @@ type Engine struct {
 	sessVoteAll func(voter int) bool // full participation: cast inline
 	sessVoteRes func(voter int) bool // VoterCap: reservoir-sample voters
 
+	// zipfW holds the per-article edit-pick weights when the workload is
+	// zipf-skewed (Config.ZipfExponent > 0); empty keeps the uniform pick.
+	zipfW []float64
+
+	// hook, when set, runs after every completed step — the scenario
+	// subsystem's instrumentation and intervention point (whitewash resets,
+	// invasion flips, robustness sampling). nil costs one branch per step.
+	hook func(*Engine)
+
 	step    int
 	metrics *collector // nil while not collecting
 }
@@ -71,7 +81,8 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	scheme, err := incentive.New(cfg.Scheme, cfg.Peers, cfg.Params, cfg.WeightedVoting)
+	scheme, err := incentive.NewWithOptions(cfg.Scheme, cfg.Peers, cfg.Params, cfg.WeightedVoting,
+		incentive.Options{PreTrusted: cfg.PreTrusted})
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +156,12 @@ func New(cfg Config) (*Engine, error) {
 		e.online[i] = true
 	}
 	e.seedArticles()
+	if cfg.ZipfExponent > 0 {
+		e.zipfW = make([]float64, e.store.Len())
+		for k := range e.zipfW {
+			e.zipfW[k] = math.Pow(float64(k+1), -cfg.ZipfExponent)
+		}
+	}
 	return e, nil
 }
 
@@ -165,6 +182,48 @@ func (e *Engine) Store() *articles.Store { return e.store }
 
 // Agents exposes the agent slice (read-only use).
 func (e *Engine) Agents() []*agent.Agent { return e.agents }
+
+// SetStepHook installs (or, with nil, removes) a function that runs after
+// every completed step — the scenario subsystem's instrumentation and
+// intervention point. The hook runs on the engine's goroutine and must be a
+// deterministic function of engine state (no independent randomness), or
+// the serial==parallel bit-identity is lost.
+func (e *Engine) SetStepHook(fn func(*Engine)) { e.hook = fn }
+
+// StepIndex returns the number of steps the engine has executed.
+func (e *Engine) StepIndex() int { return e.step }
+
+// Measuring reports whether the engine is inside its measurement phase —
+// step hooks use it to key interventions and sampling to measure time,
+// which stays well-defined under warm-start chains where absolute training
+// step counts differ from the cold path.
+func (e *Engine) Measuring() bool { return e.metrics != nil }
+
+// Online reports whether peer is online this step.
+func (e *Engine) Online(peer int) bool {
+	return peer >= 0 && peer < len(e.online) && e.online[peer]
+}
+
+// ResetPeer wipes slot peer's accumulated identity state — in-flight
+// transfers in both directions, learned Q-matrices, and the scheme's
+// per-peer state (ledger, balance, reciprocity rows, or trust edges in both
+// directions) — as if the identity had left and a fresh peer had joined in
+// the same slot. The slot comes back online immediately. The article
+// community is untouched: articles the old identity edited stay edited,
+// exactly as abandoned content outlives its author in a real network.
+// Every sub-reset works in place, so churning identities does not disturb
+// the step loop's zero-allocation steady state.
+func (e *Engine) ResetPeer(peer int) error {
+	if peer < 0 || peer >= e.cfg.Peers {
+		return fmt.Errorf("sim: ResetPeer(%d) out of range [0,%d)", peer, e.cfg.Peers)
+	}
+	e.tm.Cancel(peer)
+	e.tm.CancelBySource(peer)
+	e.agents[peer].ResetLearners()
+	e.scheme.ResetPeer(peer)
+	e.online[peer] = true
+	return nil
+}
 
 // BehaviorCounts returns how many peers of each behavior the engine runs.
 func (e *Engine) BehaviorCounts() map[agent.Behavior]int {
@@ -264,6 +323,19 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 			e.scheme.RecordSharing(i, 0, 0)
 			continue
 		}
+		if p := e.agents[i].Policy(); p != nil {
+			// Scripted slot: the policy dictates both action heads and no
+			// randomness is consumed — attacker behavior is a pure function
+			// of the observable context.
+			ctx := agent.PolicyContext{Peer: i, Step: e.step, RS: e.prevRS[i], RE: e.prevRE[i]}
+			act := p.Sharing(ctx)
+			e.shareAct[i] = act
+			e.shareFiles[i] = act.Files().Fraction()
+			e.shareBW[i] = act.Bandwidth().Fraction()
+			e.scheme.RecordSharing(i, e.shareFiles[i], e.shareBW[i])
+			e.evAction[i] = p.EditVote(ctx)
+			continue
+		}
 		act := e.agents[i].ChooseSharing(e.prevRS[i], temp, e.rng)
 		e.shareAct[i] = act
 		e.shareFiles[i] = act.Files().Fraction()
@@ -292,8 +364,20 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 			if !e.online[i] || e.tm.HasActive(i) || !e.rng.Bool(p) {
 				continue
 			}
-			pick := e.rng.Choice(weights)
+			if e.metrics != nil {
+				e.metrics.dlAttempts[e.agents[i].Behavior]++
+			}
+			pick := -1
+			if pol := e.agents[i].Policy(); pol != nil {
+				if sp, ok := pol.(agent.SourcePicker); ok {
+					ctx := agent.PolicyContext{Peer: i, Step: e.step, RS: e.prevRS[i], RE: e.prevRE[i]}
+					pick = sp.PickSource(ctx, sharers, weights)
+				}
+			}
 			if pick < 0 {
+				pick = e.rng.Choice(weights)
+			}
+			if pick < 0 || pick >= len(sharers) {
 				continue // every sharer offers zero files: nothing to fetch
 			}
 			src := sharers[pick]
@@ -318,6 +402,7 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 		for _, done := range e.stepRes.Done {
 			e.metrics.downloads++
 			e.metrics.downloadSteps += done.Steps
+			e.metrics.dlDone[e.agents[done.Downloader].Behavior]++
 		}
 	}
 
@@ -349,7 +434,7 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 			recv = received[i]
 		}
 		us := e.cfg.Utility.SharingUtilityReceived(recv, e.shareFiles[i], e.shareBW[i])
-		if learn {
+		if learn && e.agents[i].Policy() == nil {
 			e.agents[i].LearnSharing(e.prevRS[i], e.shareAct[i], us, e.scheme.SharingScore(i))
 			// Conduct learners update only on steps where the corresponding
 			// event actually resolved. Edit opportunities are rare (EditProb
@@ -376,6 +461,9 @@ func (e *Engine) stepOnce(temp float64, learn bool) {
 		}
 	}
 	e.metricsStepDone()
+	if e.hook != nil {
+		e.hook(e)
+	}
 }
 
 func (e *Engine) metricsStepDone() {
@@ -431,7 +519,17 @@ func (e *Engine) castBallot(v int) {
 // copies the editor set. With Config.VoterCap > 0 the participating voters
 // are reservoir-sampled down to the cap before any ballot is cast.
 func (e *Engine) runEditSession(editor int) {
-	art := e.store.At(e.rng.Intn(e.store.Len()))
+	var art *articles.Article
+	if len(e.zipfW) > 0 && len(e.zipfW) == e.store.Len() {
+		// Zipf-skewed popularity: early articles attract most proposals.
+		idx := e.rng.Choice(e.zipfW)
+		if idx < 0 {
+			idx = 0
+		}
+		art = e.store.At(idx)
+	} else {
+		art = e.store.At(e.rng.Intn(e.store.Len()))
+	}
 	conduct := e.evAction[editor].Edit()
 	quality := articles.Good
 	if conduct == agent.Destructive {

@@ -24,6 +24,21 @@ type BehaviorStats struct {
 	FailedVotes     int
 	// MeanUtilityS is the average per-step sharing utility US.
 	MeanUtilityS float64
+	// DownloadAttempts / Downloads count download starts attempted by this
+	// type and the completions it received — their ratio is the robustness
+	// suite's download-success metric (how well the honest population is
+	// actually served under attack).
+	DownloadAttempts int
+	Downloads        int
+}
+
+// DownloadSuccess returns completed downloads over attempted starts for this
+// type (0 when it attempted nothing).
+func (b BehaviorStats) DownloadSuccess() float64 {
+	if b.DownloadAttempts == 0 {
+		return 0
+	}
+	return float64(b.Downloads) / float64(b.DownloadAttempts)
 }
 
 // ConstructiveFraction returns the share of this type's edit proposals that
@@ -111,6 +126,9 @@ type collector struct {
 
 	acceptedGood, acceptedBad, declinedGood, declinedBad int
 
+	dlAttempts [numBehaviors]int
+	dlDone     [numBehaviors]int
+
 	downloads     int
 	downloadSteps int
 
@@ -146,6 +164,8 @@ func (c *collector) result(scheme string, peers int, counts map[agent.Behavior]i
 			AcceptedEdits:     c.accepted[b],
 			SuccessfulVotes:   c.succVotes[b],
 			FailedVotes:       c.failVotes[b],
+			DownloadAttempts:  c.dlAttempts[b],
+			Downloads:         c.dlDone[b],
 		}
 		if pn := c.peerN[b]; pn > 0 {
 			stats.SharedArticles = c.fileSum[b] / float64(pn)

@@ -30,7 +30,7 @@ import (
 const (
 	snapMagic      = "CNSNAP1\n"
 	ckptMagic      = "CNCHKP1\n"
-	codecVersion   = 1
+	codecVersion   = 2
 	maxCodecLen    = 1 << 31 // per-section element bound on read
 	maxCodecString = 1 << 20 // per-string byte bound on read
 )
@@ -329,6 +329,12 @@ func writeScheme(b *binWriter, s *incentive.State) {
 		b.floats(s.GlobalTrust.Score)
 		b.bool(s.GlobalTrust.Dirty)
 		b.i(s.GlobalTrust.SinceRefresh)
+	case incentive.KindMaxFlow:
+		b.edges(s.FlowTrust.Edges)
+		b.floats(s.FlowTrust.Trust)
+		b.floats(s.FlowTrust.Score)
+		b.bool(s.FlowTrust.Dirty)
+		b.i(s.FlowTrust.SinceRefresh)
 	default:
 		b.err = fmt.Errorf("sim: cannot encode scheme state of kind %d", int(s.Kind))
 	}
@@ -356,6 +362,12 @@ func readScheme(b *binReader, s *incentive.State) {
 		s.GlobalTrust.Score = b.floats(s.GlobalTrust.Score)
 		s.GlobalTrust.Dirty = b.bool()
 		s.GlobalTrust.SinceRefresh = b.i()
+	case incentive.KindMaxFlow:
+		s.FlowTrust.Edges = b.edges(s.FlowTrust.Edges)
+		s.FlowTrust.Trust = b.floats(s.FlowTrust.Trust)
+		s.FlowTrust.Score = b.floats(s.FlowTrust.Score)
+		s.FlowTrust.Dirty = b.bool()
+		s.FlowTrust.SinceRefresh = b.i()
 	default:
 		if b.err == nil {
 			b.err = fmt.Errorf("sim: snapshot has unknown scheme kind %d", int(s.Kind))
@@ -581,6 +593,8 @@ func writeResult(b *binWriter, r *Result) {
 		b.i(s.SuccessfulVotes)
 		b.i(s.FailedVotes)
 		b.f(s.MeanUtilityS)
+		b.i(s.DownloadAttempts)
+		b.i(s.Downloads)
 	}
 	b.i(r.AcceptedGood)
 	b.i(r.AcceptedBad)
@@ -617,6 +631,8 @@ func readResult(b *binReader, r *Result) {
 		s.SuccessfulVotes = b.i()
 		s.FailedVotes = b.i()
 		s.MeanUtilityS = b.f()
+		s.DownloadAttempts = b.i()
+		s.Downloads = b.i()
 		if b.err == nil {
 			r.PerBehavior[beh] = s
 		}

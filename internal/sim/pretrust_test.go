@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"collabnet/internal/core"
+	"collabnet/internal/incentive"
+)
+
+// TestPreTrustedThreadsToScheme pins the Config→scheme plumbing end to end:
+// a pre-trusted set changes EigenTrust's teleport distribution (so two
+// otherwise identical engines diverge), and anchors the max-flow evaluator.
+func TestPreTrustedThreadsToScheme(t *testing.T) {
+	base := snapshotTestConfig(incentive.KindEigenTrust)
+	base.ChurnProb = 0
+
+	run := func(cfg Config) []float64 {
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			eng.StepOnce(1, true)
+		}
+		out := make([]float64, cfg.Peers)
+		for i := range out {
+			out[i] = eng.Scheme().SharingScore(i)
+		}
+		return out
+	}
+
+	plain := run(base)
+	withPre := base
+	withPre.PreTrusted = []int{1, 2, 3}
+	pre := run(withPre)
+	diverged := false
+	for i := range plain {
+		if plain[i] != pre[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("PreTrusted did not reach the EigenTrust teleport distribution")
+	}
+
+	// MaxFlow: the first pre-trusted peer becomes the evaluator, who trusts
+	// itself fully.
+	mf := snapshotTestConfig(incentive.KindMaxFlow)
+	mf.PreTrusted = []int{5}
+	eng, err := New(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := eng.Scheme().(*incentive.FlowTrust)
+	if !ok {
+		t.Fatalf("scheme is %T, want *incentive.FlowTrust", eng.Scheme())
+	}
+	if ft.Trust(5) != 1 {
+		t.Errorf("pre-trusted peer 5 should anchor the evaluator, Trust(5) = %v", ft.Trust(5))
+	}
+}
+
+// TestPreTrustDampsCollusion is the incentive-level damping pin: with a
+// Sybil clique asserting heavy trust in itself against a sparse honest
+// region, a pre-trusted teleport distribution anchored on honest peers cuts
+// the clique's share of global trust versus the uniform teleport.
+func TestPreTrustDampsCollusion(t *testing.T) {
+	const n = 20
+	clique := []int{16, 17, 18, 19}
+	inClique := func(p int) bool { return p >= 16 }
+
+	build := func(pre []int) *incentive.GlobalTrust {
+		s, err := incentive.NewWithOptions(incentive.KindEigenTrust, n, core.Default(), true,
+			incentive.Options{PreTrusted: pre})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := s.(*incentive.GlobalTrust)
+		// Honest region: a ring of modest transfers among peers 0..15.
+		for i := 0; i < 16; i++ {
+			g.RecordTransfer(i, (i+1)%16, 1)
+		}
+		// One thin honest edge into the clique, then heavy in-clique trust.
+		g.RecordTransfer(0, 16, 0.2)
+		for _, a := range clique {
+			for _, b := range clique {
+				if a != b {
+					g.InjectTrust(a, b, 10)
+				}
+			}
+		}
+		g.Refresh()
+		return g
+	}
+
+	share := func(g *incentive.GlobalTrust) float64 {
+		var tot, cl float64
+		for p := 0; p < n; p++ {
+			tr := g.Trust(p)
+			tot += tr
+			if inClique(p) {
+				cl += tr
+			}
+		}
+		if tot == 0 {
+			t.Fatal("degenerate trust vector")
+		}
+		return cl / tot
+	}
+
+	uniform := share(build(nil))
+	damped := share(build([]int{0, 1, 2, 3}))
+	t.Logf("clique trust share: uniform teleport %.4f, pre-trusted %.4f", uniform, damped)
+	if damped >= uniform {
+		t.Errorf("pre-trust should damp the clique: %.4f >= %.4f", damped, uniform)
+	}
+}

@@ -13,6 +13,18 @@ import (
 type Job struct {
 	Name   string
 	Config Config
+
+	// Setup, when non-nil, runs on the freshly built engine before any
+	// training (and, in a warm-start chain, before the predecessor snapshot
+	// is restored). The scenario layer uses it to install attacker policies
+	// and step hooks — wiring that is not Config state and not part of
+	// snapshots. Setup must be deterministic: results must stay bit-identical
+	// for every worker count.
+	Setup func(*Engine) error
+	// Observe, when non-nil, runs after the measurement phase with the
+	// engine and its result, so callers can read engine-level state (scheme
+	// scores, trust mass) into scenario reports without widening Result.
+	Observe func(*Engine, *Result)
 }
 
 // JobResult pairs a job with its replica results, in replica order.
@@ -98,9 +110,17 @@ func runOne(job Job) JobResult {
 	if err != nil {
 		return JobResult{Name: job.Name, Err: err}
 	}
+	if job.Setup != nil {
+		if err := job.Setup(eng); err != nil {
+			return JobResult{Name: job.Name, Err: err}
+		}
+	}
 	res, err := eng.Run()
 	if err != nil {
 		return JobResult{Name: job.Name, Err: err}
+	}
+	if job.Observe != nil {
+		job.Observe(eng, &res)
 	}
 	return JobResult{Name: job.Name, Results: []Result{res}}
 }
@@ -144,6 +164,8 @@ func MeanResult(rs []Result) Result {
 			acc.AcceptedEdits += s.AcceptedEdits
 			acc.SuccessfulVotes += s.SuccessfulVotes
 			acc.FailedVotes += s.FailedVotes
+			acc.DownloadAttempts += s.DownloadAttempts
+			acc.Downloads += s.Downloads
 			agg.PerBehavior[b] = acc
 		}
 	}

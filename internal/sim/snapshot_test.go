@@ -25,7 +25,7 @@ func snapshotTestConfig(kind incentive.Kind) Config {
 
 var allSchemeKinds = []incentive.Kind{
 	incentive.KindNone, incentive.KindReputation, incentive.KindTitForTat,
-	incentive.KindKarma, incentive.KindEigenTrust,
+	incentive.KindKarma, incentive.KindEigenTrust, incentive.KindMaxFlow,
 }
 
 // TestSnapshotRoundTripDeterminism is the warm-start correctness anchor:
