@@ -13,10 +13,10 @@
 # (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 6
+BENCH_N ?= 7
 
 .PHONY: build test vet fmt-check check bench bench-diff bench-guard \
-	cover fuzz-smoke figure-smoke scenario-smoke clean
+	cover fuzz-smoke race-stress figure-smoke scenario-smoke clean
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,19 @@ cover:
 		if [ "$$ok" != 1 ]; then echo "cover: $$pkg below $(COVER_MIN)%"; fail=1; fi; \
 	done; \
 	exit $$fail
+
+# race-stress drives the concurrent trust store's randomized mixed
+# schedules (parallel writers, lock-free readers, churn, refreshes) under
+# the race detector, repeated RACE_COUNT times for interleaving diversity.
+# The -timeout doubles as the deadlock gate: a publisher that never sees
+# its spare buffer drain, or a reader stuck behind a lock that should not
+# exist, turns into a test-binary panic with full goroutine dumps instead
+# of a silently hung CI job.
+RACE_COUNT   ?= 3
+RACE_TIMEOUT ?= 300s
+race-stress:
+	$(GO) test -race -run 'Concurrent' -count=$(RACE_COUNT) \
+		-timeout $(RACE_TIMEOUT) ./internal/reputation/ ./internal/incentive/
 
 # fuzz-smoke runs every fuzz target for FUZZTIME as a quick corpus-driven
 # smoke (CI pairs it with -race to shake out data races in the parallel

@@ -8,6 +8,8 @@ package collabnet
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 
 	"collabnet/internal/agent"
@@ -692,6 +694,122 @@ func BenchmarkEigenTrustParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkConcurrentTrustRead measures the epoch-pinned lock-free read
+// path of the concurrent trust store under a live writer, against the
+// serial LogGraph read (which tolerates no writer at all). The writer
+// continuously enqueues value updates on existing edges; the default
+// pending watermark turns them into periodic epoch publishes, so the
+// measured reads really do race pointer swaps and buffer retirements.
+// readers=N adds N-1 background readers so the measured goroutine shares
+// the store with real competition (4 and GOMAXPROCS collapse into one
+// variant on small machines).
+func BenchmarkConcurrentTrustRead(b *testing.B) {
+	const n = 10000
+	const avgDeg = 8
+	type edge struct {
+		from, to int
+		w        float64
+	}
+	rng := xrand.New(99)
+	edges := make([]edge, 0, n*avgDeg)
+	for k := 0; k < n*avgDeg; k++ {
+		e := edge{rng.Intn(n), rng.Intn(n), rng.Float64() + 0.1}
+		if e.from != e.to {
+			edges = append(edges, e)
+		}
+	}
+	load := func(g reputation.Graph) {
+		for _, e := range edges {
+			if err := g.AddTrust(e.from, e.to, e.w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("serial-log/readers=1", func(b *testing.B) {
+		lg, err := reputation.NewLogGraph(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		load(lg)
+		lg.Compact()
+		r := xrand.New(7)
+		sink := 0.0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += lg.Trust(r.Intn(n), r.Intn(n))
+		}
+		_ = sink
+	})
+
+	seen := map[int]bool{}
+	for _, readers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if readers < 1 || seen[readers] {
+			continue
+		}
+		seen[readers] = true
+		b.Run(fmt.Sprintf("concurrent/readers=%d", readers), func(b *testing.B) {
+			cg, err := reputation.NewConcurrentGraph(n, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			load(cg)
+			cg.Flush()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // live writer: value updates + watermark publishes
+				defer wg.Done()
+				w := xrand.New(1)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for k := 0; k < 64; k++ {
+						e := edges[w.Intn(len(edges))]
+						_ = cg.AddTrust(e.from, e.to, 0.01)
+					}
+					runtime.Gosched()
+				}
+			}()
+			for r := 1; r < readers; r++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rr := xrand.New(uint64(100 + id))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						ep := cg.Acquire()
+						_ = ep.Trust(rr.Intn(n), rr.Intn(n))
+						ep.Release()
+						runtime.Gosched()
+					}
+				}(r)
+			}
+			rr := xrand.New(7)
+			sink := 0.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ep := cg.Acquire()
+				sink += ep.Trust(rr.Intn(n), rr.Intn(n))
+				ep.Release()
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			_ = sink
 		})
 	}
 }

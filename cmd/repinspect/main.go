@@ -7,7 +7,10 @@
 // deterministic collusion-plus-churn workload on the edge-log graph, with
 // the attack-relevant statistics (in-clique trust mass, dangling rows,
 // row-clear/compaction counters) and the clique's trust share under each
-// trust metric.
+// trust metric. The same workload then replays through the concurrent
+// epoch-swapped store, reporting its publish/retirement counters (epochs,
+// swaps, retire-waits, ingest drains) and checking the final arrays against
+// the serial log bit-identically.
 //
 // Usage:
 //

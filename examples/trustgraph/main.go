@@ -88,8 +88,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ngossip: a reputation update reached %d/1000 peers in %d rounds (%d messages)\n",
-		res.Informed, res.Rounds, res.Messages)
+	fmt.Printf("\ngossip: a reputation update reached %d/1000 peers in %d rounds (%d messages, converged=%v)\n",
+		res.Informed, res.Rounds, res.Messages, res.Converged)
 	fmt.Printf("analytic estimate: ~%d rounds\n", reputation.AntiEntropyRounds(1000, 2))
 }
 

@@ -19,6 +19,16 @@ type GlobalTrustConfig struct {
 	Floor float64
 	// Trust configures the EigenTrust computation itself.
 	Trust reputation.EigenTrustConfig
+	// Concurrent backs the scheme with the epoch-swapped concurrent trust
+	// store (reputation.ConcurrentGraph) instead of the serial LogGraph:
+	// transfers enqueue on sharded ingest lanes, refreshes publish immutable
+	// epochs and trust snapshots, and external observers read both without
+	// locks. The scheme's own results are bit-identical either way (the
+	// differential test pins this) — the switch only changes who else may
+	// read the store while the simulation runs.
+	Concurrent bool
+	// Shards is the ingest shard count when Concurrent is set (0 = default).
+	Shards int
 }
 
 // DefaultGlobalTrustConfig returns the configuration used by the
@@ -55,9 +65,13 @@ func DefaultGlobalTrustConfig() GlobalTrustConfig {
 // rebuilding the adjacency from per-row maps. Results are bit-identical to
 // a map-backed graph (the reputation differential suite pins this).
 type GlobalTrust struct {
-	cfg   GlobalTrustConfig
-	n     int
-	graph *reputation.LogGraph
+	cfg GlobalTrustConfig
+	n   int
+	// store is the local-trust store every mutation goes through — the
+	// serial LogGraph, or the ConcurrentGraph when cfg.Concurrent is set.
+	store reputation.Graph
+	log   *reputation.LogGraph        // non-nil in serial mode
+	cg    *reputation.ConcurrentGraph // non-nil in concurrent mode
 	ws    *reputation.EigenTrustWorkspace
 
 	trust []float64 // latest global trust vector (distribution over peers)
@@ -78,17 +92,25 @@ func NewGlobalTrust(n int, cfg GlobalTrustConfig) (*GlobalTrust, error) {
 	if cfg.Floor < 0 {
 		return nil, fmt.Errorf("incentive: Floor must be >= 0, got %v", cfg.Floor)
 	}
-	graph, err := reputation.NewLogGraph(n)
-	if err != nil {
-		return nil, err
-	}
 	g := &GlobalTrust{
 		cfg:   cfg,
 		n:     n,
-		graph: graph,
 		ws:    reputation.NewEigenTrustWorkspace(),
 		trust: make([]float64, n),
 		score: make([]float64, n),
+	}
+	if cfg.Concurrent {
+		cg, err := reputation.NewConcurrentGraph(n, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		g.cg, g.store = cg, cg
+	} else {
+		log, err := reputation.NewLogGraph(n)
+		if err != nil {
+			return nil, err
+		}
+		g.log, g.store = log, log
 	}
 	// The initial solve doubles as configuration validation (damping,
 	// epsilon, pre-trusted range) and yields the uniform starting vector.
@@ -107,14 +129,31 @@ func (g *GlobalTrust) Trust(peer int) float64 {
 }
 
 // Graph exposes the local-trust graph (for metrics and tests).
-func (g *GlobalTrust) Graph() reputation.Graph { return g.graph }
+func (g *GlobalTrust) Graph() reputation.Graph { return g.store }
+
+// ConcurrentStore returns the concurrent trust store backing the scheme, or
+// nil when the scheme runs on the serial LogGraph. External observers use it
+// for lock-free epoch reads and trust snapshots while the simulation writes.
+func (g *GlobalTrust) ConcurrentStore() *reputation.ConcurrentGraph { return g.cg }
 
 // recompute solves for the global trust vector through the reusable
 // workspace and refreshes the squashed observables. The workspace's CSR
 // refresh compacts the edge log first, so the scheme's refresh cadence is
 // also the log's compaction cadence.
 func (g *GlobalTrust) recompute() error {
-	tv, err := g.ws.Compute(g.graph, g.cfg.Trust)
+	var tv []float64
+	var err error
+	if g.cg != nil {
+		// Concurrent mode: solve against the exact merged log under the
+		// store's maintenance lock — the workspace's value-only CSR fast
+		// path still applies because the underlying LogGraph pointer is
+		// stable — while lock-free readers keep serving the previous epoch.
+		g.cg.Exclusive(func(lg *reputation.LogGraph) {
+			tv, err = g.ws.Compute(lg, g.cfg.Trust)
+		})
+	} else {
+		tv, err = g.ws.Compute(g.log, g.cfg.Trust)
+	}
 	if err != nil {
 		return err
 	}
@@ -124,6 +163,11 @@ func (g *GlobalTrust) recompute() error {
 		// [0,1) with 0.5 at uniform, monotone in trust.
 		nt := float64(g.n) * t
 		g.score[i] = nt / (nt + 1)
+	}
+	if g.cg != nil {
+		// Publish the refreshed vector as an immutable snapshot for
+		// lock-free observers, stamped with the epoch it was computed at.
+		g.cg.PublishTrust(g.trust)
 	}
 	g.dirty = false
 	g.sinceRefresh = 0
@@ -169,7 +213,7 @@ func (g *GlobalTrust) RecordTransfer(downloader, source int, amount float64) {
 	if amount <= 0 {
 		return
 	}
-	if err := g.graph.AddTrust(downloader, source, amount); err != nil {
+	if err := g.store.AddTrust(downloader, source, amount); err != nil {
 		return
 	}
 	if downloader != source {
@@ -200,7 +244,7 @@ func (g *GlobalTrust) EndStep() {
 // Reset implements Scheme: all accumulated trust is forgotten and the
 // vector returns to the pre-trust distribution.
 func (g *GlobalTrust) Reset() {
-	g.graph.Clear()
+	g.store.Clear()
 	if err := g.recompute(); err != nil {
 		panic(err)
 	}
@@ -216,7 +260,7 @@ func (g *GlobalTrust) ResetPeer(peer int) {
 	if peer < 0 || peer >= g.n {
 		return
 	}
-	if err := g.graph.ClearPeer(peer); err != nil {
+	if err := g.store.ClearPeer(peer); err != nil {
 		return
 	}
 	if err := g.recompute(); err != nil {
@@ -240,7 +284,7 @@ func (g *GlobalTrust) Refresh() {
 // without ever delivering bandwidth. Invalid edges (out of range, self,
 // non-positive) are ignored, mirroring AddTrust.
 func (g *GlobalTrust) InjectTrust(from, to int, w float64) {
-	if err := g.graph.AddTrust(from, to, w); err != nil {
+	if err := g.store.AddTrust(from, to, w); err != nil {
 		return
 	}
 	if from != to && w > 0 {

@@ -2,7 +2,10 @@ package incentive
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"collabnet/internal/xrand"
 )
 
 // drive advances the scheme s steps so the refresh cadence elapses.
@@ -169,4 +172,116 @@ func TestGlobalTrustIgnoresInvalidRecords(t *testing.T) {
 	if g.SharingScore(-1) != 0 || g.EditingScore(9) != 0 {
 		t.Error("out-of-range scores should be 0")
 	}
+}
+
+// TestGlobalTrustConcurrentBitIdentical is the scheme-level half of the
+// serial-reference guarantee: the same workload — transfers, fake-report
+// injections, identity churn, cadence steps, forced refreshes — driven
+// through a serial-LogGraph scheme and a ConcurrentGraph-backed scheme must
+// produce bit-identical trust vectors, scores, and snapshots at every
+// observation point. The concurrent store changes who may read, never what
+// the scheme computes.
+func TestGlobalTrustConcurrentBitIdentical(t *testing.T) {
+	const n = 40
+	cfg := DefaultGlobalTrustConfig()
+	cfg.RefreshEvery = 3
+	ccfg := cfg
+	ccfg.Concurrent = true
+	ccfg.Shards = 4
+	serial, err := NewGlobalTrust(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := NewGlobalTrust(n, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.ConcurrentStore() != nil {
+		t.Fatal("serial scheme must not expose a concurrent store")
+	}
+	cs := conc.ConcurrentStore()
+	if cs == nil {
+		t.Fatal("concurrent scheme must expose its store")
+	}
+
+	compare := func(step int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if serial.Trust(i) != conc.Trust(i) {
+				t.Fatalf("step %d: trust[%d] diverged: %v vs %v", step, i, serial.Trust(i), conc.Trust(i))
+			}
+			if serial.SharingScore(i) != conc.SharingScore(i) {
+				t.Fatalf("step %d: score[%d] diverged", step, i)
+			}
+		}
+	}
+
+	rng := xrand.New(17)
+	for step := 0; step < 120; step++ {
+		for k := 0; k < 25; k++ {
+			d, s := rng.Intn(n), rng.Intn(n)
+			amt := float64(1 + rng.Intn(6))
+			serial.RecordTransfer(d, s, amt)
+			conc.RecordTransfer(d, s, amt)
+		}
+		switch step % 10 {
+		case 4:
+			f, to := rng.Intn(n), rng.Intn(n)
+			serial.InjectTrust(f, to, 5)
+			conc.InjectTrust(f, to, 5)
+		case 7:
+			p := rng.Intn(n)
+			serial.ResetPeer(p)
+			conc.ResetPeer(p)
+			compare(step)
+		}
+		serial.EndStep()
+		conc.EndStep()
+		compare(step)
+	}
+	serial.Refresh()
+	conc.Refresh()
+	compare(-1)
+
+	// The concurrent scheme published its refresh as an immutable snapshot
+	// matching the vector, stamped with the current epoch.
+	snap := cs.TrustSnapshot()
+	if snap == nil {
+		t.Fatal("refresh did not publish a trust snapshot")
+	}
+	for i := 0; i < n; i++ {
+		if snap.Vector[i] != conc.Trust(i) {
+			t.Fatalf("snapshot[%d] diverged from scheme trust", i)
+		}
+	}
+	if snap.Seq != cs.Stats().Epoch {
+		t.Errorf("snapshot stamped with epoch %d, store at %d", snap.Seq, cs.Stats().Epoch)
+	}
+
+	// Both stores hold the same canonical edge list, and checkpoint state
+	// round-trips across backends.
+	if !reflect.DeepEqual(serial.Graph().AppendEdges(nil), conc.Graph().AppendEdges(nil)) {
+		t.Fatal("canonical edge lists diverged")
+	}
+	var st State
+	serial.SaveState(&st)
+	reloaded, err := NewGlobalTrust(n, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reloaded.LoadState(&st); err != nil {
+		t.Fatal(err)
+	}
+	reloaded.Refresh()
+	conc.Refresh()
+	for i := 0; i < n; i++ {
+		if reloaded.Trust(i) != conc.Trust(i) {
+			t.Fatalf("state loaded into concurrent backend diverged at %d", i)
+		}
+	}
+
+	// Reset drops both back to uniform, bit-identically.
+	serial.Reset()
+	conc.Reset()
+	compare(-2)
 }

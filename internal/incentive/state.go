@@ -245,7 +245,7 @@ func (t *TitForTat) LoadState(src *State) error {
 func (g *GlobalTrust) SaveState(dst *State) {
 	dst.Kind = KindEigenTrust
 	gs := &dst.GlobalTrust
-	gs.Edges = g.graph.AppendEdges(gs.Edges[:0])
+	gs.Edges = g.store.AppendEdges(gs.Edges[:0])
 	gs.Trust = append(gs.Trust[:0], g.trust...)
 	gs.Score = append(gs.Score[:0], g.score...)
 	gs.Dirty = g.dirty
@@ -263,7 +263,7 @@ func (g *GlobalTrust) LoadState(src *State) error {
 		return fmt.Errorf("incentive: global-trust state sized for %d peers, scheme has %d",
 			len(gs.Trust), g.n)
 	}
-	if err := g.graph.LoadEdges(gs.Edges); err != nil {
+	if err := g.store.LoadEdges(gs.Edges); err != nil {
 		return err
 	}
 	copy(g.trust, gs.Trust)

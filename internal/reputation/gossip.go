@@ -8,7 +8,7 @@ import (
 
 // GossipConfig parameterizes the epidemic dissemination of reputation
 // values. Every round, each informed peer pushes its current view to Fanout
-// uniformly chosen peers. This is the "efficient propagation" leg of the
+// peers chosen uniformly among the other n-1 peers (never itself). This is the "efficient propagation" leg of the
 // reputation mechanism (Section I, part 2), which the paper assumes and we
 // make concrete.
 type GossipConfig struct {
@@ -21,9 +21,10 @@ func DefaultGossip() GossipConfig { return GossipConfig{Fanout: 2, MaxRound: 100
 
 // GossipResult describes one dissemination run.
 type GossipResult struct {
-	Rounds   int // rounds until every peer was informed (or MaxRound)
-	Messages int // total push messages sent
-	Informed int // peers informed at the end
+	Rounds    int  // rounds until every peer was informed (or MaxRound)
+	Messages  int  // total push messages sent
+	Informed  int  // peers informed at the end
+	Converged bool // every peer informed; false means MaxRound truncated the run
 }
 
 // Spread simulates push gossip of a single reputation update originating at
@@ -31,7 +32,9 @@ type GossipResult struct {
 // took. The simulation engine itself reads reputations from the shared
 // ledger directly (the paper's oracle assumption); Spread quantifies what
 // that assumption costs in a real network — O(log n) rounds and O(n·fanout)
-// messages.
+// messages. The result's Converged flag distinguishes full dissemination
+// from a run truncated at MaxRound; Informed alone cannot (a truncated run
+// can look complete only by also reporting Informed == n).
 func Spread(n, origin int, cfg GossipConfig, rng *xrand.Source) (GossipResult, error) {
 	if n <= 0 {
 		return GossipResult{}, fmt.Errorf("reputation: gossip needs n > 0, got %d", n)
@@ -65,9 +68,19 @@ func Spread(n, origin int, cfg GossipConfig, rng *xrand.Source) (GossipResult, e
 		}
 		for _, s := range senders {
 			for k := 0; k < cfg.Fanout; k++ {
-				target := rng.Intn(n)
+				// Sample uniformly among the n-1 *other* peers: a peer
+				// pushing to itself would burn a message and a fanout slot
+				// without informing anyone, inflating Messages and slowing
+				// dissemination versus the paper's push model. (n >= 2 here:
+				// with n == 1 the round loop never runs.)
+				// The shift past the sender's own index is branchless
+				// (adds 1 exactly when target >= s, the sign bit of
+				// s-1-target): a data-dependent branch here mispredicts
+				// about half the time and dominates the push cost.
+				target := rng.Intn(n - 1)
+				target += int(uint64(int64(s-1-target)) >> 63)
 				res.Messages++
-				if !informed[target] && target != s {
+				if !informed[target] {
 					informed[target] = true
 					count++
 				}
@@ -75,6 +88,7 @@ func Spread(n, origin int, cfg GossipConfig, rng *xrand.Source) (GossipResult, e
 		}
 	}
 	res.Informed = count
+	res.Converged = count == n
 	return res, nil
 }
 
@@ -93,9 +107,10 @@ func AntiEntropyRounds(n, fanout int) int {
 	informed := 1.0
 	fn := float64(n)
 	for informed < fn && rounds < 10000 {
-		// Each informed peer infects up to fanout targets; a fraction of
-		// pushes hit already-informed peers.
-		newly := informed * float64(fanout) * (1 - informed/fn)
+		// Each informed peer infects up to fanout targets drawn from the
+		// n-1 other peers (senders never push to themselves, matching
+		// Spread); a fraction of pushes still hit already-informed peers.
+		newly := informed * float64(fanout) * (fn - informed) / (fn - 1)
 		if newly < 0.5 {
 			newly = 0.5 // epidemic tail progresses at least slowly
 		}

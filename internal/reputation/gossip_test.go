@@ -16,6 +16,9 @@ func TestGossipSpreadInformsEveryone(t *testing.T) {
 	if res.Informed != 200 {
 		t.Fatalf("informed %d of 200 peers", res.Informed)
 	}
+	if !res.Converged {
+		t.Error("full dissemination must report Converged")
+	}
 	if res.Rounds <= 0 || res.Rounds >= DefaultGossip().MaxRound {
 		t.Errorf("suspicious round count %d", res.Rounds)
 	}
@@ -30,7 +33,7 @@ func TestGossipSpreadSinglePeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Informed != 1 || res.Rounds != 0 || res.Messages != 0 {
+	if res.Informed != 1 || res.Rounds != 0 || res.Messages != 0 || !res.Converged {
 		t.Errorf("single peer result = %+v", res)
 	}
 }
@@ -64,6 +67,9 @@ func TestGossipSpreadRespectsMaxRound(t *testing.T) {
 	if res.Informed > 2 {
 		t.Errorf("one fanout-1 round informed %d peers", res.Informed)
 	}
+	if res.Converged {
+		t.Error("a MaxRound-truncated run must not report Converged")
+	}
 }
 
 // TestGossipSpreadDeterministic pins the dissemination to the RNG stream:
@@ -82,6 +88,24 @@ func TestGossipSpreadDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+// TestGossipSpreadNeverPushesToSelf pins the self-exclusion fix: with two
+// peers the sender has exactly one legal target, so fanout-1 dissemination
+// must complete in exactly one round with exactly one message for every
+// seed. Before the fix a sender could sample itself, wasting the round's
+// only push and leaving convergence to luck.
+func TestGossipSpreadNeverPushesToSelf(t *testing.T) {
+	for seed := uint64(1); seed <= 32; seed++ {
+		rng := xrand.New(seed)
+		res, err := Spread(2, 0, GossipConfig{Fanout: 1, MaxRound: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != 1 || res.Messages != 1 || res.Informed != 2 || !res.Converged {
+			t.Fatalf("seed %d: n=2 fanout=1 should converge in one round with one message, got %+v", seed, res)
+		}
 	}
 }
 

@@ -40,6 +40,36 @@
 // observable behavior over interleaved add/set/clear/compact/query
 // sequences.
 //
+// # Concurrent reads (two-epoch model)
+//
+// ConcurrentGraph makes the LogGraph safe for many readers under a live
+// writer with lock-free reads. The division of labor:
+//
+//   - Readers pin: Acquire loads the current-epoch pointer, increments the
+//     epoch's reader count, and re-validates the pointer (rolling back and
+//     retrying if a publish swapped it in between). No mutex, no
+//     allocation, no waiting — a reader can hold its epoch for as long as
+//     it likes without ever blocking writers or other readers.
+//   - The publisher swaps: whoever runs maintenance (Flush, ClearPeer,
+//     Exclusive, the automatic pending watermark) drains the sharded
+//     ingest queues into the log in shard order, compacts, copies the CSR
+//     arrays into the spare buffer, and atomically swaps it in as the new
+//     current epoch.
+//   - The publisher also retires: exactly two buffers exist, and before
+//     overwriting the spare the publisher waits — parked on a drain
+//     signal, not spinning — until the readers still pinned on it from
+//     before the previous swap have released. Readers never wait; only the
+//     publisher can, and only for the straggler readers of the buffer it
+//     wants to reuse.
+//
+// The serial-reference guarantee carries over: compaction folds the tail
+// row by row, a source's statements stay in order on its ingest shard, and
+// shards drain in shard order, so any concurrent schedule preserving
+// per-source statement order yields compacted arrays — and EigenTrust
+// vectors — bit-identical to a serial LogGraph replaying the same
+// per-source sequences. Trust vectors computed at a refresh are published
+// as immutable TrustSnapshot values readers grab with one atomic load.
+//
 // # Determinism
 //
 // EigenTrust, EigenTrustDense, EigenTrustWorkspace.Compute, and

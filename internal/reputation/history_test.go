@@ -136,6 +136,9 @@ func TestGossipSpreadReachesEveryone(t *testing.T) {
 	if res.Informed != 100 {
 		t.Errorf("informed = %d/100", res.Informed)
 	}
+	if !res.Converged {
+		t.Error("full dissemination must report Converged")
+	}
 	// Push gossip with fanout 2 should finish in O(log n) rounds.
 	if res.Rounds > 25 {
 		t.Errorf("took %d rounds, expected O(log n)", res.Rounds)
@@ -183,6 +186,9 @@ func TestGossipRoundBoundRespected(t *testing.T) {
 	}
 	if res.Informed >= 10000 {
 		t.Error("cannot fully inform 10000 peers in 3 rounds at fanout 1")
+	}
+	if res.Converged {
+		t.Error("a truncated run must not report Converged")
 	}
 }
 

@@ -27,6 +27,13 @@ func EigenTrustParallel(g Graph, cfg EigenTrustConfig, workers int) ([]float64, 
 // its own residual network over it, so the results are bit-identical to the
 // serial MaxFlowTrust for every worker count and the graph sees no
 // concurrent reads.
+//
+// The degenerate-case contract matches serial MaxFlowTrust exactly: the
+// evaluator's own component is always 0, and when the evaluator reaches
+// nobody (every flow is zero — an empty graph, an isolated evaluator) the
+// result is the all-zero vector with normalization skipped, not an error.
+// The differential tests pin the two paths to bit-identical vectors in the
+// degenerate cases as well as the dense ones.
 func MaxFlowTrustParallel(g Graph, evaluator, workers int) ([]float64, error) {
 	n := g.Len()
 	if evaluator < 0 || evaluator >= n {

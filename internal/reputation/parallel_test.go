@@ -2,6 +2,7 @@ package reputation
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"collabnet/internal/xrand"
@@ -114,5 +115,58 @@ func TestMaxFlowTrustParallelMatchesSerial(t *testing.T) {
 	}
 	if _, err := MaxFlowTrustParallel(g, -1, 2); err == nil {
 		t.Error("bad evaluator should fail")
+	}
+}
+
+// TestMaxFlowTrustParallelDegenerateMatchesSerial pins the all-zero-flow
+// contract: when the evaluator reaches nobody — an empty graph, or an
+// evaluator with trust flowing only toward it — both paths return the
+// all-zero vector (normalization skipped) bit-identically, for every worker
+// count, instead of erroring or diverging.
+func TestMaxFlowTrustParallelDegenerateMatchesSerial(t *testing.T) {
+	cases := map[string]func(t *testing.T) Graph{
+		"empty": func(t *testing.T) Graph {
+			g, err := NewTrustGraph(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"evaluator-unreachable": func(t *testing.T) Graph {
+			// Every edge points INTO peer 0; no flow can leave it.
+			g, err := NewLogGraph(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < 8; i++ {
+				if err := g.AddTrust(i, 0, float64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return g
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			g := build(t)
+			serial, err := MaxFlowTrust(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range serial {
+				if v != 0 {
+					t.Fatalf("serial component %d = %v, want the all-zero vector", i, v)
+				}
+			}
+			for _, workers := range []int{1, 3, 8} {
+				par, err := MaxFlowTrustParallel(g, 0, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(par, serial) {
+					t.Fatalf("workers=%d: parallel %v differs from serial %v", workers, par, serial)
+				}
+			}
+		})
 	}
 }
