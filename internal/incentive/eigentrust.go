@@ -143,12 +143,13 @@ func (g *GlobalTrust) ConcurrentStore() *reputation.ConcurrentGraph { return g.c
 func (g *GlobalTrust) recompute() error {
 	var tv []float64
 	var err error
+	var seq uint64
 	if g.cg != nil {
 		// Concurrent mode: solve against the exact merged log under the
 		// store's maintenance lock — the workspace's value-only CSR fast
 		// path still applies because the underlying LogGraph pointer is
 		// stable — while lock-free readers keep serving the previous epoch.
-		g.cg.Exclusive(func(lg *reputation.LogGraph) {
+		seq = g.cg.Exclusive(func(lg *reputation.LogGraph) {
 			tv, err = g.ws.Compute(lg, g.cfg.Trust)
 		})
 	} else {
@@ -166,8 +167,10 @@ func (g *GlobalTrust) recompute() error {
 	}
 	if g.cg != nil {
 		// Publish the refreshed vector as an immutable snapshot for
-		// lock-free observers, stamped with the epoch it was computed at.
-		g.cg.PublishTrust(g.trust)
+		// lock-free observers, stamped with the exact epoch Exclusive
+		// published for this solve — not the current epoch, which a
+		// watermark-triggered publish may already have advanced past it.
+		g.cg.PublishTrustAt(seq, g.trust)
 	}
 	g.dirty = false
 	g.sinceRefresh = 0

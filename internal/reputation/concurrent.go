@@ -311,19 +311,34 @@ func (cg *ConcurrentGraph) enqueue(op logOp) {
 	}
 }
 
+// acquirePinHook, when non-nil, runs between the reader-count increment and
+// the pointer re-validation in Acquire. Test-only: it lets the rollback
+// regression test drive publishes into exactly that window, where the pinned
+// epoch can be swapped out and a second publish can park on its drain
+// signal. Always nil outside tests; tests set it before spawning goroutines
+// and restore it before the test returns.
+var acquirePinHook func(*GraphEpoch)
+
 // Acquire pins and returns the current epoch. The increment is re-validated
 // against the epoch pointer: if a publish swapped the pointer between the
 // load and the increment, the pin is rolled back and retried, so a returned
-// epoch is always one whose buffers the publisher is not reusing. Acquire
-// never blocks and never allocates.
+// epoch is always one whose buffers the publisher is not reusing. The
+// rollback must go through Release, not a bare decrement: between the
+// increment and the re-validation two publishes can complete, leaving the
+// publisher parked on this very epoch's drain signal — and since the epoch
+// is no longer reachable through the current pointer, no later reader's
+// Release would ever wake it. Acquire never blocks and never allocates.
 func (cg *ConcurrentGraph) Acquire() *GraphEpoch {
 	for {
 		e := cg.cur.Load()
 		e.readers.Add(1)
+		if h := acquirePinHook; h != nil {
+			h(e)
+		}
 		if cg.cur.Load() == e {
 			return e
 		}
-		e.readers.Add(-1)
+		e.Release()
 	}
 }
 
@@ -429,30 +444,46 @@ func (cg *ConcurrentGraph) ClearPeer(i int) error {
 
 // Exclusive drains the ingest shards and runs fn with the writer-side
 // LogGraph under the maintenance lock, then publishes the (possibly
-// mutated) state as a fresh epoch. This is the solver hook: an EigenTrust
-// refresh runs against the exact merged log — reusing the CSR fast paths
-// keyed on the LogGraph pointer — while readers keep serving the previous
-// epoch, and the refreshed state becomes visible atomically afterwards.
-// fn must not retain the *LogGraph beyond the call.
-func (cg *ConcurrentGraph) Exclusive(fn func(*LogGraph)) {
+// mutated) state as a fresh epoch and returns that epoch's sequence. This
+// is the solver hook: an EigenTrust refresh runs against the exact merged
+// log — reusing the CSR fast paths keyed on the LogGraph pointer — while
+// readers keep serving the previous epoch, and the refreshed state becomes
+// visible atomically afterwards. A result computed inside fn should be
+// republished via PublishTrustAt with the returned sequence, so the stamp
+// names the epoch the result was computed from even if a watermark-triggered
+// publish lands in between. fn must not retain the *LogGraph beyond the
+// call.
+func (cg *ConcurrentGraph) Exclusive(fn func(*LogGraph)) uint64 {
 	cg.mu.Lock()
 	cg.drainLocked()
 	fn(cg.log)
 	cg.dirty = true // fn may have mutated the log; republish unconditionally
 	cg.publishLocked()
+	seq := cg.seq
 	cg.mu.Unlock()
+	return seq
 }
 
-// PublishTrust publishes a copy of vec as the current immutable trust
-// snapshot, stamped with the latest published graph epoch. Readers holding
-// the previous snapshot are unaffected; the next refresh never waits for
-// them.
-func (cg *ConcurrentGraph) PublishTrust(vec []float64) {
+// PublishTrustAt publishes a copy of vec as the current immutable trust
+// snapshot, stamped with seq — the graph epoch sequence the vector was
+// computed from, typically the value Exclusive returned for the solve.
+// Readers holding the previous snapshot are unaffected; the next refresh
+// never waits for them.
+func (cg *ConcurrentGraph) PublishTrustAt(seq uint64, vec []float64) {
 	snap := &TrustSnapshot{
-		Seq:    cg.cur.Load().seq,
+		Seq:    seq,
 		Vector: append(make([]float64, 0, len(vec)), vec...),
 	}
 	cg.trust.Store(snap)
+}
+
+// PublishTrust is PublishTrustAt stamped with the epoch published at call
+// time. Prefer PublishTrustAt with the sequence Exclusive returned when the
+// vector came out of a solve: a concurrent watermark-triggered publish can
+// advance the current epoch between the solve and this call, and the
+// call-time stamp would then name an epoch newer than the vector.
+func (cg *ConcurrentGraph) PublishTrust(vec []float64) {
+	cg.PublishTrustAt(cg.cur.Load().seq, vec)
 }
 
 // TrustSnapshot returns the last published trust snapshot (nil before the

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"collabnet/internal/xrand"
 )
@@ -330,14 +331,18 @@ func TestConcurrentGraphStressMixedSchedule(t *testing.T) {
 		defer wg.Done()
 		ws := NewEigenTrustWorkspace()
 		for i := 0; i < 60; i++ {
-			cg.Exclusive(func(lg *LogGraph) {
-				tv, err := ws.Compute(lg, DefaultEigenTrust())
+			var tv []float64
+			seq := cg.Exclusive(func(lg *LogGraph) {
+				v, err := ws.Compute(lg, DefaultEigenTrust())
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				cg.PublishTrust(tv)
+				tv = v
 			})
+			if tv != nil {
+				cg.PublishTrustAt(seq, tv)
+			}
 			runtime.Gosched()
 		}
 	}()
@@ -412,6 +417,72 @@ func TestConcurrentGraphEpochLeak(t *testing.T) {
 	}
 	if st.Readers != 0 || st.Pending != 0 {
 		t.Errorf("store not drained: %+v", st)
+	}
+}
+
+// TestConcurrentGraphAcquireRollbackSignalsDrain is the regression test for
+// the Acquire rollback path. A reader that pins an epoch, loses the pointer
+// re-validation to a publish, and rolls back may be the last pin on a
+// buffer a second publish is already parked on — the rollback must go
+// through Release so the drained signal fires. A bare decrement here
+// deadlocked the whole maintenance plane permanently: the epoch is no
+// longer reachable through the current pointer, so no later reader's
+// Release would ever wake the parked publisher. The test uses
+// acquirePinHook to drive two publishes into exactly the window between
+// Acquire's reader-count increment and its pointer re-validation, and
+// repeats the forced interleaving to shake out wakeup-ordering variants.
+func TestConcurrentGraphAcquireRollbackSignalsDrain(t *testing.T) {
+	cg, err := NewConcurrentGraph(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { acquirePinHook = nil }()
+	for iter := 0; iter < 25; iter++ {
+		published := make(chan struct{})
+		fired := false // hook runs only on this goroutine; re-entries no-op
+		acquirePinHook = func(e *GraphEpoch) {
+			if fired {
+				return
+			}
+			fired = true
+			// Publish #1: swaps the pinned epoch out from under the caller;
+			// it becomes the spare with the caller's pin still on it.
+			if err := cg.AddTrust(0, 1, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			cg.Flush()
+			// Publish #2, on another goroutine: must reuse the pinned spare,
+			// so it parks on that buffer's drain signal.
+			go func() {
+				if err := cg.AddTrust(1, 2, 1); err != nil {
+					t.Error(err)
+				}
+				cg.Flush()
+				close(published)
+			}()
+			// Only proceed once the publisher is committed to parking, so
+			// the rollback below is provably the wakeup that saves it.
+			for !e.retiring.Load() {
+				runtime.Gosched()
+			}
+		}
+		// The hook fires inside: re-validation fails, and the rollback must
+		// wake the parked publisher. With a bare decrement this hangs
+		// forever. The retry may hand back either publish's epoch (the
+		// retried load races the woken publisher's swap); both are valid.
+		e := cg.Acquire()
+		validateEpoch(t, e)
+		select {
+		case <-published:
+		case <-time.After(30 * time.Second):
+			t.Fatal("publisher deadlocked: Acquire's rollback dropped the last pin on a retiring epoch without signalling the drain")
+		}
+		e.Release()
+		// With publish #2 complete, the store serves both edges lock-free.
+		if got := cg.Trust(1, 2); got != float64(iter+1) {
+			t.Fatalf("iteration %d: Trust(1,2) = %v after both publishes, want %d", iter, got, iter+1)
+		}
 	}
 }
 

@@ -48,8 +48,13 @@
 //   - Readers pin: Acquire loads the current-epoch pointer, increments the
 //     epoch's reader count, and re-validates the pointer (rolling back and
 //     retrying if a publish swapped it in between). No mutex, no
-//     allocation, no waiting — a reader can hold its epoch for as long as
-//     it likes without ever blocking writers or other readers.
+//     allocation, no waiting — a reader never blocks other readers, and a
+//     held epoch never delays enqueues or the next publish. Holding one
+//     indefinitely is still not free: the second publish after the pin
+//     must retire the pinned buffer and parks until the reader releases —
+//     and that publisher may be a writer goroutine whose enqueue crossed
+//     the pending watermark, so a long-pinned epoch can stall one writer
+//     for as long as the pin is held.
 //   - The publisher swaps: whoever runs maintenance (Flush, ClearPeer,
 //     Exclusive, the automatic pending watermark) drains the sharded
 //     ingest queues into the log in shard order, compacts, copies the CSR
