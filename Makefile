@@ -13,10 +13,11 @@
 # (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 7
+BENCH_N ?= 8
 
 .PHONY: build test vet fmt-check check bench bench-diff bench-guard \
-	cover fuzz-smoke race-stress figure-smoke scenario-smoke clean
+	cover fuzz-smoke race-stress figure-smoke scenario-smoke \
+	serve-smoke serve-bench clean
 
 build:
 	$(GO) build ./...
@@ -67,13 +68,20 @@ bench-diff:
 
 # bench-guard fails when the current PR's trajectory record is missing, so
 # a PR that skips `make bench BENCH_N=$(BENCH_N)` cannot slip past the
-# bench-diff gate unrecorded. CI additionally checks that a BENCH_*.json
-# file actually changed in the PR's diff (the Makefile cannot know the
-# merge base).
+# bench-diff gate unrecorded. From slot 8 on it also requires the
+# serve-level records (ServeLoadgen*) that `make serve-bench` merges in, so
+# the serving path's latency/throughput trajectory cannot silently drop out
+# of the file. CI additionally checks that a BENCH_*.json file actually
+# changed in the PR's diff (the Makefile cannot know the merge base).
 bench-guard:
 	@if [ ! -f BENCH_$(BENCH_N).json ]; then \
 		echo "bench-guard: BENCH_$(BENCH_N).json missing —" \
 			"run 'make bench BENCH_N=$(BENCH_N)' and commit the record"; \
+		exit 1; \
+	fi; \
+	if [ "$(BENCH_N)" -ge 8 ] && ! grep -q ServeLoadgen BENCH_$(BENCH_N).json; then \
+		echo "bench-guard: BENCH_$(BENCH_N).json has no ServeLoadgen records —" \
+			"run 'make serve-bench BENCH_N=$(BENCH_N)' after 'make bench'"; \
 		exit 1; \
 	fi; \
 	echo "bench-guard: BENCH_$(BENCH_N).json present"
@@ -177,6 +185,64 @@ scenario-smoke:
 	@$(GO) run ./cmd/collabsim -ablation attack -scale quick -warm \
 		-csv $(FIGURE_OUT)/scenario > /dev/null
 	@echo "scenario-smoke: ok"
+
+# serve-smoke is the serving-path CI gate: boot collabserve, drive it with
+# a short mixed loadgen burst whose -verify flag proves replay equivalence
+# (the server's canonical edge dump equals a serial LogGraph replay of the
+# accepted events), SIGTERM the server so it drains and snapshots, then
+# warm-restart from the snapshot and require the restored store to still
+# hold the data (loadgen -check). Any step failing — including an unclean
+# shutdown or a missing snapshot — fails the target.
+SERVE_PORT ?= 18987
+SERVE_DIR  ?= /tmp/collabnet-serve-smoke
+serve-smoke:
+	@rm -rf $(SERVE_DIR) && mkdir -p $(SERVE_DIR)
+	@$(GO) build -o $(SERVE_DIR)/collabserve ./cmd/collabserve
+	@$(GO) build -o $(SERVE_DIR)/loadgen ./cmd/loadgen
+	@set -e; \
+	$(SERVE_DIR)/collabserve -addr 127.0.0.1:$(SERVE_PORT) -peers 256 \
+		-refresh 100ms -snapshot $(SERVE_DIR)/state.snap & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	$(SERVE_DIR)/loadgen -url http://127.0.0.1:$(SERVE_PORT) -peers 256 \
+		-duration 3s -workers 4 -writemix 0.8 -verify; \
+	echo "serve-smoke: SIGTERM -> drain + snapshot"; \
+	kill -TERM $$pid; wait $$pid; \
+	test -f $(SERVE_DIR)/state.snap || { echo "serve-smoke: no snapshot written"; exit 1; }; \
+	echo "serve-smoke: warm restart"; \
+	$(SERVE_DIR)/collabserve -addr 127.0.0.1:$(SERVE_PORT) -peers 256 \
+		-snapshot $(SERVE_DIR)/state.snap & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	$(SERVE_DIR)/loadgen -url http://127.0.0.1:$(SERVE_PORT) -peers 256 -check; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "serve-smoke: ok"
+
+# serve-bench records the serving path's latency/throughput records into
+# the current trajectory slot: a closed-loop mixed burst against a locally
+# booted server, verified for replay equivalence, merged into
+# BENCH_$(BENCH_N).json alongside the `make bench` records (same schema,
+# ns-per-op convention, so bench-diff gates them too).
+SERVE_BENCH_DURATION ?= 5s
+serve-bench:
+	@rm -rf $(SERVE_DIR) && mkdir -p $(SERVE_DIR)
+	@$(GO) build -o $(SERVE_DIR)/collabserve ./cmd/collabserve
+	@$(GO) build -o $(SERVE_DIR)/loadgen ./cmd/loadgen
+	@set -e; \
+	$(SERVE_DIR)/collabserve -addr 127.0.0.1:$(SERVE_PORT) -peers 1000 \
+		-refresh 200ms & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	$(SERVE_DIR)/loadgen -url http://127.0.0.1:$(SERVE_PORT) -peers 1000 \
+		-duration $(SERVE_BENCH_DURATION) -writemix 0.9 -verify \
+		-benchjson BENCH_$(BENCH_N).json; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "serve-bench: records merged into BENCH_$(BENCH_N).json"
 
 # clean removes scratch output only: BENCH_*.json are version-controlled
 # trajectory records the bench-diff gate depends on, so they stay.

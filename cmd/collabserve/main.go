@@ -1,0 +1,119 @@
+// Collabserve runs the trust/reputation service: an HTTP daemon over the
+// concurrent trust store that ingests trust and contribution events,
+// serves reputation/allocation queries from published snapshots, and
+// refreshes EigenTrust on a cadence.
+//
+// Usage:
+//
+//	collabserve -peers 2000 -addr :8080
+//	collabserve -peers 2000 -snapshot /var/lib/collabserve/state.snap
+//	collabserve -peers 500 -refresh 250ms -shards 16 -queue 512
+//
+// On SIGINT/SIGTERM the server stops admitting writes, drains every
+// acknowledged event into the store, and (when -snapshot is set) writes a
+// binary snapshot; restarting with the same -snapshot path warm-starts
+// bit-identical to a serial replay of everything the dead process had
+// acknowledged. See the internal/serve package doc for the read/write/solve
+// plane architecture.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"collabnet/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		peers     = flag.Int("peers", 1000, "peer-id space size")
+		shards    = flag.Int("shards", 0, "ingest shard count (0 = default)")
+		queue     = flag.Int("queue", 0, "per-shard admission queue depth in batches (0 = default)")
+		maxBatch  = flag.Int("maxbatch", 0, "max events per ingest request (0 = default)")
+		refresh   = flag.Duration("refresh", 0, "EigenTrust refresh cadence (0 = default)")
+		floor     = flag.Float64("floor", 0, "allocation floor (0 = scheme default)")
+		watermark = flag.Int("watermark", 0, "store publish watermark in pending statements (0 = store default)")
+		snapshot  = flag.String("snapshot", "", "snapshot path for warm restart (loaded if present, written on shutdown)")
+		pretrust  = flag.String("pretrusted", "", "comma-separated pre-trusted peer ids")
+	)
+	flag.Parse()
+
+	preTrusted, err := parseIDList(*pretrust)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collabserve:", err)
+		os.Exit(2)
+	}
+	srv, err := serve.New(serve.Config{
+		Peers:        *peers,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		MaxBatch:     *maxBatch,
+		Refresh:      *refresh,
+		PreTrusted:   preTrusted,
+		Floor:        *floor,
+		Watermark:    *watermark,
+		SnapshotPath: *snapshot,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collabserve:", err)
+		os.Exit(1)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("collabserve: serving %d peers on %s\n", *peers, *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("collabserve: shutting down")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "collabserve:", err)
+		os.Exit(1)
+	}
+
+	// Shutdown order matters: stop admission first (no handler can enqueue
+	// after Shutdown returns), then drain and fold the queues, then persist.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "collabserve: shutdown:", err)
+	}
+	srv.Stop()
+	if *snapshot != "" {
+		if err := srv.SaveSnapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "collabserve: snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Println("collabserve: snapshot written to", *snapshot)
+	}
+}
+
+func parseIDList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad pre-trusted id %q", p)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

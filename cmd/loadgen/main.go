@@ -1,0 +1,492 @@
+// Loadgen drives a running collabserve with a mixed read/write workload
+// and reports latency percentiles and sustained throughput.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -peers 1000 -duration 10s
+//	loadgen -peers 1000 -rate 5000            # open loop at 5k events/sec
+//	loadgen -peers 1000 -writemix 0.5 -zipf 1.3
+//	loadgen -peers 1000 -duration 5s -verify  # replay-equivalence check
+//	loadgen -peers 1000 -benchjson BENCH_8.json
+//
+// Writers partition the source-peer space: each worker owns a disjoint
+// range of source ids and every ingest request carries events from a
+// single source, so each request maps to exactly one server-side shard
+// group and is accepted or refused atomically. Because a worker issues its
+// requests synchronously, per-source statement order is preserved end to
+// end, which makes -verify exact: after the run, loadgen flushes the
+// server, downloads the canonical edge dump, replays its own record of
+// every *accepted* event into a serial LogGraph, and requires the two edge
+// lists to match bit-for-bit.
+//
+// In closed-loop mode (default) each worker issues its next request as
+// soon as the previous one completes. With -rate R the load is open-loop:
+// workers pace requests against a fixed schedule of R events/sec split
+// evenly across them, and latencies include any queueing the server
+// imposes. Event targets are zipf-skewed (-zipf) so a handful of peers
+// absorb most trust, as in real overlay populations.
+//
+// With -benchjson the summary is merged into a BENCH_<n>.json trajectory
+// file: existing records with other names are preserved, records with the
+// same names are replaced. Latency records report ns_per_op directly;
+// throughput is recorded as ns per event (1e9/events_per_sec) so the CI
+// bench-diff gate's higher-is-worse convention applies to every record.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"collabnet/internal/reputation"
+	"collabnet/internal/serve"
+	"collabnet/internal/stats"
+)
+
+type options struct {
+	url      string
+	peers    int
+	workers  int
+	duration time.Duration
+	rate     float64
+	writeMix float64
+	batch    int
+	zipf     float64
+	seed     uint64
+	verify   bool
+	check    bool
+	bench    string
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.url, "url", "http://localhost:8080", "collabserve base URL")
+	flag.IntVar(&opt.peers, "peers", 1000, "peer-id space (must match the server)")
+	flag.IntVar(&opt.workers, "workers", runtime.GOMAXPROCS(0), "concurrent workers")
+	flag.DurationVar(&opt.duration, "duration", 10*time.Second, "run length")
+	flag.Float64Var(&opt.rate, "rate", 0, "open-loop target events/sec (0 = closed loop)")
+	flag.Float64Var(&opt.writeMix, "writemix", 0.9, "fraction of requests that are ingest batches")
+	flag.IntVar(&opt.batch, "batch", 32, "events per ingest request")
+	flag.Float64Var(&opt.zipf, "zipf", 1.2, "zipf exponent for target-peer popularity (>1)")
+	flag.Uint64Var(&opt.seed, "seed", 1, "random seed")
+	flag.BoolVar(&opt.verify, "verify", false, "after the run, check replay equivalence against a serial store")
+	flag.BoolVar(&opt.check, "check", false, "generate no load; just require the server up with a non-empty store (warm-restart probe)")
+	flag.StringVar(&opt.bench, "benchjson", "", "merge the summary into this BENCH_<n>.json file")
+	flag.Parse()
+
+	if opt.check {
+		if err := checkWarm(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: CHECK FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("check: server up with a non-empty restored store")
+		return
+	}
+	if opt.workers < 1 {
+		opt.workers = 1
+	}
+	if opt.workers > opt.peers/2 {
+		opt.workers = opt.peers / 2
+	}
+	res, err := run(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	res.print()
+	if opt.verify {
+		if err := verifyReplay(opt, res); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("verify: server state matches serial replay of accepted events")
+	}
+	if opt.bench != "" {
+		if err := mergeBench(opt.bench, res); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bench records merged into", opt.bench)
+	}
+}
+
+// workerResult is one worker's tally; merged after the join.
+type workerResult struct {
+	writeLat []float64 // seconds per accepted ingest request
+	readLat  []float64 // seconds per read request
+	accepted int
+	rejected int
+	readErrs int
+	events   []serve.Event // accepted events, in send order (for -verify)
+}
+
+type result struct {
+	opt      options
+	elapsed  time.Duration
+	accepted int
+	rejected int
+	readErrs int
+	writeLat []float64
+	readLat  []float64
+	events   []serve.Event
+}
+
+func run(opt options) (*result, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := ping(client, opt.url); err != nil {
+		return nil, err
+	}
+	var (
+		wg      sync.WaitGroup
+		results = make([]workerResult, opt.workers)
+	)
+	deadline := time.Now().Add(opt.duration)
+	perWorker := opt.rate / float64(opt.workers)
+	for w := 0; w < opt.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = worker(opt, client, w, deadline, perWorker)
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	res := &result{opt: opt, elapsed: time.Since(start)}
+	for _, r := range results {
+		res.accepted += r.accepted
+		res.rejected += r.rejected
+		res.readErrs += r.readErrs
+		res.writeLat = append(res.writeLat, r.writeLat...)
+		res.readLat = append(res.readLat, r.readLat...)
+		res.events = append(res.events, r.events...)
+	}
+	return res, nil
+}
+
+// worker drives its share of the load. Sources are partitioned: worker w
+// owns source ids s with s % workers == w, so no two workers ever write on
+// behalf of the same source and per-source order is each worker's program
+// order.
+func worker(opt options, client *http.Client, w int, deadline time.Time, rate float64) workerResult {
+	rng := rand.New(rand.NewSource(int64(opt.seed) + int64(w)*7919))
+	zipf := rand.NewZipf(rng, opt.zipf, 1, uint64(opt.peers-1))
+	var res workerResult
+	sources := make([]int, 0, opt.peers/opt.workers+1)
+	for s := w; s < opt.peers; s += opt.workers {
+		sources = append(sources, s)
+	}
+	var interval time.Duration
+	next := time.Now()
+	if rate > 0 {
+		// Open loop: one request (batch or read) per tick.
+		interval = time.Duration(float64(time.Second) * float64(opt.batch) / rate)
+	}
+	for time.Now().Before(deadline) {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		if rng.Float64() < opt.writeMix {
+			ev := makeBatch(opt, rng, zipf, sources)
+			t0 := time.Now()
+			code, err := postEvents(client, opt.url, ev)
+			lat := time.Since(t0).Seconds()
+			switch {
+			case err != nil:
+				res.readErrs++
+			case code == http.StatusAccepted:
+				res.writeLat = append(res.writeLat, lat)
+				res.accepted += len(ev)
+				res.events = append(res.events, ev...)
+			case code == http.StatusTooManyRequests:
+				res.rejected += len(ev)
+			default:
+				res.readErrs++
+			}
+		} else {
+			peer := int(zipf.Uint64())
+			t0 := time.Now()
+			err := get(client, readURL(opt, rng, peer))
+			lat := time.Since(t0).Seconds()
+			if err != nil {
+				res.readErrs++
+			} else {
+				res.readLat = append(res.readLat, lat)
+			}
+		}
+	}
+	return res
+}
+
+// makeBatch builds one single-source ingest batch: the source is uniform
+// over the worker's own range, targets are zipf-skewed over all peers.
+func makeBatch(opt options, rng *rand.Rand, zipf *rand.Zipf, sources []int) []serve.Event {
+	src := sources[rng.Intn(len(sources))]
+	ev := make([]serve.Event, 0, opt.batch)
+	for len(ev) < opt.batch {
+		to := int(zipf.Uint64())
+		if to == src {
+			continue
+		}
+		typ := serve.EventContrib
+		if rng.Float64() < 0.25 {
+			typ = serve.EventTrust
+		}
+		ev = append(ev, serve.Event{Type: typ, From: src, To: to, W: 1 + rng.Float64()*9})
+	}
+	return ev
+}
+
+func readURL(opt options, rng *rand.Rand, peer int) string {
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s/v1/top?k=10", opt.url)
+	case 1:
+		d1, d2 := rng.Intn(opt.peers), rng.Intn(opt.peers)
+		return fmt.Sprintf("%s/v1/alloc?source=%d&d=%d,%d", opt.url, peer, d1, d2)
+	default:
+		return fmt.Sprintf("%s/v1/reputation/%d", opt.url, peer)
+	}
+}
+
+func ping(client *http.Client, url string) error {
+	resp, err := client.Get(url + "/healthz")
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+func postEvents(client *http.Client, url string, ev []serve.Event) (int, error) {
+	body, err := json.Marshal(map[string][]serve.Event{"events": ev})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func get(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+func (r *result) eventsPerSec() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.accepted) / r.elapsed.Seconds()
+}
+
+func (r *result) print() {
+	fmt.Printf("loadgen: %d workers, %.1fs elapsed\n", r.opt.workers, r.elapsed.Seconds())
+	fmt.Printf("  events  accepted %d  rejected %d (%.2f%% backpressure)  %.0f events/sec\n",
+		r.accepted, r.rejected, 100*float64(r.rejected)/float64(max(1, r.accepted+r.rejected)), r.eventsPerSec())
+	printLat := func(name string, xs []float64) {
+		if len(xs) == 0 {
+			fmt.Printf("  %s   (no samples)\n", name)
+			return
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		fmt.Printf("  %s   n=%d  p50=%.3fms  p99=%.3fms  max=%.3fms\n",
+			name, len(sorted),
+			1e3*stats.Percentile(sorted, 50),
+			1e3*stats.Percentile(sorted, 99),
+			1e3*sorted[len(sorted)-1])
+	}
+	printLat("write", r.writeLat)
+	printLat("read ", r.readLat)
+	if r.readErrs > 0 {
+		fmt.Printf("  errors  %d\n", r.readErrs)
+	}
+}
+
+// checkWarm is the warm-restart probe: the server must answer health and
+// stats, and its store must already hold edges and a published trust
+// vector without this process having written anything.
+func checkWarm(opt options) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := ping(client, opt.url); err != nil {
+		return err
+	}
+	resp, err := client.Get(opt.url + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Peers      int    `json:"peers"`
+		Epoch      uint64 `json:"epoch"`
+		TrustEpoch uint64 `json:"trust_epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	if st.Peers != opt.peers {
+		return fmt.Errorf("server has %d peers, expected %d", st.Peers, opt.peers)
+	}
+	if st.Epoch == 0 {
+		return fmt.Errorf("store still at founding epoch: nothing was restored")
+	}
+	resp, err = client.Get(opt.url + "/v1/edges")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Edges []json.RawMessage `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return err
+	}
+	if len(dump.Edges) == 0 {
+		return fmt.Errorf("restored store holds no edges")
+	}
+	fmt.Printf("check: %d edges restored, graph epoch %d, trust epoch %d\n",
+		len(dump.Edges), st.Epoch, st.TrustEpoch)
+	return nil
+}
+
+// verifyReplay checks the serial-reference guarantee end to end: flush the
+// server, fetch its canonical edge dump, and compare against a serial
+// LogGraph replay of every event this process recorded as accepted.
+func verifyReplay(opt options, res *result) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Post(opt.url+"/v1/flush", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("flush returned %s", resp.Status)
+	}
+	resp, err = client.Get(opt.url + "/v1/edges")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Peers int `json:"peers"`
+		Edges []struct {
+			From int     `json:"from"`
+			To   int     `json:"to"`
+			W    float64 `json:"w"`
+		} `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return err
+	}
+	if dump.Peers != opt.peers {
+		return fmt.Errorf("server has %d peers, expected %d", dump.Peers, opt.peers)
+	}
+	ref, err := reputation.NewLogGraph(opt.peers)
+	if err != nil {
+		return err
+	}
+	for _, e := range res.events {
+		if e.Type == serve.EventTrust && e.Set {
+			err = ref.SetTrust(e.From, e.To, e.W)
+		} else {
+			err = ref.AddTrust(e.From, e.To, e.W)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	want := ref.AppendEdges(nil)
+	if len(want) != len(dump.Edges) {
+		return fmt.Errorf("edge count: server %d, serial replay %d", len(dump.Edges), len(want))
+	}
+	for i, e := range dump.Edges {
+		if e.From != want[i].From || e.To != want[i].To || e.W != want[i].W {
+			return fmt.Errorf("edge %d: server (%d,%d,%v), serial replay (%d,%d,%v)",
+				i, e.From, e.To, e.W, want[i].From, want[i].To, want[i].W)
+		}
+	}
+	return nil
+}
+
+// benchRecord mirrors the BENCH_<n>.json schema used by `make bench`.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Procs       int     `json:"procs"`
+}
+
+// mergeBench folds the serve-level records into path, replacing records of
+// the same name and preserving everything else (the go-bench records that
+// `make bench` wrote).
+func mergeBench(path string, res *result) error {
+	var records []benchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	latRecord := func(name string, xs []float64, p float64) benchRecord {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return benchRecord{Name: name, Runs: len(sorted),
+			NsPerOp: 1e9 * stats.Percentile(sorted, p), Procs: runtime.GOMAXPROCS(0)}
+	}
+	fresh := []benchRecord{
+		latRecord("ServeLoadgenWriteP50", res.writeLat, 50),
+		latRecord("ServeLoadgenWriteP99", res.writeLat, 99),
+		latRecord("ServeLoadgenReadP50", res.readLat, 50),
+		latRecord("ServeLoadgenReadP99", res.readLat, 99),
+	}
+	if eps := res.eventsPerSec(); eps > 0 {
+		// ns per ingested event, so lower is better like every other record.
+		fresh = append(fresh, benchRecord{Name: "ServeLoadgenThroughput",
+			Runs: res.accepted, NsPerOp: 1e9 / eps, Procs: runtime.GOMAXPROCS(0)})
+	}
+	for _, f := range fresh {
+		replaced := false
+		for i := range records {
+			if records[i].Name == f.Name {
+				records[i] = f
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			records = append(records, f)
+		}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -140,7 +140,64 @@ func graphStats(peers, cliqueSize, steps, rejoinEvery int, boost float64) error 
 		st.Epoch, st.Swaps, st.RetireWaits, st.Flushes)
 	fmt.Printf("  pending=%d  pinned-readers=%d\n", st.Pending, st.Readers)
 	fmt.Printf("  serial-reference check: %s (%d edges)\n", match, len(edges))
+
+	// Read the trust ranking back through the TrustReader interface — the
+	// same read plane collabserve queries go through — from both
+	// implementations: the serial solver over the edge log and the
+	// concurrent store's published snapshot. The two top-k lists must agree
+	// exactly, since both solve the identical compacted graph.
+	solver, err := reputation.NewTrustSolver(g, reputation.DefaultEigenTrust())
+	if err != nil {
+		return err
+	}
+	if err := solver.Solve(); err != nil {
+		return err
+	}
+	var vec []float64
+	var solveErr error
+	seq := cg.Exclusive(func(lg *reputation.LogGraph) {
+		vec, solveErr = reputation.EigenTrust(lg, reputation.DefaultEigenTrust())
+	})
+	if solveErr != nil {
+		return solveErr
+	}
+	cg.PublishTrustAt(seq, vec)
+	readers := []struct {
+		name string
+		r    reputation.TrustReader
+	}{{"serial solver", solver}, {"concurrent store", cg}}
+	var topSerial, top []reputation.PeerTrust
+	for i, rd := range readers {
+		top = rd.r.TopK(5, top[:0])
+		fmt.Printf("\ntop-5 global trust via TrustReader (%s, snapshot seq %d):\n",
+			rd.name, rd.r.TrustSnapshot().Seq)
+		for _, pt := range top {
+			marker := ""
+			if inClique(pt.Peer) {
+				marker = "  <- clique"
+			}
+			fmt.Printf("  peer %-4d trust %.4f%s\n", pt.Peer, pt.Trust, marker)
+		}
+		if i == 0 {
+			topSerial = append(topSerial[:0], top...)
+		} else if !topKEqual(topSerial, top) {
+			fmt.Printf("  WARNING: readers disagree with serial solver\n")
+		}
+	}
 	return nil
+}
+
+// topKEqual reports whether two TrustReader rankings are identical.
+func topKEqual(a, b []reputation.PeerTrust) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // driveWorkload replays the deterministic collusion-plus-churn schedule on

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"log"
 
-	"collabnet/internal/core"
 	"collabnet/internal/incentive"
 	"collabnet/internal/network"
 )
@@ -29,7 +28,8 @@ func main() {
 		incentive.KindNone, incentive.KindReputation,
 		incentive.KindTitForTat, incentive.KindKarma,
 	} {
-		scheme, err := incentive.New(kind, numPeers, core.Default(), true)
+		scheme, err := incentive.NewScheme(numPeers, incentive.Options{
+			Kind: kind, WeightedVoting: true})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -79,6 +79,10 @@ type GlobalTrust struct {
 
 	dirty        bool // graph changed since the last solve
 	sinceRefresh int
+	// lastSolveSeq is the concurrent-store epoch sequence the last solve ran
+	// at (0 in serial mode) — the staleness watermark RefreshIfStale
+	// compares the published epoch against.
+	lastSolveSeq uint64
 }
 
 // NewGlobalTrust builds the scheme for n peers.
@@ -152,6 +156,7 @@ func (g *GlobalTrust) recompute() error {
 		seq = g.cg.Exclusive(func(lg *reputation.LogGraph) {
 			tv, err = g.ws.Compute(lg, g.cfg.Trust)
 		})
+		g.lastSolveSeq = seq
 	} else {
 		tv, err = g.ws.Compute(g.log, g.cfg.Trust)
 	}
@@ -279,6 +284,42 @@ func (g *GlobalTrust) Refresh() {
 	if err := g.recompute(); err != nil {
 		panic(err)
 	}
+}
+
+// RefreshNow is Refresh for long-running callers: it recomputes
+// unconditionally and returns the solve error instead of panicking — the
+// serving daemon's forced-refresh hook, where a bad configuration or store
+// state should surface as a 5xx, not a crash.
+func (g *GlobalTrust) RefreshNow() error { return g.recompute() }
+
+// Stale reports whether trust statements have landed since the last solve,
+// so the published vector no longer reflects the store. In concurrent mode
+// that covers statements written around the scheme (directly onto the
+// ConcurrentGraph by a serving ingest plane): anything still queued on the
+// ingest shards, or folded into an epoch published after the last solve,
+// counts as staleness alongside the scheme's own dirty flag.
+func (g *GlobalTrust) Stale() bool {
+	if g.dirty {
+		return true
+	}
+	if g.cg != nil {
+		st := g.cg.Stats()
+		return st.Pending > 0 || st.Epoch > g.lastSolveSeq
+	}
+	return false
+}
+
+// RefreshIfStale recomputes only when Stale reports pending work, returning
+// whether a solve ran — the cadence hook a wall-clock refresh loop calls on
+// every tick so an idle service skips the O(nnz) power iteration entirely.
+func (g *GlobalTrust) RefreshIfStale() (bool, error) {
+	if !g.Stale() {
+		return false, nil
+	}
+	if err := g.recompute(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // InjectTrust records a raw local-trust statement from one peer toward

@@ -218,48 +218,153 @@ func (n *None) SharingScore(peer int) float64 { return n.rep.SharingScore(peer) 
 // EditingScore implements Scheme.
 func (n *None) EditingScore(peer int) float64 { return n.rep.EditingScore(peer) }
 
-// Options carries cross-scheme configuration the engine threads through
-// from sim.Config. The zero value reproduces New's defaults exactly.
+// Options is the single constructor surface for incentive schemes: one
+// struct that names every cross-scheme and commonly-tuned per-kind knob,
+// with the zero value selecting validated defaults throughout. It replaces
+// the accreted New/NewWithOptions signatures (kept below as deprecated
+// shims): callers set Kind plus whatever they care about and pass the rest
+// to NewScheme.
+//
+// Scheme-specific configuration beyond these knobs (Karma pricing, max-flow
+// evaluator cadence, EigenTrust damping/epsilon) stays on the per-kind
+// constructors (NewKarma, NewFlowTrust, NewGlobalTrust), which NewScheme
+// delegates to.
 type Options struct {
+	// Kind selects the scheme implementation. The zero value is KindNone,
+	// the no-incentive baseline.
+	Kind Kind
+
+	// Params are the core reputation parameters consumed by the paper's
+	// scheme and the None baseline. nil selects core.Default().
+	Params *core.Params
+
+	// WeightedVoting selects v_i = RE_i/ΣRE ballots for the paper's scheme
+	// (one-peer-one-vote otherwise). Other kinds ignore it.
+	WeightedVoting bool
+
 	// PreTrusted lists the peers EigenTrust's teleport distribution favors
 	// (its collusion-resistance lever); the first entry also selects the
 	// max-flow scheme's evaluator. Empty keeps the uniform distribution.
 	PreTrusted []int
+
+	// RefreshEvery overrides the trust-recomputation cadence (in steps) of
+	// the trust-backed kinds (EigenTrust, MaxFlow). 0 keeps each kind's
+	// default; negative is an error.
+	RefreshEvery int
+
+	// Floor overrides the uniform allocation floor of the floor-carrying
+	// kinds (EigenTrust, MaxFlow, Karma). 0 keeps each kind's default
+	// (0.05); negative is an error.
+	Floor float64
+
+	// Concurrent backs KindEigenTrust with the epoch-swapped concurrent
+	// trust store (reputation.ConcurrentGraph) so external observers can
+	// read epochs and trust snapshots lock-free while the scheme writes.
+	// Setting it for any other kind is an error.
+	Concurrent bool
+
+	// Shards is the concurrent store's ingest shard count (0 = default).
+	// Setting it without Concurrent is an error.
+	Shards int
 }
 
-// New constructs a scheme of the given kind for n peers with default
-// options.
-func New(kind Kind, n int, p core.Params, weightedVoting bool) (Scheme, error) {
-	return NewWithOptions(kind, n, p, weightedVoting, Options{})
+// validate reports the first incoherent cross-field combination. Per-kind
+// numeric constraints are validated by the per-kind constructors.
+func (o Options) validate() error {
+	if o.Kind < KindNone || o.Kind > KindMaxFlow {
+		return fmt.Errorf("incentive: unknown scheme kind %d", int(o.Kind))
+	}
+	if o.RefreshEvery < 0 {
+		return fmt.Errorf("incentive: RefreshEvery must be >= 0, got %d", o.RefreshEvery)
+	}
+	if o.Floor < 0 {
+		return fmt.Errorf("incentive: Floor must be >= 0, got %v", o.Floor)
+	}
+	if o.Concurrent && o.Kind != KindEigenTrust {
+		return fmt.Errorf("incentive: Concurrent requires KindEigenTrust, got %s", o.Kind)
+	}
+	if o.Shards != 0 && !o.Concurrent {
+		return fmt.Errorf("incentive: Shards requires Concurrent")
+	}
+	return nil
 }
 
-// NewWithOptions constructs a scheme of the given kind for n peers,
-// applying the cross-scheme options where the kind consumes them.
-func NewWithOptions(kind Kind, n int, p core.Params, weightedVoting bool, opt Options) (Scheme, error) {
-	switch kind {
+// NewScheme constructs a scheme for n peers from opt — the one constructor
+// every caller goes through. Zero-valued fields select validated defaults:
+// Options{} builds the None baseline with core.Default() parameters.
+func NewScheme(n int, opt Options) (Scheme, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	params := core.Default()
+	if opt.Params != nil {
+		params = *opt.Params
+	}
+	switch opt.Kind {
 	case KindNone:
-		return NewNone(n, p)
+		return NewNone(n, params)
 	case KindReputation:
-		return NewReputation(n, p, weightedVoting)
+		return NewReputation(n, params, opt.WeightedVoting)
 	case KindTitForTat:
 		return NewTitForTat(n)
 	case KindKarma:
-		return NewKarma(n, DefaultKarmaConfig())
+		cfg := DefaultKarmaConfig()
+		if opt.Floor > 0 {
+			cfg.Floor = opt.Floor
+		}
+		return NewKarma(n, cfg)
 	case KindEigenTrust:
 		cfg := DefaultGlobalTrustConfig()
 		if len(opt.PreTrusted) > 0 {
 			cfg.Trust.PreTrusted = append([]int(nil), opt.PreTrusted...)
 		}
+		if opt.RefreshEvery > 0 {
+			cfg.RefreshEvery = opt.RefreshEvery
+		}
+		if opt.Floor > 0 {
+			cfg.Floor = opt.Floor
+		}
+		cfg.Concurrent = opt.Concurrent
+		cfg.Shards = opt.Shards
 		return NewGlobalTrust(n, cfg)
 	case KindMaxFlow:
 		cfg := DefaultFlowTrustConfig()
 		if len(opt.PreTrusted) > 0 {
 			cfg.Evaluator = opt.PreTrusted[0]
 		}
+		if opt.RefreshEvery > 0 {
+			cfg.RefreshEvery = opt.RefreshEvery
+		}
+		if opt.Floor > 0 {
+			cfg.Floor = opt.Floor
+		}
 		return NewFlowTrust(n, cfg)
 	default:
-		return nil, fmt.Errorf("incentive: unknown scheme kind %d", int(kind))
+		return nil, fmt.Errorf("incentive: unknown scheme kind %d", int(opt.Kind))
 	}
+}
+
+// New constructs a scheme of the given kind for n peers with default
+// options.
+//
+// Deprecated: use NewScheme with an Options literal; this shim survives for
+// external callers and will not grow new parameters.
+func New(kind Kind, n int, p core.Params, weightedVoting bool) (Scheme, error) {
+	return NewScheme(n, Options{Kind: kind, Params: &p, WeightedVoting: weightedVoting})
+}
+
+// NewWithOptions constructs a scheme of the given kind for n peers,
+// applying the cross-scheme options where the kind consumes them. The
+// kind/params/weightedVoting arguments override the corresponding opt
+// fields, preserving the historical signature's behavior.
+//
+// Deprecated: use NewScheme — Options now carries Kind, Params, and
+// WeightedVoting itself, making the extra positional arguments redundant.
+func NewWithOptions(kind Kind, n int, p core.Params, weightedVoting bool, opt Options) (Scheme, error) {
+	opt.Kind = kind
+	opt.Params = &p
+	opt.WeightedVoting = weightedVoting
+	return NewScheme(n, opt)
 }
 
 // compile-time interface checks

@@ -270,6 +270,16 @@ func (g *GlobalTrust) LoadState(src *State) error {
 	copy(g.score, gs.Score)
 	g.dirty = gs.Dirty
 	g.sinceRefresh = gs.SinceRefresh
+	if g.cg != nil {
+		// LoadEdges just published the restored graph as a fresh epoch;
+		// republish the restored vector stamped with it so lock-free
+		// observers see a coherent (epoch, trust) pair across a warm
+		// restart, and move the staleness watermark so an idle service does
+		// not immediately re-solve state it just loaded.
+		seq := g.cg.Stats().Epoch
+		g.cg.PublishTrustAt(seq, g.trust)
+		g.lastSolveSeq = seq
+	}
 	return nil
 }
 

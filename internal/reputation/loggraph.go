@@ -97,11 +97,13 @@ type LogGraph struct {
 	// Compaction scratch, reused across compactions.
 	tailPtr []int   // tail ranges per source row (n+1)
 	tailOrd []int32 // tail indices bucketed by source row, stable
-	pCols   []int32 // net-effect pair columns, grouped by row
-	pRows   []int32 // net-effect pair rows
-	pKeep   []bool  // pair keeps the compacted base value (no overwrite seen)
-	pSet    []float64
-	pAdd    []float64
+	pCols   []int32 // touched pair columns, grouped by row
+	pRows   []int32 // touched pair rows
+	opCnt   []int32 // tail ops per pair
+	opPair  []int32 // pair id of each bucketed tail position
+	opPtr   []int   // per-pair op-list ranges (len(pairs)+1)
+	opList  []int32 // tail indices grouped by pair, log order within a pair
+	opCur   []int   // op-list scatter cursor
 	pairPtr []int   // pair ranges per row (n+1)
 	dPtr    []int   // destination-major scatter offsets (n+1)
 	dOrd    []int32 // pair indices in destination-major order
@@ -432,10 +434,36 @@ func (g *LogGraph) Clone() *LogGraph {
 	return cp
 }
 
+// foldPair applies pair p's tail ops, in log order, onto base — the same
+// left-to-right fold the dirty read paths use, so compacted values and
+// dirty reads agree bit-for-bit, and so the compacted value of an edge is
+// a pure sequential fold of its full statement history no matter how many
+// compactions that history was split across.
+func (g *LogGraph) foldPair(p int32, base float64) float64 {
+	v := base
+	for t := g.opPtr[p]; t < g.opPtr[p+1]; t++ {
+		op := &g.tail[g.opList[t]]
+		if op.set {
+			v = op.w
+		} else {
+			v += op.w
+		}
+	}
+	return v
+}
+
 // Compact folds the uncompacted tail into the compacted adjacency with the
 // deterministic counting-scatter merge described on the type. It is a
 // no-op when the tail is empty. Steady-state compactions (scratch already
 // grown, pattern stable or not) allocate nothing.
+//
+// Compaction is schedule-invariant: each edge's new value is the
+// left-to-right fold of its tail ops onto its base value (see foldPair),
+// so compacting after every op, once at the end, or anywhere in between
+// yields bit-identical arrays even for weights whose float additions do
+// not associate. The concurrent store's serial-reference guarantee relies
+// on this — its epochs compact at publish boundaries a serial replay never
+// sees.
 func (g *LogGraph) Compact() {
 	if len(g.tail) == 0 {
 		return
@@ -460,16 +488,22 @@ func (g *LogGraph) Compact() {
 		g.tailOrd[s] = int32(k)
 	}
 
-	// Phase 2: collapse each row's ops, in log order, into per-pair net
-	// effects. A pair's final value is (keep ? base : set) + add, where the
-	// last overwrite resets the accumulation.
+	// Phase 2: group each row's ops, in log order, into per-pair op lists.
+	// The ops are NOT collapsed numerically here: phase 4 folds each
+	// pair's ops left-to-right onto the base value, exactly as the dirty
+	// read path does, so a pair's compacted value is the sequential fold of
+	// its entire statement history — independent of how that history was
+	// split across compactions. Collapsing adds into one net sum first
+	// would regroup the float additions and make the result depend on the
+	// compaction schedule, breaking bit-exact replay equivalence between
+	// stores that compact at different points (serial log vs concurrent
+	// store epochs) for non-integer weights.
 	g.pCols = g.pCols[:0]
 	g.pRows = g.pRows[:0]
-	g.pKeep = g.pKeep[:0]
-	g.pSet = g.pSet[:0]
-	g.pAdd = g.pAdd[:0]
+	g.opCnt = g.opCnt[:0]
 	g.pairPtr = growInts(g.pairPtr, n+1)
 	g.pairPtr[0] = 0
+	g.opPair = growInt32s(g.opPair, len(g.tail))
 	for i := 0; i < n; i++ {
 		base := len(g.pCols)
 		for s := g.tailPtr[i]; s < g.tailPtr[i+1]; s++ {
@@ -478,25 +512,34 @@ func (g *LogGraph) Compact() {
 			if p == 0 {
 				g.pCols = append(g.pCols, op.to)
 				g.pRows = append(g.pRows, int32(i))
-				g.pKeep = append(g.pKeep, true)
-				g.pSet = append(g.pSet, 0)
-				g.pAdd = append(g.pAdd, 0)
+				g.opCnt = append(g.opCnt, 0)
 				p = int32(len(g.pCols))
 				g.slot[op.to] = p
 			}
-			q := p - 1
-			if op.set {
-				g.pKeep[q] = false
-				g.pSet[q] = op.w
-				g.pAdd[q] = 0
-			} else {
-				g.pAdd[q] += op.w
-			}
+			g.opCnt[p-1]++
+			g.opPair[s] = p - 1
 		}
 		for _, c := range g.pCols[base:] {
 			g.slot[c] = 0
 		}
 		g.pairPtr[i+1] = len(g.pCols)
+	}
+
+	// Stable-scatter the bucketed tail positions into per-pair op lists
+	// (ascending s preserves each pair's log order).
+	g.opPtr = growInts(g.opPtr, len(g.pCols)+1)
+	g.opPtr[0] = 0
+	for q, c := range g.opCnt {
+		g.opPtr[q+1] = g.opPtr[q] + int(c)
+	}
+	g.opList = growInt32s(g.opList, len(g.tail))
+	g.opCur = growInts(g.opCur, len(g.pCols))
+	copy(g.opCur, g.opPtr[:len(g.pCols)])
+	for s := range g.opPair {
+		q := g.opPair[s]
+		k := g.opCur[q]
+		g.opCur[q] = k + 1
+		g.opList[k] = g.tailOrd[s]
 	}
 
 	// Phase 3: order each row's pairs by column without sorting: scatter
@@ -565,12 +608,9 @@ func (g *LogGraph) Compact() {
 				g.nVal = append(g.nVal, g.val[k])
 				k++
 			case k == kEnd || g.pCols[g.pSorted[q]] < g.colIdx[k]:
-				// New column: the effect applies to a zero base.
+				// New column: fold the pair's ops onto a zero base.
 				p := g.pSorted[q]
-				v := g.pAdd[p]
-				if !g.pKeep[p] {
-					v = g.pSet[p] + g.pAdd[p]
-				}
+				v := g.foldPair(p, 0)
 				if v > 0 {
 					g.nColIdx = append(g.nColIdx, g.pCols[p])
 					g.nVal = append(g.nVal, v)
@@ -578,12 +618,9 @@ func (g *LogGraph) Compact() {
 				}
 				q++
 			default:
-				// Same column: apply the net effect to the base value.
+				// Same column: fold the pair's ops onto the base value.
 				p := g.pSorted[q]
-				v := g.val[k] + g.pAdd[p]
-				if !g.pKeep[p] {
-					v = g.pSet[p] + g.pAdd[p]
-				}
+				v := g.foldPair(p, g.val[k])
 				if v > 0 {
 					g.nColIdx = append(g.nColIdx, g.colIdx[k])
 					g.nVal = append(g.nVal, v)

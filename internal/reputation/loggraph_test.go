@@ -295,3 +295,74 @@ func TestCSRRefreshLogValueOnly(t *testing.T) {
 		t.Error("rebuilt CSR does not match the graph")
 	}
 }
+
+// TestCompactScheduleInvariantFloat pins compaction schedule invariance on
+// weights whose float additions do not associate: stores replaying the
+// identical statement sequence must hold bit-identical compacted arrays no
+// matter where their compaction (or epoch-publish) boundaries fell. The
+// net-sum compaction collapse this replaced regrouped (base + Σadds) and
+// diverged by ulps — invisible to the integer-weight suites, caught by the
+// serving path's replay verification.
+func TestCompactScheduleInvariantFloat(t *testing.T) {
+	const n, ops = 16, 20000
+	build := func(compactEvery int) *LogGraph {
+		g, err := NewLogGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetWatermark(1 << 30) // manual schedule only
+		rng := xrand.New(99)
+		for k := 1; k <= ops; k++ {
+			from := rng.Intn(n)
+			to := (from + 1 + rng.Intn(n-1)) % n
+			if rng.Intn(16) == 0 {
+				if err := g.SetTrust(from, to, rng.Float64()*10); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := g.AddTrust(from, to, 0.1+rng.Float64()*9); err != nil {
+				t.Fatal(err)
+			}
+			if compactEvery > 0 && k%compactEvery == 0 {
+				g.Compact()
+			}
+		}
+		g.Compact()
+		return g
+	}
+	ref := build(0) // one compaction at the end
+	for _, every := range []int{1, 7, 64, 999} {
+		g := build(every)
+		if !reflect.DeepEqual(g.val, ref.val) ||
+			!reflect.DeepEqual(g.colIdx, ref.colIdx) ||
+			!reflect.DeepEqual(g.rowPtr, ref.rowPtr) {
+			t.Fatalf("compaction every %d ops diverged from compact-once reference", every)
+		}
+	}
+
+	// The same statements through the concurrent store (its epochs compact
+	// at publish boundaries no serial replay sees) land bit-identically.
+	cg, err := NewConcurrentGraph(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg.SetPendingWatermark(64)
+	rng := xrand.New(99)
+	for k := 1; k <= ops; k++ {
+		from := rng.Intn(n)
+		to := (from + 1 + rng.Intn(n-1)) % n
+		if rng.Intn(16) == 0 {
+			err = cg.SetTrust(from, to, rng.Float64()*10)
+		} else {
+			err = cg.AddTrust(from, to, 0.1+rng.Float64()*9)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cg.Flush()
+	got := cg.AppendEdges(nil)
+	want := ref.AppendEdges(nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("concurrent store diverged from serial reference on float weights")
+	}
+}

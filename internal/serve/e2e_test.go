@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"collabnet/internal/incentive"
+	"collabnet/internal/reputation"
+)
+
+// postBatch sends one single-source batch: admitted reports a 202, a 429
+// is a legitimate refusal (admitted=false), anything else is an error. It
+// never touches testing.T so writer goroutines can call it safely.
+func postBatch(client *http.Client, url string, ev []Event) (admitted bool, err error) {
+	body, err := json.Marshal(ingestRequest{Events: ev})
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Post(url+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		return true, nil
+	case http.StatusTooManyRequests:
+		return false, nil
+	default:
+		return false, fmt.Errorf("ingest status %d", resp.StatusCode)
+	}
+}
+
+// TestE2EReplayEquivalence is the serving-path version of the store's
+// serial-reference guarantee, run under -race in CI: concurrent HTTP
+// writers (disjoint source ranges), concurrent readers, and forced solves
+// all interleave; afterwards the server's canonical edge dump must equal a
+// serial LogGraph replay of exactly the accepted events, and its final
+// published vector must equal a serial solve over that replay.
+func TestE2EReplayEquivalence(t *testing.T) {
+	const (
+		peers   = 64
+		writers = 4
+		readers = 3
+		batches = 60
+		batchSz = 8
+	)
+	s, err := New(Config{Peers: peers, Shards: 4, QueueDepth: 64, Watermark: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Start()
+	defer s.Stop()
+
+	accepted := make([][]Event, writers)
+	var writeWg, readWg sync.WaitGroup
+	stopReads := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writeWg.Add(1)
+		go func(w int) {
+			defer writeWg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 42))
+			client := &http.Client{}
+			for b := 0; b < batches; b++ {
+				// Sources partition by writer id; one source per batch keeps
+				// admission atomic per request.
+				src := w + writers*rng.Intn(peers/writers)
+				ev := make([]Event, 0, batchSz)
+				for len(ev) < batchSz {
+					to := rng.Intn(peers)
+					if to == src {
+						continue
+					}
+					// Fractional weights: float additions don't associate, so
+					// this also pins compaction-schedule invariance end to end.
+					e := Event{Type: EventContrib, From: src, To: to, W: 0.1 + rng.Float64()*9}
+					if rng.Intn(4) == 0 {
+						e.Type = EventTrust
+						e.Set = rng.Intn(2) == 0
+					}
+					ev = append(ev, e)
+				}
+				for {
+					// Backpressure: retrying the identical single-source batch
+					// preserves per-source order (nothing of it was applied).
+					admitted, err := postBatch(client, ts.URL, ev)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if admitted {
+						break
+					}
+				}
+				accepted[w] = append(accepted[w], ev...)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWg.Add(1)
+		go func(r int) {
+			defer readWg.Done()
+			client := &http.Client{}
+			paths := []string{"/v1/reputation/5", "/v1/top?k=8", "/v1/trust?from=1&to=2",
+				"/v1/alloc?source=0&d=1,2,3", "/v1/stats"}
+			for i := 0; ; i++ {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + paths[(r+i)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if i%25 == 0 {
+					resp, err := client.Post(ts.URL+"/v1/refresh", "application/json", nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(r)
+	}
+	// Writers finish first; then the readers are told to stop.
+	writeWg.Wait()
+	close(stopReads)
+	readWg.Wait()
+
+	// Quiesce and dump.
+	resp, err := http.Post(ts.URL+"/v1/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := decodeBody[edgesResponse](t, resp)
+
+	// Serial reference: replay per-source streams in any interleaving that
+	// preserves each source's order — concatenating the per-writer logs
+	// does, because sources never span writers.
+	ref, err := reputation.NewLogGraph(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, evs := range accepted {
+		for _, e := range evs {
+			if e.Type == EventTrust && e.Set {
+				err = ref.SetTrust(e.From, e.To, e.W)
+			} else {
+				err = ref.AddTrust(e.From, e.To, e.W)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := ref.AppendEdges(nil)
+	if len(want) != len(dump.Edges) {
+		t.Fatalf("edge count: served %d, serial %d", len(dump.Edges), len(want))
+	}
+	for i, e := range dump.Edges {
+		if e.From != want[i].From || e.To != want[i].To || e.W != want[i].W {
+			t.Fatalf("edge %d: served (%d,%d,%v), serial (%d,%d,%v)",
+				i, e.From, e.To, e.W, want[i].From, want[i].To, want[i].W)
+		}
+	}
+
+	// The final published vector must equal a serial solve bit-for-bit.
+	solver, err := reputation.NewTrustSolver(ref, incentive.DefaultGlobalTrustConfig().Trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Store().TrustSnapshot()
+	wantVec := solver.TrustSnapshot().Vector
+	for i := range wantVec {
+		if got.Vector[i] != wantVec[i] {
+			t.Fatalf("trust[%d]: served %v, serial %v", i, got.Vector[i], wantVec[i])
+		}
+	}
+}
+
+// TestWarmRestartBitIdentity kills a loaded server and restarts it from
+// its snapshot: the restored edge dump must equal the serial replay, the
+// restored vector must equal the dead process's final publish bit-for-bit,
+// and re-snapshotting the restored state must reproduce the file
+// byte-for-byte.
+func TestWarmRestartBitIdentity(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.snap")
+	cfg := Config{Peers: 32, SnapshotPath: snap}
+
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	a.Start()
+	client := &http.Client{}
+	rng := rand.New(rand.NewSource(7))
+	var log []Event
+	for b := 0; b < 40; b++ {
+		src := rng.Intn(32)
+		ev := make([]Event, 0, 4)
+		for len(ev) < 4 {
+			to := rng.Intn(32)
+			if to == src {
+				continue
+			}
+			ev = append(ev, Event{Type: EventContrib, From: src, To: to, W: 0.1 + rng.Float64()*5})
+		}
+		if admitted, err := postBatch(client, tsA.URL, ev); err != nil {
+			t.Fatal(err)
+		} else if !admitted {
+			t.Fatal("batch refused at default queue depth")
+		}
+		log = append(log, ev...)
+	}
+	resp, err := http.Post(tsA.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// SIGTERM path: stop admission, drain, persist.
+	tsA.Close()
+	a.Stop()
+	if err := a.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	fileA, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalVec := append([]float64(nil), a.Store().TrustSnapshot().Vector...)
+
+	// Warm restart.
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+
+	resp, err = http.Get(tsB.URL + "/v1/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := decodeBody[edgesResponse](t, resp)
+	ref, err := reputation.NewLogGraph(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range log {
+		if err := ref.AddTrust(e.From, e.To, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.AppendEdges(nil)
+	if len(want) != len(dump.Edges) {
+		t.Fatalf("restored edge count %d, serial replay %d", len(dump.Edges), len(want))
+	}
+	for i, e := range dump.Edges {
+		if e.From != want[i].From || e.To != want[i].To || e.W != want[i].W {
+			t.Fatalf("restored edge %d mismatch: (%d,%d,%v) vs (%d,%d,%v)",
+				i, e.From, e.To, e.W, want[i].From, want[i].To, want[i].W)
+		}
+	}
+
+	restored := b.Store().TrustSnapshot()
+	if restored == nil {
+		t.Fatal("warm restart must republish the trust snapshot")
+	}
+	for i := range finalVec {
+		if restored.Vector[i] != finalVec[i] {
+			t.Fatalf("trust[%d]: restored %v, pre-kill %v", i, restored.Vector[i], finalVec[i])
+		}
+	}
+
+	// A restored, untouched server snapshots back to the identical bytes.
+	if err := b.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	fileB, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fileA, fileB) {
+		t.Fatalf("snapshot not bit-identical across restart: %d vs %d bytes", len(fileA), len(fileB))
+	}
+
+	// An idle restored server must not consider itself stale: the refresh
+	// loop would otherwise burn a solve on every tick after every restart.
+	if b.gt.Stale() {
+		t.Fatal("restored server is stale with no new writes")
+	}
+}
+
+// TestSnapshotCodecErrors pins the failure modes of the restart path.
+func TestSnapshotCodecErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Peers: 8, SnapshotPath: bad}); err == nil {
+		t.Fatal("corrupt snapshot must fail construction")
+	}
+
+	// Valid snapshot, wrong peer count.
+	snap := filepath.Join(dir, "good.snap")
+	a, err := New(Config{Peers: 8, SnapshotPath: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store().AddTrust(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	a.Store().Flush()
+	if err := a.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Peers: 9, SnapshotPath: snap}); err == nil {
+		t.Fatal("peer-count mismatch must fail construction")
+	}
+
+	// Truncated file.
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.snap")
+	if err := os.WriteFile(trunc, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Peers: 8, SnapshotPath: trunc}); err == nil {
+		t.Fatal("truncated snapshot must fail construction")
+	}
+
+	// Missing file is a cold start, not an error.
+	if _, err := New(Config{Peers: 8, SnapshotPath: filepath.Join(dir, "absent.snap")}); err != nil {
+		t.Fatalf("absent snapshot should cold-start: %v", err)
+	}
+}

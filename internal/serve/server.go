@@ -1,0 +1,559 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"collabnet/internal/incentive"
+	"collabnet/internal/reputation"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	DefaultShards     = 8
+	DefaultQueueDepth = 256
+	DefaultMaxBatch   = 4096
+	DefaultRefresh    = 500 * time.Millisecond
+
+	maxBodyBytes = 8 << 20
+)
+
+// Config parameterizes a Server. The zero value of every field except
+// Peers selects a validated default.
+type Config struct {
+	// Peers is the (fixed) peer-id space the store ranges over. Required.
+	Peers int
+	// Shards is the queue/ingest shard count for both the serve-level
+	// writer and the concurrent store (0 = DefaultShards).
+	Shards int
+	// QueueDepth is the per-shard admission queue depth in batches; a full
+	// shard refuses its group with 429 (0 = DefaultQueueDepth).
+	QueueDepth int
+	// MaxBatch caps the events accepted in one ingest request
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+	// Refresh is the wall-clock EigenTrust solve cadence
+	// (0 = DefaultRefresh). Idle ticks skip the solve.
+	Refresh time.Duration
+	// PreTrusted seeds the teleport distribution (empty = uniform).
+	PreTrusted []int
+	// Floor is the uniform allocation floor (0 = the incentive default).
+	Floor float64
+	// Watermark overrides the store's automatic publish threshold in
+	// pending statements (0 = store default).
+	Watermark int
+	// SnapshotPath, when set, is loaded at construction (if the file
+	// exists) and written by SaveSnapshot — the warm-restart surface.
+	SnapshotPath string
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.Refresh <= 0 {
+		c.Refresh = DefaultRefresh
+	}
+	return c
+}
+
+// Server is the trust/reputation service: the three planes of the package
+// doc behind one http.Handler. Construct with New, launch the write and
+// solve planes with Start, and quiesce with Stop (then SaveSnapshot).
+type Server struct {
+	cfg Config
+
+	gt     *incentive.GlobalTrust
+	cg     *reputation.ConcurrentGraph
+	reader reputation.TrustReader
+	wr     *writer
+	mux    *http.ServeMux
+
+	refreshReq chan chan error
+	quit       chan struct{}
+	stopped    chan struct{} // closed when the refresh loop exits
+	started    atomic.Bool
+
+	start     time.Time
+	accepted  atomic.Uint64 // events admitted to the write queues
+	rejected  atomic.Uint64 // events refused with 429
+	reads     atomic.Uint64 // read-plane requests served
+	refreshes atomic.Uint64 // solves that actually ran
+	solveErrs atomic.Uint64
+}
+
+// New builds a server (loading SnapshotPath when it exists) without
+// starting the write or solve planes: handlers already serve reads and
+// admit writes, which queue until Start.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	scheme, err := incentive.NewScheme(cfg.Peers, incentive.Options{
+		Kind:       incentive.KindEigenTrust,
+		PreTrusted: cfg.PreTrusted,
+		Floor:      cfg.Floor,
+		Concurrent: true,
+		Shards:     cfg.Shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gt := scheme.(*incentive.GlobalTrust)
+	cg := gt.ConcurrentStore()
+	if cfg.Watermark > 0 {
+		cg.SetPendingWatermark(cfg.Watermark)
+	}
+	s := &Server{
+		cfg:        cfg,
+		gt:         gt,
+		cg:         cg,
+		reader:     cg,
+		wr:         newWriter(cg, cfg.Shards, cfg.QueueDepth),
+		refreshReq: make(chan chan error),
+		quit:       make(chan struct{}),
+		stopped:    make(chan struct{}),
+		start:      time.Now(),
+	}
+	if cfg.SnapshotPath != "" {
+		if err := s.loadSnapshot(cfg.SnapshotPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("serve: loading snapshot %s: %w", cfg.SnapshotPath, err)
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+// Store exposes the concurrent trust store (tests and tooling).
+func (s *Server) Store() *reputation.ConcurrentGraph { return s.cg }
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the writer drainers and the refresh loop. Idempotent
+// after the first call.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	s.wr.start()
+	go s.refreshLoop()
+}
+
+// Stop quiesces a started server: drains every admitted event into the
+// store, stops the solve plane, and publishes the folded state. Admission
+// must have ceased (shut the HTTP listener down first). After Stop the
+// server serves reads only.
+func (s *Server) Stop() {
+	if !s.started.CompareAndSwap(true, false) {
+		return
+	}
+	s.wr.stop()
+	close(s.quit)
+	<-s.stopped
+	s.cg.Flush()
+}
+
+// refreshLoop is the solve plane: one goroutine owning all GlobalTrust
+// state, alternating cadence ticks (skipped while idle) with forced
+// refreshes requested over refreshReq.
+func (s *Server) refreshLoop() {
+	defer close(s.stopped)
+	t := time.NewTicker(s.cfg.Refresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			ran, err := s.gt.RefreshIfStale()
+			if err != nil {
+				s.solveErrs.Add(1)
+			} else if ran {
+				s.refreshes.Add(1)
+			}
+		case reply := <-s.refreshReq:
+			err := s.gt.RefreshNow()
+			if err != nil {
+				s.solveErrs.Add(1)
+			} else {
+				s.refreshes.Add(1)
+			}
+			reply <- err
+		}
+	}
+}
+
+// routes installs the HTTP surface.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/events", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/reputation/{peer}", s.handleReputation)
+	s.mux.HandleFunc("GET /v1/top", s.handleTop)
+	s.mux.HandleFunc("GET /v1/alloc", s.handleAlloc)
+	s.mux.HandleFunc("GET /v1/trust", s.handleTrustEdge)
+	s.mux.HandleFunc("GET /v1/peers/{peer}/edges", s.handlePeerEdges)
+	s.mux.HandleFunc("GET /v1/edges", s.handleEdges)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ingestRequest is the write-plane payload.
+type ingestRequest struct {
+	Events []Event `json:"events"`
+}
+
+// ingestResponse reports per-request admission: Accepted events are
+// queued for application in order; Rejected events hit a full shard and
+// were refused whole-group (no partial application, no reordering).
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// handleIngest admits a batch of events: decode, validate all, group by
+// ingest shard (preserving order), then admit each group atomically.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "malformed ingest payload: %v", err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty event batch")
+		return
+	}
+	if len(req.Events) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch of %d events exceeds the %d-event cap", len(req.Events), s.cfg.MaxBatch)
+		return
+	}
+	for i, e := range req.Events {
+		if err := e.validate(s.cfg.Peers); err != nil {
+			writeErr(w, http.StatusBadRequest, "event %d: %v", i, err)
+			return
+		}
+	}
+	// Group by shard in arrival order: one source's events always form a
+	// single in-order group.
+	groups := make([][]Event, s.cfg.Shards)
+	for _, e := range req.Events {
+		sh := s.wr.shardFor(e.From)
+		groups[sh] = append(groups[sh], e)
+	}
+	resp := ingestResponse{}
+	for sh, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if s.wr.tryEnqueue(sh, g) {
+			resp.Accepted += len(g)
+		} else {
+			resp.Rejected += len(g)
+		}
+	}
+	s.accepted.Add(uint64(resp.Accepted))
+	s.rejected.Add(uint64(resp.Rejected))
+	if resp.Rejected > 0 {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// reputationResponse is one peer's view of the last published solve.
+type reputationResponse struct {
+	Peer  int     `json:"peer"`
+	Trust float64 `json:"trust"`
+	Epoch uint64  `json:"epoch"`
+	// Solved is false only when no trust vector has ever been published
+	// (the scheme publishes the uniform founding vector at construction,
+	// so in practice it is false only for foreign TrustReader backends).
+	Solved bool `json:"solved"`
+}
+
+func (s *Server) handleReputation(w http.ResponseWriter, r *http.Request) {
+	peer, err := strconv.Atoi(r.PathValue("peer"))
+	if err != nil || peer < 0 || peer >= s.cfg.Peers {
+		writeErr(w, http.StatusBadRequest, "peer must be in [0,%d)", s.cfg.Peers)
+		return
+	}
+	s.reads.Add(1)
+	resp := reputationResponse{Peer: peer}
+	if snap := s.reader.TrustSnapshot(); snap != nil {
+		resp.Trust = s.reader.PeerTrust(peer)
+		resp.Epoch = snap.Seq
+		resp.Solved = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topResponse lists the k most-trusted peers at the last published solve.
+type topResponse struct {
+	Epoch uint64                 `json:"epoch"`
+	Top   []reputation.PeerTrust `json:"top"`
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		var err error
+		if k, err = strconv.Atoi(v); err != nil || k <= 0 {
+			writeErr(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	s.reads.Add(1)
+	resp := topResponse{Top: []reputation.PeerTrust{}}
+	if snap := s.reader.TrustSnapshot(); snap != nil {
+		resp.Epoch = snap.Seq
+		resp.Top = s.reader.TopK(k, resp.Top)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// allocResponse is a bandwidth split over the requested downloaders,
+// computed from the snapshot exactly as incentive.GlobalTrust.Allocate
+// would from live state: floor/n + trust, normalized.
+type allocResponse struct {
+	Source      int       `json:"source"`
+	Downloaders []int     `json:"downloaders"`
+	Shares      []float64 `json:"shares"`
+	Epoch       uint64    `json:"epoch"`
+}
+
+func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	source, err := strconv.Atoi(q.Get("source"))
+	if err != nil || source < 0 || source >= s.cfg.Peers {
+		writeErr(w, http.StatusBadRequest, "source must be in [0,%d)", s.cfg.Peers)
+		return
+	}
+	parts := strings.Split(q.Get("d"), ",")
+	if len(parts) == 0 || parts[0] == "" {
+		writeErr(w, http.StatusBadRequest, "d must list at least one downloader id")
+		return
+	}
+	downloaders := make([]int, 0, len(parts))
+	for _, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d < 0 || d >= s.cfg.Peers {
+			writeErr(w, http.StatusBadRequest, "downloader %q must be in [0,%d)", p, s.cfg.Peers)
+			return
+		}
+		downloaders = append(downloaders, d)
+	}
+	s.reads.Add(1)
+	floor := s.cfg.Floor
+	if floor <= 0 {
+		floor = incentive.DefaultGlobalTrustConfig().Floor
+	}
+	resp := allocResponse{Source: source, Downloaders: downloaders, Shares: make([]float64, len(downloaders))}
+	snap := s.reader.TrustSnapshot()
+	sum := 0.0
+	for i, d := range downloaders {
+		resp.Shares[i] = floor / float64(s.cfg.Peers)
+		if snap != nil {
+			resp.Shares[i] += snap.Vector[d]
+		}
+		sum += resp.Shares[i]
+	}
+	if sum > 0 {
+		for i := range resp.Shares {
+			resp.Shares[i] /= sum
+		}
+	} else {
+		for i := range resp.Shares {
+			resp.Shares[i] = 1 / float64(len(resp.Shares))
+		}
+	}
+	if snap != nil {
+		resp.Epoch = snap.Seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// trustEdgeResponse is one local-trust point read at a pinned epoch.
+type trustEdgeResponse struct {
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	W     float64 `json:"w"`
+	Epoch uint64  `json:"epoch"`
+}
+
+func (s *Server) handleTrustEdge(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err1 := strconv.Atoi(q.Get("from"))
+	to, err2 := strconv.Atoi(q.Get("to"))
+	if err1 != nil || err2 != nil || from < 0 || from >= s.cfg.Peers || to < 0 || to >= s.cfg.Peers {
+		writeErr(w, http.StatusBadRequest, "from and to must be in [0,%d)", s.cfg.Peers)
+		return
+	}
+	s.reads.Add(1)
+	e := s.cg.Acquire()
+	resp := trustEdgeResponse{From: from, To: to, W: e.Trust(from, to), Epoch: e.Seq()}
+	e.Release()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// edgeJSON is the canonical wire form of one trust edge.
+type edgeJSON struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	W    float64 `json:"w"`
+}
+
+// peerEdgesResponse is one peer's outgoing row at a pinned epoch.
+type peerEdgesResponse struct {
+	Peer  int        `json:"peer"`
+	Edges []edgeJSON `json:"edges"`
+	Epoch uint64     `json:"epoch"`
+}
+
+func (s *Server) handlePeerEdges(w http.ResponseWriter, r *http.Request) {
+	peer, err := strconv.Atoi(r.PathValue("peer"))
+	if err != nil || peer < 0 || peer >= s.cfg.Peers {
+		writeErr(w, http.StatusBadRequest, "peer must be in [0,%d)", s.cfg.Peers)
+		return
+	}
+	s.reads.Add(1)
+	e := s.cg.Acquire()
+	resp := peerEdgesResponse{Peer: peer, Edges: make([]edgeJSON, 0, e.OutDegree(peer)), Epoch: e.Seq()}
+	e.OutEdges(peer, func(to int, w float64) {
+		resp.Edges = append(resp.Edges, edgeJSON{From: peer, To: to, W: w})
+	})
+	e.Release()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// edgesResponse is the full canonical edge dump — the maintenance-plane
+// exact view (flushes queued statements first), which the replay
+// verification tooling compares bit-for-bit against a serial store.
+type edgesResponse struct {
+	Peers int        `json:"peers"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	edges := s.cg.AppendEdges(nil)
+	resp := edgesResponse{Peers: s.cfg.Peers, Edges: make([]edgeJSON, len(edges))}
+	for i, e := range edges {
+		resp.Edges[i] = edgeJSON{From: e.From, To: e.To, W: e.W}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the observability surface: serve-plane counters plus
+// the store's epoch/publish counters.
+type statsResponse struct {
+	Peers         int     `json:"peers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Started       bool    `json:"started"`
+
+	Accepted    uint64 `json:"accepted"`
+	Rejected    uint64 `json:"rejected"`
+	Applied     uint64 `json:"applied"`
+	QueuedBatch int    `json:"queued_batches"`
+	Reads       uint64 `json:"reads"`
+	Refreshes   uint64 `json:"refreshes"`
+	SolveErrors uint64 `json:"solve_errors"`
+
+	TrustEpoch  uint64 `json:"trust_epoch"`
+	Epoch       uint64 `json:"epoch"`
+	Swaps       uint64 `json:"swaps"`
+	RetireWaits uint64 `json:"retire_waits"`
+	Flushes     uint64 `json:"flushes"`
+	Pending     int64  `json:"pending"`
+	Readers     int64  `json:"readers"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.cg.Stats()
+	resp := statsResponse{
+		Peers:         s.cfg.Peers,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Started:       s.started.Load(),
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Applied:       s.wr.applied.Load(),
+		QueuedBatch:   s.wr.queued(),
+		Reads:         s.reads.Load(),
+		Refreshes:     s.refreshes.Load(),
+		SolveErrors:   s.solveErrs.Load(),
+		Epoch:         st.Epoch,
+		Swaps:         st.Swaps,
+		RetireWaits:   st.RetireWaits,
+		Flushes:       st.Flushes,
+		Pending:       st.Pending,
+		Readers:       st.Readers,
+	}
+	if snap := s.reader.TrustSnapshot(); snap != nil {
+		resp.TrustEpoch = snap.Seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "started": s.started.Load()})
+}
+
+// handleFlush quiesces the write plane (writer barrier, then a store
+// flush) so the next /v1/edges read is exact — the verification hook.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if !s.started.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "writer not running")
+		return
+	}
+	s.wr.barrier()
+	s.cg.Flush()
+	st := s.cg.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": st.Epoch, "pending": st.Pending})
+}
+
+// handleRefresh forces a solve through the refresh goroutine (keeping all
+// solver state single-threaded) and reports the published epoch.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if !s.started.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "refresh loop not running")
+		return
+	}
+	reply := make(chan error, 1)
+	select {
+	case s.refreshReq <- reply:
+	case <-s.stopped:
+		writeErr(w, http.StatusServiceUnavailable, "refresh loop stopped")
+		return
+	}
+	if err := <-reply; err != nil {
+		writeErr(w, http.StatusInternalServerError, "solve failed: %v", err)
+		return
+	}
+	snap := s.reader.TrustSnapshot()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.Seq})
+}

@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer builds a small started server plus its HTTP front end and
+// registers cleanup in dependency order (listener, then planes).
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Peers == 0 {
+		cfg.Peers = 16
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	s.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		s.Stop()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestIngestAndQuery drives the full write→flush→solve→read path over HTTP.
+func TestIngestAndQuery(t *testing.T) {
+	s, ts := newTestServer(t, Config{Peers: 8})
+	resp := postJSON(t, ts.URL+"/v1/events", `{"events":[
+		{"type":"trust","from":0,"to":3,"w":4},
+		{"type":"contrib","from":1,"to":3,"w":2},
+		{"type":"trust","from":2,"to":1,"w":1,"set":true}]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if r := decodeBody[ingestResponse](t, resp); r.Accepted != 3 || r.Rejected != 0 {
+		t.Fatalf("ingest response %+v", r)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/flush", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := s.Store().Trust(0, 3); got != 4 {
+		t.Fatalf("trust(0,3) = %v after flush, want 4", got)
+	}
+
+	// Before any data-driven solve the founding publish is live: reads
+	// answer the uniform vector rather than blocking or erroring.
+	resp, err := http.Get(ts.URL + "/v1/reputation/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := decodeBody[reputationResponse](t, resp); !rep.Solved || rep.Trust != 1.0/8 {
+		t.Fatalf("pre-refresh read should see the uniform vector: %+v", rep)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/refresh", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/reputation/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := decodeBody[reputationResponse](t, resp)
+	if !rep.Solved || rep.Trust <= 0 {
+		t.Fatalf("peer 3 not trusted after solve: %+v", rep)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/top?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := decodeBody[topResponse](t, resp)
+	if len(top.Top) != 3 || top.Top[0].Peer != 3 {
+		t.Fatalf("top-3 should lead with peer 3: %+v", top)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/alloc?source=0&d=3,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := decodeBody[allocResponse](t, resp)
+	if len(alloc.Shares) != 2 || alloc.Shares[0] <= alloc.Shares[1] {
+		t.Fatalf("trusted downloader should out-earn untrusted: %+v", alloc)
+	}
+	sum := alloc.Shares[0] + alloc.Shares[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("alloc shares must normalize, got sum %v", sum)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/trust?from=0&to=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge := decodeBody[trustEdgeResponse](t, resp); edge.W != 4 {
+		t.Fatalf("point read w=%v, want 4", edge.W)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/peers/0/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row := decodeBody[peerEdgesResponse](t, resp); len(row.Edges) != 1 || row.Edges[0].To != 3 {
+		t.Fatalf("peer 0 row %+v", row)
+	}
+}
+
+// TestIngestRejectsMalformed pins every 4xx admission path.
+func TestIngestRejectsMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Peers: 8, MaxBatch: 4})
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"truncated json", `{"events":[{"type":"trust"`, http.StatusBadRequest},
+		{"wrong shape", `[1,2,3]`, http.StatusBadRequest},
+		{"empty batch", `{"events":[]}`, http.StatusBadRequest},
+		{"unknown type", `{"events":[{"type":"gossip","from":0,"to":1,"w":1}]}`, http.StatusBadRequest},
+		{"peer out of range", `{"events":[{"type":"trust","from":0,"to":99,"w":1}]}`, http.StatusBadRequest},
+		{"negative peer", `{"events":[{"type":"trust","from":-1,"to":1,"w":1}]}`, http.StatusBadRequest},
+		{"self edge", `{"events":[{"type":"trust","from":2,"to":2,"w":1}]}`, http.StatusBadRequest},
+		{"zero contribution", `{"events":[{"type":"contrib","from":0,"to":1,"w":0}]}`, http.StatusBadRequest},
+		{"negative set", `{"events":[{"type":"trust","from":0,"to":1,"w":-1,"set":true}]}`, http.StatusBadRequest},
+		{"over batch cap", `{"events":[` + strings.Repeat(`{"type":"trust","from":0,"to":1,"w":1},`, 4) +
+			`{"type":"trust","from":0,"to":1,"w":1}]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/events", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+	// One bad event poisons its whole request: nothing may be applied.
+	resp := postJSON(t, ts.URL+"/v1/events",
+		`{"events":[{"type":"trust","from":0,"to":1,"w":1},{"type":"trust","from":0,"to":0,"w":1}]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed batch status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/flush", "")
+	resp.Body.Close()
+	resp, err := http.Get(ts.URL + "/v1/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump := decodeBody[edgesResponse](t, resp); len(dump.Edges) != 0 {
+		t.Fatalf("invalid batch leaked edges: %+v", dump.Edges)
+	}
+}
+
+// TestBackpressure429 fills a one-deep admission queue on an unstarted
+// server (no drainers) and requires whole-group 429 refusals, then starts
+// the planes and checks only the admitted group was ever applied.
+func TestBackpressure429(t *testing.T) {
+	cfg := Config{Peers: 8, Shards: 1, QueueDepth: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/events", `{"events":[{"type":"trust","from":0,"to":1,"w":5}]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/events",
+		`{"events":[{"type":"trust","from":1,"to":2,"w":7},{"type":"trust","from":2,"to":3,"w":9}]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow batch status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	if r := decodeBody[ingestResponse](t, resp); r.Rejected != 2 || r.Accepted != 0 {
+		t.Fatalf("whole group must be refused together: %+v", r)
+	}
+
+	// Flush before Start must refuse rather than deadlock.
+	resp = postJSON(t, ts.URL+"/v1/flush", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("flush on stopped writer: status %d, want 503", resp.StatusCode)
+	}
+
+	s.Start()
+	defer s.Stop()
+	resp = postJSON(t, ts.URL+"/v1/flush", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := decodeBody[edgesResponse](t, resp)
+	if len(dump.Edges) != 1 || dump.Edges[0] != (edgeJSON{From: 0, To: 1, W: 5}) {
+		t.Fatalf("store must hold exactly the admitted group: %+v", dump.Edges)
+	}
+	if s.rejected.Load() != 2 || s.accepted.Load() != 1 {
+		t.Fatalf("counters accepted=%d rejected=%d", s.accepted.Load(), s.rejected.Load())
+	}
+}
+
+// TestReadsNeverBlockOnQueues pins the plane separation: with the write
+// plane parked (unstarted drainers, queued events), every read endpoint
+// still answers.
+func TestReadsNeverBlockOnQueues(t *testing.T) {
+	s, err := New(Config{Peers: 8, Shards: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/events", `{"events":[{"type":"trust","from":0,"to":1,"w":5}]}`)
+	resp.Body.Close()
+	for _, path := range []string{
+		"/v1/reputation/1", "/v1/top?k=2", "/v1/alloc?source=0&d=1,2",
+		"/v1/trust?from=0&to=1", "/v1/peers/0/edges", "/v1/stats", "/healthz",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d with write plane parked", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatsSurface checks the counters a dashboard would scrape.
+func TestStatsSurface(t *testing.T) {
+	_, ts := newTestServer(t, Config{Peers: 8})
+	resp := postJSON(t, ts.URL+"/v1/events", `{"events":[{"type":"trust","from":0,"to":1,"w":5}]}`)
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/flush", "")
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/refresh", "")
+	resp.Body.Close()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[statsResponse](t, resp)
+	if !st.Started || st.Accepted != 1 || st.Applied != 1 || st.Refreshes != 1 || st.TrustEpoch == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestMethodAndRouteErrors pins the routing contract.
+func TestMethodAndRouteErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Peers: 8})
+	resp, err := http.Get(ts.URL + "/v1/events") // wrong method
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/events: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/reputation/notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad peer id: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/top?k=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad k: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/alloc?source=0&d=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty downloaders: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConfigDefaults pins withDefaults.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Peers: 4}.withDefaults()
+	if c.Shards != DefaultShards || c.QueueDepth != DefaultQueueDepth ||
+		c.MaxBatch != DefaultMaxBatch || c.Refresh != DefaultRefresh {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	c = Config{Peers: 4, Shards: 2, QueueDepth: 9, MaxBatch: 11, Refresh: 42}.withDefaults()
+	if c.Shards != 2 || c.QueueDepth != 9 || c.MaxBatch != 11 || c.Refresh != 42 {
+		t.Fatalf("explicit config clobbered: %+v", c)
+	}
+}
+
+// TestEventValidate covers the admission predicate directly.
+func TestEventValidate(t *testing.T) {
+	ok := []Event{
+		{Type: EventTrust, From: 0, To: 1, W: 1},
+		{Type: EventTrust, From: 0, To: 1, W: 0, Set: true}, // deletion
+		{Type: EventContrib, From: 1, To: 0, W: 0.5},
+	}
+	for _, e := range ok {
+		if err := e.validate(4); err != nil {
+			t.Errorf("%+v should validate: %v", e, err)
+		}
+	}
+	bad := []Event{
+		{Type: "x", From: 0, To: 1, W: 1},
+		{Type: EventTrust, From: 0, To: 4, W: 1},
+		{Type: EventTrust, From: 1, To: 1, W: 1},
+		{Type: EventTrust, From: 0, To: 1, W: 0},
+		{Type: EventTrust, From: 0, To: 1, W: -1, Set: true},
+		{Type: EventContrib, From: 0, To: 1, W: 0},
+	}
+	for _, e := range bad {
+		if err := e.validate(4); err == nil {
+			t.Errorf("%+v should be rejected", e)
+		}
+	}
+}
+
+// TestWriterBarrierOrdering hammers one shard with interleaved batches and
+// checks FIFO application via the accumulated edge value.
+func TestWriterBarrierOrdering(t *testing.T) {
+	s, err := New(Config{Peers: 4, Shards: 1, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	total := 0.0
+	for i := 1; i <= 50; i++ {
+		if !s.wr.tryEnqueue(0, []Event{{Type: EventTrust, From: 0, To: 1, W: float64(i)}}) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+		total += float64(i)
+	}
+	// Overwrite last: after barrier the value must be exactly the final Set.
+	if !s.wr.tryEnqueue(0, []Event{{Type: EventTrust, From: 0, To: 1, W: 7, Set: true}}) {
+		t.Fatal("final set refused")
+	}
+	s.wr.barrier()
+	s.cg.Flush()
+	if got := s.cg.Trust(0, 1); got != 7 {
+		t.Fatalf("trust(0,1) = %v, want the last Set to win (7); accumulated total was %v", got, total)
+	}
+	if s.wr.applied.Load() != 51 {
+		t.Fatalf("applied %d, want 51", s.wr.applied.Load())
+	}
+}
+
+func ExampleEvent() {
+	e := Event{Type: EventContrib, From: 2, To: 9, W: 1.5}
+	b, _ := json.Marshal(e)
+	fmt.Println(string(b))
+	// Output: {"type":"contrib","from":2,"to":9,"w":1.5}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"collabnet/internal/reputation"
+)
+
+// batch is one writer work item: a run of pre-validated events that share
+// an ingest shard, or a barrier sentinel (nil events, non-nil barrier).
+type batch struct {
+	events  []Event
+	barrier chan<- struct{}
+}
+
+// writer is the batched async write plane: per-shard bounded queues in
+// front of the concurrent store's enqueue path. HTTP handlers admit whole
+// per-shard event groups with tryEnqueue (non-blocking — a full queue is a
+// 429, the backpressure signal); one drainer goroutine per shard applies
+// events in queue order. Because events shard by source peer and each
+// shard's queue is FIFO, per-source statement order is preserved into the
+// store, which is all the store's serial-reference guarantee needs.
+type writer struct {
+	store  reputation.Graph
+	shards []chan batch
+	wg     sync.WaitGroup
+
+	applied atomic.Uint64 // events written through to the store
+}
+
+// newWriter builds the write plane with the given shard count and
+// per-shard queue depth (in batches). Drainers start with start().
+func newWriter(store reputation.Graph, shards, depth int) *writer {
+	w := &writer{store: store, shards: make([]chan batch, shards)}
+	for i := range w.shards {
+		w.shards[i] = make(chan batch, depth)
+	}
+	return w
+}
+
+// start launches one drainer per shard.
+func (w *writer) start() {
+	w.wg.Add(len(w.shards))
+	for i := range w.shards {
+		go w.drain(w.shards[i])
+	}
+}
+
+// shardFor maps a statement's source peer to its queue. The store applies
+// the same source-keyed sharding internally, so the two layers compose
+// without reordering any source's statements.
+func (w *writer) shardFor(source int) int { return source % len(w.shards) }
+
+// tryEnqueue admits one per-shard event group without blocking; false
+// means the queue is full and the caller must refuse the group (429).
+func (w *writer) tryEnqueue(shard int, events []Event) bool {
+	select {
+	case w.shards[shard] <- batch{events: events}:
+		return true
+	default:
+		return false
+	}
+}
+
+// barrier blocks until every event enqueued before the call has been
+// applied to the store: one sentinel per shard, then one wait per shard.
+// Must not be called before start or after stop (it would block forever on
+// an undrained queue).
+func (w *writer) barrier() {
+	done := make(chan struct{}, len(w.shards))
+	for i := range w.shards {
+		w.shards[i] <- batch{barrier: done}
+	}
+	for range w.shards {
+		<-done
+	}
+}
+
+// stop drains every queue and joins the drainers. The writer cannot be
+// restarted; admission must have ceased before the call (handlers that
+// enqueue after stop panic on the closed channel).
+func (w *writer) stop() {
+	w.barrier()
+	for i := range w.shards {
+		close(w.shards[i])
+	}
+	w.wg.Wait()
+}
+
+// queued returns the total batches currently waiting across all shards
+// (an instantaneous backpressure gauge for /v1/stats).
+func (w *writer) queued() int {
+	total := 0
+	for i := range w.shards {
+		total += len(w.shards[i])
+	}
+	return total
+}
+
+// drain applies batches in queue order. Events arrive pre-validated, so
+// store errors are impossible by construction; the store's own validation
+// stays as the backstop (an error would mean an admission bug, and the
+// event is dropped rather than wedging the drainer).
+func (w *writer) drain(ch chan batch) {
+	defer w.wg.Done()
+	for b := range ch {
+		for _, e := range b.events {
+			if e.Type == EventTrust && e.Set {
+				_ = w.store.SetTrust(e.From, e.To, e.W)
+			} else {
+				_ = w.store.AddTrust(e.From, e.To, e.W)
+			}
+		}
+		w.applied.Add(uint64(len(b.events)))
+		if b.barrier != nil {
+			b.barrier <- struct{}{}
+		}
+	}
+}

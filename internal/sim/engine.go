@@ -81,8 +81,12 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	scheme, err := incentive.NewWithOptions(cfg.Scheme, cfg.Peers, cfg.Params, cfg.WeightedVoting,
-		incentive.Options{PreTrusted: cfg.PreTrusted})
+	scheme, err := incentive.NewScheme(cfg.Peers, incentive.Options{
+		Kind:           cfg.Scheme,
+		Params:         &cfg.Params,
+		WeightedVoting: cfg.WeightedVoting,
+		PreTrusted:     cfg.PreTrusted,
+	})
 	if err != nil {
 		return nil, err
 	}

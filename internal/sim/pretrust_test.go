@@ -3,7 +3,6 @@ package sim
 import (
 	"testing"
 
-	"collabnet/internal/core"
 	"collabnet/internal/incentive"
 )
 
@@ -71,8 +70,8 @@ func TestPreTrustDampsCollusion(t *testing.T) {
 	inClique := func(p int) bool { return p >= 16 }
 
 	build := func(pre []int) *incentive.GlobalTrust {
-		s, err := incentive.NewWithOptions(incentive.KindEigenTrust, n, core.Default(), true,
-			incentive.Options{PreTrusted: pre})
+		s, err := incentive.NewScheme(n, incentive.Options{
+			Kind: incentive.KindEigenTrust, WeightedVoting: true, PreTrusted: pre})
 		if err != nil {
 			t.Fatal(err)
 		}
