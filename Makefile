@@ -13,7 +13,7 @@
 # (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 8
+BENCH_N ?= 9
 
 .PHONY: build test vet fmt-check check bench bench-diff bench-guard \
 	cover fuzz-smoke race-stress figure-smoke scenario-smoke \
@@ -71,8 +71,10 @@ bench-diff:
 # bench-diff gate unrecorded. From slot 8 on it also requires the
 # serve-level records (ServeLoadgen*) that `make serve-bench` merges in, so
 # the serving path's latency/throughput trajectory cannot silently drop out
-# of the file. CI additionally checks that a BENCH_*.json file actually
-# changed in the PR's diff (the Makefile cannot know the merge base).
+# of the file; from slot 9 on it requires the incremental-refresh records
+# (TrustRefreshIncremental*) that pin the warm-vs-cold solve trajectory.
+# CI additionally checks that a BENCH_*.json file actually changed in the
+# PR's diff (the Makefile cannot know the merge base).
 bench-guard:
 	@if [ ! -f BENCH_$(BENCH_N).json ]; then \
 		echo "bench-guard: BENCH_$(BENCH_N).json missing —" \
@@ -82,6 +84,11 @@ bench-guard:
 	if [ "$(BENCH_N)" -ge 8 ] && ! grep -q ServeLoadgen BENCH_$(BENCH_N).json; then \
 		echo "bench-guard: BENCH_$(BENCH_N).json has no ServeLoadgen records —" \
 			"run 'make serve-bench BENCH_N=$(BENCH_N)' after 'make bench'"; \
+		exit 1; \
+	fi; \
+	if [ "$(BENCH_N)" -ge 9 ] && ! grep -q TrustRefreshIncremental BENCH_$(BENCH_N).json; then \
+		echo "bench-guard: BENCH_$(BENCH_N).json has no TrustRefreshIncremental records —" \
+			"run 'make bench BENCH_N=$(BENCH_N)' with the incremental-refresh benchmark present"; \
 		exit 1; \
 	fi; \
 	echo "bench-guard: BENCH_$(BENCH_N).json present"

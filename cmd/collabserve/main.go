@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"collabnet/internal/incentive"
 	"collabnet/internal/serve"
 )
 
@@ -44,6 +46,7 @@ func main() {
 		watermark = flag.Int("watermark", 0, "store publish watermark in pending statements (0 = store default)")
 		snapshot  = flag.String("snapshot", "", "snapshot path for warm restart (loaded if present, written on shutdown)")
 		pretrust  = flag.String("pretrusted", "", "comma-separated pre-trusted peer ids")
+		logSolves = flag.Bool("logsolves", false, "log every EigenTrust solve (iterations, warm/cold, dirty rows, wall time)")
 	)
 	flag.Parse()
 
@@ -52,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "collabserve:", err)
 		os.Exit(2)
 	}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Peers:        *peers,
 		Shards:       *shards,
 		QueueDepth:   *queue,
@@ -62,7 +65,25 @@ func main() {
 		Floor:        *floor,
 		Watermark:    *watermark,
 		SnapshotPath: *snapshot,
-	})
+	}
+	if *logSolves {
+		cfg.SolveLog = func(info incentive.SolveInfo) {
+			mode := "cold"
+			if info.Stats.Warm {
+				mode = "warm"
+			}
+			refresh := "rebuild"
+			if info.Stats.Refresh.DirtyOnly {
+				refresh = "dirty-rows"
+			} else if info.Stats.Refresh.PatternStable {
+				refresh = "value-copy"
+			}
+			log.Printf("solve: %s iters=%d converged=%v refresh=%s rows=%d wall=%s",
+				mode, info.Stats.Iterations, info.Stats.Converged,
+				refresh, info.Stats.Refresh.RowsTouched, info.Duration)
+		}
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "collabserve:", err)
 		os.Exit(1)

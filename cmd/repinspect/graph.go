@@ -67,24 +67,32 @@ func graphStats(peers, cliqueSize, steps, rejoinEvery int, boost float64) error 
 		}
 		return cl / tot
 	}
-	uniform, err := reputation.EigenTrust(g, reputation.DefaultEigenTrust())
+	// Fresh workspaces keep each solve cold (the bit-exact reference path)
+	// and expose the solver stats EigenTrust's plain-function form hides.
+	uniWS := reputation.NewEigenTrustWorkspace()
+	uniform, err := uniWS.Compute(g, reputation.DefaultEigenTrust())
 	if err != nil {
 		return err
 	}
+	uniStats := uniWS.LastStats()
 	preCfg := reputation.DefaultEigenTrust()
 	preCfg.PreTrusted = []int{0, 1, 2}
-	pre, err := reputation.EigenTrust(g, preCfg)
+	preWS := reputation.NewEigenTrustWorkspace()
+	pre, err := preWS.Compute(g, preCfg)
 	if err != nil {
 		return err
 	}
+	preStats := preWS.LastStats()
 	flow, err := reputation.MaxFlowTrust(g, 0)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("clique trust share by metric (population share %.3f):\n",
 		float64(cliqueSize)/float64(peers))
-	fmt.Printf("  eigentrust (uniform teleport):     %.3f\n", share(uniform))
-	fmt.Printf("  eigentrust (pre-trusted {0,1,2}):  %.3f\n", share(pre))
+	fmt.Printf("  eigentrust (uniform teleport):     %.3f  (%d iterations, converged=%v)\n",
+		share(uniform), uniStats.Iterations, uniStats.Converged)
+	fmt.Printf("  eigentrust (pre-trusted {0,1,2}):  %.3f  (%d iterations, converged=%v)\n",
+		share(pre), preStats.Iterations, preStats.Converged)
 	fmt.Printf("  maxflow (evaluator 0):             %.3f\n", share(flow))
 
 	g.Compact()

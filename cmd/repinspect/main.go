@@ -34,15 +34,24 @@ func main() {
 		steps     = flag.Int("steps", 200, "time steps to simulate")
 		beta      = flag.Float64("beta", 0, "override logistic beta (0 keeps the default)")
 		graph     = flag.Bool("graph", false, "inspect the trust graph under a collusion+churn workload instead")
-		peers     = flag.Int("peers", 40, "graph mode: total peers")
-		cliqueN   = flag.Int("clique", 4, "graph mode: colluding clique size")
-		boost     = flag.Float64("boost", 0.5, "graph mode: fabricated per-step in-clique trust weight")
-		rejoin    = flag.Int("rejoin", 100, "graph mode: whitewash cadence in steps (0 = no churn)")
+		gossip    = flag.Bool("gossip", false, "measure gossip dissemination accuracy vs rounds against the exact solver")
+		peers     = flag.Int("peers", 40, "graph/gossip mode: total peers")
+		cliqueN   = flag.Int("clique", 4, "graph/gossip mode: colluding clique size")
+		boost     = flag.Float64("boost", 0.5, "graph/gossip mode: fabricated per-step in-clique trust weight")
+		rejoin    = flag.Int("rejoin", 100, "graph/gossip mode: whitewash cadence in steps (0 = no churn)")
+		fanout    = flag.Int("fanout", 2, "gossip mode: push fanout per informed peer per round")
 	)
 	flag.Parse()
 
 	if *graph {
 		if err := graphStats(*peers, *cliqueN, *steps, *rejoin, *boost); err != nil {
+			fmt.Fprintln(os.Stderr, "repinspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *gossip {
+		if err := gossipStats(*peers, *cliqueN, *steps, *rejoin, *boost, *fanout); err != nil {
 			fmt.Fprintln(os.Stderr, "repinspect:", err)
 			os.Exit(1)
 		}

@@ -2,6 +2,7 @@ package incentive
 
 import (
 	"fmt"
+	"time"
 
 	"collabnet/internal/core"
 	"collabnet/internal/reputation"
@@ -83,6 +84,38 @@ type GlobalTrust struct {
 	// at (0 in serial mode) — the staleness watermark RefreshIfStale
 	// compares the published epoch against.
 	lastSolveSeq uint64
+
+	// solved records that at least one eigenvector solve (or state load)
+	// produced the current vector — the guard that lets recompute skip
+	// entirely when nothing changed. The skip decision depends only on
+	// snapshot-restored state (solved, dirty, store staleness), never on
+	// buffer identity, so an engine and its restored twin always make the
+	// same decision.
+	solved bool
+
+	lastSolve     SolveInfo
+	warmSolves    uint64
+	coldSolves    uint64
+	skippedSolves uint64
+}
+
+// SolveInfo describes what the most recent recompute did: the workspace's
+// solve statistics plus the refresh wall time, or a skip record when the
+// store had not changed since the last solve (zero iterations, zero work).
+type SolveInfo struct {
+	Stats    reputation.SolveStats
+	Skipped  bool
+	Duration time.Duration
+}
+
+// LastSolve returns what the most recent recompute did. Zero-valued before
+// the first solve (which construction always runs).
+func (g *GlobalTrust) LastSolve() SolveInfo { return g.lastSolve }
+
+// SolveCounts returns the cumulative number of warm, cold, and skipped
+// recomputes — the serving plane's observability counters.
+func (g *GlobalTrust) SolveCounts() (warm, cold, skipped uint64) {
+	return g.warmSolves, g.coldSolves, g.skippedSolves
 }
 
 // NewGlobalTrust builds the scheme for n peers.
@@ -145,6 +178,16 @@ func (g *GlobalTrust) ConcurrentStore() *reputation.ConcurrentGraph { return g.c
 // refresh compacts the edge log first, so the scheme's refresh cadence is
 // also the log's compaction cadence.
 func (g *GlobalTrust) recompute() error {
+	if g.solved && !g.Stale() {
+		// Nothing landed since the last solve: the vector is already the
+		// fixed point of the current store. Zero iterations, zero refresh
+		// work — the cheapest possible refresh.
+		g.skippedSolves++
+		g.lastSolve = SolveInfo{Skipped: true}
+		g.sinceRefresh = 0
+		return nil
+	}
+	start := time.Now()
 	var tv []float64
 	var err error
 	var seq uint64
@@ -177,6 +220,14 @@ func (g *GlobalTrust) recompute() error {
 		// watermark-triggered publish may already have advanced past it.
 		g.cg.PublishTrustAt(seq, g.trust)
 	}
+	stats := g.ws.LastStats()
+	if stats.Warm {
+		g.warmSolves++
+	} else {
+		g.coldSolves++
+	}
+	g.lastSolve = SolveInfo{Stats: stats, Duration: time.Since(start)}
+	g.solved = true
 	g.dirty = false
 	g.sinceRefresh = 0
 	return nil
@@ -250,9 +301,14 @@ func (g *GlobalTrust) EndStep() {
 }
 
 // Reset implements Scheme: all accumulated trust is forgotten and the
-// vector returns to the pre-trust distribution.
+// vector returns to the pre-trust distribution. The warm-start state is
+// forgotten with it — the post-Reset solve runs cold, so a reset scheme is
+// bit-equivalent to a freshly constructed one regardless of how many solves
+// preceded the reset.
 func (g *GlobalTrust) Reset() {
 	g.store.Clear()
+	g.ws.ResetWarm()
+	g.dirty = true // Clear bypasses the statement path; never skip this solve
 	if err := g.recompute(); err != nil {
 		panic(err)
 	}
@@ -271,6 +327,10 @@ func (g *GlobalTrust) ResetPeer(peer int) {
 	if err := g.store.ClearPeer(peer); err != nil {
 		return
 	}
+	// Mark dirty unconditionally — whether ClearPeer actually removed edges
+	// is store state, not call-sequence state, and the recompute skip must
+	// make the same decision in an engine and its restored twin.
+	g.dirty = true
 	if err := g.recompute(); err != nil {
 		panic(err)
 	}

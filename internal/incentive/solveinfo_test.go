@@ -1,0 +1,92 @@
+package incentive
+
+import (
+	"testing"
+)
+
+// TestGlobalTrustZeroDeltaSkip pins ISSUE 9's cheapest refresh: when no
+// trust statement landed since the last solve, a forced refresh runs zero
+// iterations — it skips the solve outright — and says so in its stats.
+func TestGlobalTrustZeroDeltaSkip(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		cfg := DefaultGlobalTrustConfig()
+		cfg.Concurrent = concurrent
+		g, err := NewGlobalTrust(10, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.RecordTransfer(1, 2, 3)
+		g.Refresh()
+		first := g.LastSolve()
+		if first.Skipped || first.Stats.Iterations == 0 {
+			t.Fatalf("concurrent=%v: dirty refresh should solve, got %+v", concurrent, first)
+		}
+		before := g.Trust(2)
+
+		g.Refresh() // nothing changed: must be free
+		info := g.LastSolve()
+		if !info.Skipped {
+			t.Fatalf("concurrent=%v: zero-delta refresh was not skipped: %+v", concurrent, info)
+		}
+		if info.Stats.Iterations != 0 || info.Duration != 0 {
+			t.Fatalf("concurrent=%v: skipped refresh did work: %+v", concurrent, info)
+		}
+		if g.Trust(2) != before {
+			t.Fatalf("concurrent=%v: skipped refresh changed the vector", concurrent)
+		}
+		_, _, skipped := g.SolveCounts()
+		if skipped == 0 {
+			t.Fatalf("concurrent=%v: skip counter did not advance", concurrent)
+		}
+
+		g.RecordTransfer(3, 4, 1)
+		g.Refresh() // dirty again: must solve, warm
+		info = g.LastSolve()
+		if info.Skipped || !info.Stats.Warm {
+			t.Fatalf("concurrent=%v: post-churn refresh should warm-solve, got %+v", concurrent, info)
+		}
+	}
+}
+
+// TestGlobalTrustSkipDecisionSurvivesRestore pins that an engine and its
+// snapshot-restored twin make identical skip decisions: the skip is keyed
+// on restored state, never on buffer identity.
+func TestGlobalTrustSkipDecisionSurvivesRestore(t *testing.T) {
+	cfg := DefaultGlobalTrustConfig()
+	orig, err := NewGlobalTrust(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.RecordTransfer(0, 1, 2)
+	orig.Refresh()
+
+	var st State
+	orig.SaveState(&st)
+	twin, err := NewGlobalTrust(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.LoadState(&st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical call sequence on both: a no-op refresh, then churn+refresh.
+	orig.Refresh()
+	twin.Refresh()
+	if orig.LastSolve().Skipped != twin.LastSolve().Skipped {
+		t.Fatalf("skip decisions diverged: orig=%+v twin=%+v", orig.LastSolve(), twin.LastSolve())
+	}
+	orig.RecordTransfer(2, 3, 1)
+	twin.RecordTransfer(2, 3, 1)
+	orig.Refresh()
+	twin.Refresh()
+	if orig.LastSolve().Skipped != twin.LastSolve().Skipped ||
+		orig.LastSolve().Stats.Iterations != twin.LastSolve().Stats.Iterations {
+		t.Fatalf("post-churn solves diverged: orig=%+v twin=%+v", orig.LastSolve(), twin.LastSolve())
+	}
+	for i := 0; i < 8; i++ {
+		if orig.Trust(i) != twin.Trust(i) {
+			t.Fatalf("trust[%d] diverged after restore: %v vs %v", i, orig.Trust(i), twin.Trust(i))
+		}
+	}
+}

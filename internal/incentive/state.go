@@ -270,6 +270,14 @@ func (g *GlobalTrust) LoadState(src *State) error {
 	copy(g.score, gs.Score)
 	g.dirty = gs.Dirty
 	g.sinceRefresh = gs.SinceRefresh
+	// The workspace's warm-start state after any solve is bitwise the trust
+	// vector that solve produced, so seeding it from the restored vector
+	// makes the restored scheme's next warm solve run bit-identically to
+	// the original's — snapshot round-trips stay deterministic under the
+	// warm-started default. The restored vector also counts as a solve for
+	// the recompute skip, exactly as it did in the engine that saved it.
+	g.ws.SeedWarm(g.trust)
+	g.solved = true
 	if g.cg != nil {
 		// LoadEdges just published the restored graph as a fresh epoch;
 		// republish the restored vector stamped with it so lock-free

@@ -49,9 +49,28 @@ type CSR struct {
 	// Edge-log fast-path key: when the CSR was last built from logSrc at
 	// pattern generation logPatGen, a Refresh against the same compacted
 	// graph is a pure value copy — no per-row pattern probing at all.
-	logSrc    *LogGraph
-	logPatGen uint64
+	// logDirtyGen additionally records the log's dirty-row consumption
+	// generation at the last refresh: when it still matches, this CSR saw
+	// every earlier delta and only the currently-dirty rows need work; a
+	// mismatch means another consumer drained the set in between, so the
+	// refresh falls back to the full value copy.
+	logSrc      *LogGraph
+	logPatGen   uint64
+	logDirtyGen uint64
+
+	lastRefresh RefreshStats
 }
+
+// RefreshStats describes what the most recent Rebuild/Refresh call did —
+// the observability hook the solver threads up to /v1/stats.
+type RefreshStats struct {
+	PatternStable bool // value-only path: no structural rebuild was needed
+	DirtyOnly     bool // only the dirty rows were copied and renormalized
+	RowsTouched   int  // rows renormalized (n on the full paths)
+}
+
+// LastRefresh returns what the most recent Rebuild/Refresh call did.
+func (c *CSR) LastRefresh() RefreshStats { return c.lastRefresh }
 
 // NewCSR builds the CSR form of g's normalized local-trust matrix.
 func NewCSR(g Graph) *CSR {
@@ -254,6 +273,9 @@ func (c *CSR) rebuildFromLog(g *LogGraph) {
 	c.normalizeFromRaw()
 	c.logSrc = g
 	c.logPatGen = g.patGen
+	g.consumeDirty()
+	c.logDirtyGen = g.dirtyGen
+	c.lastRefresh = RefreshStats{RowsTouched: n}
 }
 
 // rebuildGeneric builds both layouts from any Graph implementation through
@@ -330,16 +352,24 @@ func (c *CSR) rebuildGeneric(g Graph) {
 // layouts.
 func (c *CSR) normalizeFromRaw() {
 	for i := 0; i < c.n; i++ {
-		lo, hi := c.rowPtr[i], c.rowPtr[i+1]
-		sum := 0.0
-		for k := lo; k < hi; k++ {
-			sum += c.val[k]
-		}
-		for k := lo; k < hi; k++ {
-			v := c.val[k] / sum
-			c.val[k] = v
-			c.tVal[c.tPos[k]] = v
-		}
+		c.normalizeRow(i)
+	}
+}
+
+// normalizeRow renormalizes one forward row (currently holding raw weights)
+// in place and mirrors it into the transpose. Row-local: the arithmetic is
+// exactly one iteration of normalizeFromRaw, so renormalizing any subset of
+// rows whose raw values changed leaves the CSR bit-identical to a full pass.
+func (c *CSR) normalizeRow(i int) {
+	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+	sum := 0.0
+	for k := lo; k < hi; k++ {
+		sum += c.val[k]
+	}
+	for k := lo; k < hi; k++ {
+		v := c.val[k] / sum
+		c.val[k] = v
+		c.tVal[c.tPos[k]] = v
 	}
 }
 
@@ -352,24 +382,47 @@ func (c *CSR) normalizeFromRaw() {
 //
 // For an edge-log graph the stability check is O(1): the graph is
 // compacted and its pattern generation compared with the one recorded at
-// the last build, so a stable refresh is one value copy plus the
-// normalization pass — no per-row probing. The map-backed graph keeps its
-// original per-row pattern probe, and other implementations always rebuild.
+// the last build. On the stable path the refresh is incremental when this
+// CSR consumed every earlier delta (dirty-generation match): only the rows
+// the log's tail touched since the last refresh are copied and
+// renormalized — O(dirty rows), not O(n). If another consumer drained the
+// dirty set in between, the refresh falls back to the full value copy,
+// which is always correct. The map-backed graph keeps its original per-row
+// pattern probe, and other implementations always rebuild.
 func (c *CSR) Refresh(g Graph) bool {
 	switch t := g.(type) {
 	case *TrustGraph:
-		return c.refreshFromMap(t)
+		ok := c.refreshFromMap(t)
+		c.lastRefresh = RefreshStats{PatternStable: ok, RowsTouched: c.n}
+		return ok
 	case *LogGraph:
 		t.Compact()
 		if c.logSrc == t && c.logPatGen == t.patGen && c.n == t.n {
-			copy(c.val, t.val)
-			c.normalizeFromRaw()
+			if c.logDirtyGen == t.dirtyGen {
+				// Rows outside the pending dirty set already hold the
+				// normalized form of their current weights; refresh only
+				// what changed. Per-row normalization is row-local, so the
+				// result is bit-identical to the full pass below.
+				for _, r := range t.dirtyRows {
+					lo, hi := c.rowPtr[r], c.rowPtr[r+1]
+					copy(c.val[lo:hi], t.val[lo:hi])
+					c.normalizeRow(int(r))
+				}
+				c.lastRefresh = RefreshStats{PatternStable: true, DirtyOnly: true, RowsTouched: len(t.dirtyRows)}
+			} else {
+				copy(c.val, t.val)
+				c.normalizeFromRaw()
+				c.lastRefresh = RefreshStats{PatternStable: true, RowsTouched: c.n}
+			}
+			t.consumeDirty()
+			c.logDirtyGen = t.dirtyGen
 			return true
 		}
 		c.rebuildFromLog(t)
 		return false
 	default:
 		c.rebuildGeneric(g)
+		c.lastRefresh = RefreshStats{RowsTouched: c.n}
 		return false
 	}
 }

@@ -130,9 +130,12 @@ func TestEigenTrustSerialMatchesParallelDeepEqual(t *testing.T) {
 // TestEigenTrustWorkspaceReuseMatchesFresh drives one workspace through a
 // sequence of graphs (growing the pattern, changing values in place,
 // shrinking n) and checks every result against a throwaway computation.
+// ColdStart pins the bit-exact reference path; the warm-started default is
+// covered by the tolerance-bounded suite in incremental_test.go.
 func TestEigenTrustWorkspaceReuseMatchesFresh(t *testing.T) {
 	ws := NewEigenTrustWorkspace()
 	cfg := DefaultEigenTrust()
+	cfg.ColdStart = true
 	rng := xrand.New(42)
 	for step := 0; step < 30; step++ {
 		n := 2 + rng.Intn(40)
@@ -164,10 +167,12 @@ func TestEigenTrustWorkspaceReuseMatchesFresh(t *testing.T) {
 }
 
 // TestEigenTrustParallelWorkspaceReuse runs the parallel path repeatedly on
-// one workspace and checks bit-equality with the dense reference each time.
+// one workspace and checks bit-equality with the dense reference each time
+// (ColdStart: the dense reference always starts from pre-trust).
 func TestEigenTrustParallelWorkspaceReuse(t *testing.T) {
 	ws := NewEigenTrustWorkspace()
 	cfg := DefaultEigenTrust()
+	cfg.ColdStart = true
 	for step := 0; step < 10; step++ {
 		g := randomGraph(t, 60, 0.1, uint64(step)+900)
 		got, err := ws.ComputeParallel(g, cfg, 1+step%5)

@@ -22,6 +22,15 @@ type EigenTrustConfig struct {
 	Epsilon float64
 	// MaxIter bounds the number of power iterations.
 	MaxIter int
+	// ColdStart forces every solve to start from the pre-trust distribution
+	// instead of the workspace's previous eigenvector. The cold path is the
+	// bit-exact reference (EigenTrust, EigenTrustDense, and the dense
+	// differential suite all compute it). Warm starts converge to the same
+	// fixed point — the iteration map is an L1 contraction with factor
+	// 1−Damping, so any two results stopped at Epsilon differ by at most
+	// 2·Epsilon/Damping in L1 — but reach it in far fewer iterations when
+	// the graph changed little since the last solve.
+	ColdStart bool
 }
 
 // DefaultEigenTrust returns the configuration used by the reproduction:

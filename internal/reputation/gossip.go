@@ -36,6 +36,22 @@ type GossipResult struct {
 // from a run truncated at MaxRound; Informed alone cannot (a truncated run
 // can look complete only by also reporting Informed == n).
 func Spread(n, origin int, cfg GossipConfig, rng *xrand.Source) (GossipResult, error) {
+	return spread(n, origin, cfg, rng, nil)
+}
+
+// SpreadTrace is Spread with the per-round dissemination curve appended to
+// trace: one entry per executed round holding the informed-peer count after
+// that round. It consumes the RNG identically to Spread, so the two agree
+// round for round — the accuracy-vs-rounds instrumentation repinspect
+// -gossip plots against the exact solver.
+func SpreadTrace(n, origin int, cfg GossipConfig, rng *xrand.Source, trace []int) (GossipResult, []int, error) {
+	res, err := spread(n, origin, cfg, rng, func(informed int) {
+		trace = append(trace, informed)
+	})
+	return res, trace, err
+}
+
+func spread(n, origin int, cfg GossipConfig, rng *xrand.Source, onRound func(informed int)) (GossipResult, error) {
 	if n <= 0 {
 		return GossipResult{}, fmt.Errorf("reputation: gossip needs n > 0, got %d", n)
 	}
@@ -85,6 +101,9 @@ func Spread(n, origin int, cfg GossipConfig, rng *xrand.Source) (GossipResult, e
 					count++
 				}
 			}
+		}
+		if onRound != nil {
+			onRound(count)
 		}
 	}
 	res.Informed = count

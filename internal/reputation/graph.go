@@ -24,6 +24,22 @@
 // returned slice is owned by the workspace and valid until the next call.
 // In steady state, Compute performs zero allocations.
 //
+// # Incremental recomputation
+//
+// Refresh cost is proportional to churn, not n, at two layers. First,
+// LogGraph remembers which source rows its uncompacted tail touched; on
+// the pattern-stable path CSR.Refresh copies and re-normalizes only those
+// rows. Row normalization is row-local, so the dirty-row refresh is
+// bit-identical to the full value copy; a generation counter detects a
+// second CSR consuming the same log and drops lagging consumers to the
+// full copy (still exact). Second, the workspace warm-starts each solve
+// from its previous eigenvector. The power-iteration map contracts in L1
+// with factor 1−Damping, so any two results stopped at Epsilon agree
+// within 2·Epsilon/Damping in L1 regardless of starting point — the bound
+// the warm-vs-cold differential tests pin. EigenTrustConfig.ColdStart
+// restores the classic pre-trust start bit-for-bit, and LastStats reports
+// what each solve did (iterations, converged, warm, refresh path).
+//
 // # Graph storage
 //
 // Two implementations of the Graph interface hold the local-trust

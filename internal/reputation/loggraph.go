@@ -80,6 +80,16 @@ type LogGraph struct {
 	watermark int    // fixed compaction threshold; 0 = automatic
 	patGen    uint64 // bumped whenever the sparsity pattern changes
 
+	// Dirty-row tracking for the CSR's incremental value refresh: every
+	// appended statement marks its source row dirty, and the set survives
+	// compactions until a consumer (CSR.Refresh or a rebuild) folds it in
+	// and calls consumeDirty. dirtyGen is bumped at each consumption so a
+	// second consumer that missed a span detects the gap and falls back to
+	// a full value copy instead of trusting a partial delta.
+	dirtyMark []bool
+	dirtyRows []int32
+	dirtyGen  uint64
+
 	// Churn accounting, read by inspection tooling: how many times a peer
 	// row was cleared for identity reuse and how many compactions ran.
 	rowClears   uint64
@@ -123,10 +133,11 @@ func NewLogGraph(n int) (*LogGraph, error) {
 		return nil, fmt.Errorf("reputation: LogGraph supports at most 2^31-1 peers, got %d", n)
 	}
 	return &LogGraph{
-		n:       n,
-		rowPtr:  make([]int, n+1),
-		tailCnt: make([]int32, n),
-		slot:    make([]int32, n),
+		n:         n,
+		rowPtr:    make([]int, n+1),
+		tailCnt:   make([]int32, n),
+		slot:      make([]int32, n),
+		dirtyMark: make([]bool, n),
 	}, nil
 }
 
@@ -210,9 +221,32 @@ func (g *LogGraph) AddTrust(from, to int, w float64) error {
 func (g *LogGraph) append(op logOp) {
 	g.tail = append(g.tail, op)
 	g.tailCnt[op.from]++
+	if !g.dirtyMark[op.from] {
+		g.dirtyMark[op.from] = true
+		g.dirtyRows = append(g.dirtyRows, op.from)
+	}
 	if len(g.tail) >= g.threshold() {
 		g.Compact()
 	}
+}
+
+// DirtyRowCount returns how many source rows have been touched since the
+// last refresh consumed the dirty set.
+func (g *LogGraph) DirtyRowCount() int { return len(g.dirtyRows) }
+
+// consumeDirty resets the dirty-row set and bumps the consumption
+// generation. Called by a refresh that has folded in (or fully refreshed
+// past) every pending dirty row; the generation bump tells any other
+// consumer that it missed a span and must fall back to a full value copy.
+func (g *LogGraph) consumeDirty() {
+	if len(g.dirtyRows) == 0 {
+		return // nothing pending: no consumer's view is invalidated
+	}
+	for _, r := range g.dirtyRows {
+		g.dirtyMark[r] = false
+	}
+	g.dirtyRows = g.dirtyRows[:0]
+	g.dirtyGen++
 }
 
 // compactedTrust returns the compacted weight of (from, to) by binary
@@ -374,6 +408,9 @@ func (g *LogGraph) Clear() {
 	g.val = g.val[:0]
 	g.tail = g.tail[:0]
 	clear(g.tailCnt)
+	clear(g.dirtyMark)
+	g.dirtyRows = g.dirtyRows[:0]
+	g.dirtyGen++
 	g.patGen++
 }
 
@@ -430,6 +467,9 @@ func (g *LogGraph) Clone() *LogGraph {
 	cp.val = append(cp.val[:0], g.val...)
 	cp.tail = append(cp.tail[:0], g.tail...)
 	copy(cp.tailCnt, g.tailCnt)
+	copy(cp.dirtyMark, g.dirtyMark)
+	cp.dirtyRows = append(cp.dirtyRows[:0], g.dirtyRows...)
+	cp.dirtyGen = g.dirtyGen
 	cp.patGen = g.patGen
 	return cp
 }

@@ -36,6 +36,15 @@ type EigenTrustWorkspace struct {
 	p       []float64 // pre-trust distribution
 	t, next []float64 // iteration vectors (swapped each step)
 
+	// Warm-start state: the previous solve's eigenvector. The next solve
+	// starts from it (instead of the pre-trust vector) when prevN matches
+	// the graph size and the config does not force ColdStart — same
+	// Epsilon, far fewer iterations when the graph changed little.
+	prev  []float64
+	prevN int
+
+	stats SolveStats // what the most recent solve did
+
 	// Per-iteration parameters the workers read; set before each barrier.
 	workers  int
 	damping  float64
@@ -53,8 +62,37 @@ func NewEigenTrustWorkspace() *EigenTrustWorkspace {
 	return &EigenTrustWorkspace{}
 }
 
+// SolveStats describes what one Compute/ComputeParallel call did: how hard
+// the iteration worked and which refresh path fed it. It is the
+// observability surface ISSUE 9 threads up through GlobalTrust and
+// /v1/stats, and it fixes the old silent-MaxIter bug: a solve that ran out
+// of iterations without meeting Epsilon now reports Converged == false.
+type SolveStats struct {
+	Iterations int  // power iterations executed (≥ 1)
+	Converged  bool // the L1 delta dropped below Epsilon within MaxIter
+	Warm       bool // started from the previous eigenvector, not pre-trust
+	Refresh    RefreshStats
+}
+
 // CSR exposes the workspace's current matrix (for inspection and tests).
 func (ws *EigenTrustWorkspace) CSR() *CSR { return &ws.csr }
+
+// LastStats returns what the most recent Compute/ComputeParallel call did.
+// Zero-valued before the first solve.
+func (ws *EigenTrustWorkspace) LastStats() SolveStats { return ws.stats }
+
+// SeedWarm installs vec as the workspace's previous eigenvector, exactly as
+// if the workspace had just solved and produced it. Snapshot restore uses
+// this so a restored engine's next warm-started solve runs bit-identically
+// to the original's — both start from the same bits.
+func (ws *EigenTrustWorkspace) SeedWarm(vec []float64) {
+	ws.prev = growFloats(ws.prev, len(vec))
+	copy(ws.prev, vec)
+	ws.prevN = len(vec)
+}
+
+// ResetWarm discards the warm-start state; the next solve runs cold.
+func (ws *EigenTrustWorkspace) ResetWarm() { ws.prevN = 0 }
 
 // Compute runs the serial sparse power iteration on g and returns the
 // global trust vector. Steady-state calls (same graph size, stable sparsity
@@ -84,7 +122,12 @@ func (ws *EigenTrustWorkspace) run(g Graph, cfg EigenTrustConfig, workers int) (
 	ws.t = growFloats(ws.t, n)
 	ws.next = growFloats(ws.next, n)
 	cfg.fillPreTrust(ws.p)
-	copy(ws.t, ws.p)
+	warm := !cfg.ColdStart && ws.prevN == n
+	if warm {
+		copy(ws.t, ws.prev)
+	} else {
+		copy(ws.t, ws.p)
+	}
 
 	if workers > n {
 		workers = n
@@ -96,6 +139,7 @@ func (ws *EigenTrustWorkspace) run(g Graph, cfg EigenTrustConfig, workers int) (
 		defer ws.stopWorkers(workers)
 	}
 
+	iters, converged := 0, false
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		ws.src, ws.dst = ws.t, ws.next
 		ws.dmass = ws.csr.danglingMass(ws.t)
@@ -116,7 +160,9 @@ func (ws *EigenTrustWorkspace) run(g Graph, cfg EigenTrustConfig, workers int) (
 			delta += math.Abs(ws.next[j] - ws.t[j])
 		}
 		ws.t, ws.next = ws.next, ws.t
+		iters++
 		if delta < cfg.Epsilon {
+			converged = true
 			break
 		}
 	}
@@ -131,6 +177,15 @@ func (ws *EigenTrustWorkspace) run(g Graph, cfg EigenTrustConfig, workers int) (
 		for j := range ws.t {
 			ws.t[j] /= sum
 		}
+	}
+	ws.prev = growFloats(ws.prev, n)
+	copy(ws.prev, ws.t)
+	ws.prevN = n
+	ws.stats = SolveStats{
+		Iterations: iters,
+		Converged:  converged,
+		Warm:       warm,
+		Refresh:    ws.csr.LastRefresh(),
 	}
 	return ws.t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -189,8 +190,14 @@ func TestE2EReplayEquivalence(t *testing.T) {
 		}
 	}
 
-	// The final published vector must equal a serial solve bit-for-bit.
-	solver, err := reputation.NewTrustSolver(ref, incentive.DefaultGlobalTrustConfig().Trust)
+	// The served vector came out of a chain of warm-started solves; the
+	// serial reference solves once, cold. Both stop at the same Epsilon,
+	// and the iteration map contracts in L1 with factor 1−Damping, so any
+	// two stopped results differ by at most 2·Epsilon/Damping in L1 — the
+	// documented warm-start bound. (The raw edge weights above still match
+	// bit-for-bit; only the solve is path-dependent within the band.)
+	tcfg := incentive.DefaultGlobalTrustConfig().Trust
+	solver, err := reputation.NewTrustSolver(ref, tcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,10 +206,14 @@ func TestE2EReplayEquivalence(t *testing.T) {
 	}
 	got := s.Store().TrustSnapshot()
 	wantVec := solver.TrustSnapshot().Vector
+	bound := 2 * tcfg.Epsilon / tcfg.Damping
+	l1 := 0.0
 	for i := range wantVec {
-		if got.Vector[i] != wantVec[i] {
-			t.Fatalf("trust[%d]: served %v, serial %v", i, got.Vector[i], wantVec[i])
-		}
+		l1 += math.Abs(got.Vector[i] - wantVec[i])
+	}
+	if l1 > bound {
+		t.Fatalf("trust L1 distance %v exceeds warm-start bound %v (trust[0]: served %v, serial %v)",
+			l1, bound, got.Vector[0], wantVec[0])
 	}
 }
 

@@ -52,6 +52,11 @@ type Config struct {
 	// SnapshotPath, when set, is loaded at construction (if the file
 	// exists) and written by SaveSnapshot — the warm-restart surface.
 	SnapshotPath string
+	// SolveLog, when set, is called from the solve plane after every
+	// refresh that actually solved (skipped refreshes are not reported) —
+	// the collabserve log hook. It runs on the refresh goroutine, so it
+	// must not block on the server's own handlers.
+	SolveLog func(incentive.SolveInfo)
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -94,6 +99,17 @@ type Server struct {
 	reads     atomic.Uint64 // read-plane requests served
 	refreshes atomic.Uint64 // solves that actually ran
 	solveErrs atomic.Uint64
+
+	// lastSolve mirrors the refresh goroutine's solver stats for lock-free
+	// /v1/stats reads (the GlobalTrust accessors are single-threaded).
+	lastSolve atomic.Pointer[solveRecord]
+}
+
+// solveRecord is the refresh goroutine's published view of the last solve
+// plus the cumulative solve counters.
+type solveRecord struct {
+	info                incentive.SolveInfo
+	warm, cold, skipped uint64
 }
 
 // New builds a server (loading SnapshotPath when it exists) without
@@ -183,6 +199,7 @@ func (s *Server) refreshLoop() {
 				s.solveErrs.Add(1)
 			} else if ran {
 				s.refreshes.Add(1)
+				s.recordSolve()
 			}
 		case reply := <-s.refreshReq:
 			err := s.gt.RefreshNow()
@@ -190,9 +207,21 @@ func (s *Server) refreshLoop() {
 				s.solveErrs.Add(1)
 			} else {
 				s.refreshes.Add(1)
+				s.recordSolve()
 			}
 			reply <- err
 		}
+	}
+}
+
+// recordSolve publishes the refresh goroutine's latest solver stats for
+// lock-free stats reads and feeds the SolveLog hook.
+func (s *Server) recordSolve() {
+	rec := &solveRecord{info: s.gt.LastSolve()}
+	rec.warm, rec.cold, rec.skipped = s.gt.SolveCounts()
+	s.lastSolve.Store(rec)
+	if s.cfg.SolveLog != nil && !rec.info.Skipped {
+		s.cfg.SolveLog(rec.info)
 	}
 }
 
@@ -491,6 +520,20 @@ type statsResponse struct {
 	Flushes     uint64 `json:"flushes"`
 	Pending     int64  `json:"pending"`
 	Readers     int64  `json:"readers"`
+
+	// Solver observability (ISSUE 9): what the last eigenvector solve did
+	// and the cumulative warm/cold/skipped split. Zero until the first
+	// post-Start refresh.
+	SolveIterations    int     `json:"solve_iterations"`
+	SolveConverged     bool    `json:"solve_converged"`
+	SolveWarm          bool    `json:"solve_warm"`
+	SolveSkipped       bool    `json:"solve_skipped"`
+	SolvePatternStable bool    `json:"solve_pattern_stable"`
+	SolveDirtyRows     int     `json:"solve_dirty_rows"`
+	SolveSeconds       float64 `json:"solve_seconds"`
+	WarmSolves         uint64  `json:"warm_solves"`
+	ColdSolves         uint64  `json:"cold_solves"`
+	SkippedSolves      uint64  `json:"skipped_solves"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -515,6 +558,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if snap := s.reader.TrustSnapshot(); snap != nil {
 		resp.TrustEpoch = snap.Seq
+	}
+	if rec := s.lastSolve.Load(); rec != nil {
+		resp.SolveIterations = rec.info.Stats.Iterations
+		resp.SolveConverged = rec.info.Stats.Converged
+		resp.SolveWarm = rec.info.Stats.Warm
+		resp.SolveSkipped = rec.info.Skipped
+		resp.SolvePatternStable = rec.info.Stats.Refresh.PatternStable
+		resp.SolveDirtyRows = rec.info.Stats.Refresh.RowsTouched
+		resp.SolveSeconds = rec.info.Duration.Seconds()
+		resp.WarmSolves = rec.warm
+		resp.ColdSolves = rec.cold
+		resp.SkippedSolves = rec.skipped
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

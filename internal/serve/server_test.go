@@ -6,7 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+
+	"collabnet/internal/incentive"
 )
 
 // newTestServer builds a small started server plus its HTTP front end and
@@ -280,6 +283,60 @@ func TestStatsSurface(t *testing.T) {
 	st := decodeBody[statsResponse](t, resp)
 	if !st.Started || st.Accepted != 1 || st.Applied != 1 || st.Refreshes != 1 || st.TrustEpoch == 0 {
 		t.Fatalf("stats %+v", st)
+	}
+	// Solver observability: the forced refresh solved real work, so the
+	// record must show iterations, convergence, and the solve wall time.
+	if st.SolveSkipped || st.SolveIterations == 0 || !st.SolveConverged || st.SolveSeconds <= 0 {
+		t.Fatalf("solver stats after a dirty refresh: %+v", st)
+	}
+	if st.WarmSolves+st.ColdSolves == 0 {
+		t.Fatalf("solve counters after a refresh: %+v", st)
+	}
+
+	// A second forced refresh with nothing new must surface as a skip.
+	resp = postJSON(t, ts.URL+"/v1/refresh", "")
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = decodeBody[statsResponse](t, resp)
+	if !st.SolveSkipped || st.SolveIterations != 0 || st.SkippedSolves == 0 {
+		t.Fatalf("solver stats after a zero-delta refresh: %+v", st)
+	}
+}
+
+// TestSolveLogHook pins that Config.SolveLog fires for refreshes that
+// solved and stays silent for skips.
+func TestSolveLogHook(t *testing.T) {
+	var mu sync.Mutex
+	var infos []incentive.SolveInfo
+	cfg := Config{Peers: 8, SolveLog: func(info incentive.SolveInfo) {
+		mu.Lock()
+		infos = append(infos, info)
+		mu.Unlock()
+	}}
+	_, ts := newTestServer(t, cfg)
+	resp := postJSON(t, ts.URL+"/v1/events", `{"events":[{"type":"trust","from":0,"to":1,"w":5}]}`)
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/flush", "")
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/refresh", "")
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/refresh", "") // zero-delta: skipped, not logged
+	resp.Body.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(infos) == 0 {
+		t.Fatal("SolveLog never fired")
+	}
+	for _, info := range infos {
+		if info.Skipped {
+			t.Fatalf("SolveLog fired for a skipped solve: %+v", info)
+		}
+		if info.Stats.Iterations == 0 || !info.Stats.Converged {
+			t.Fatalf("SolveLog info %+v", info)
+		}
 	}
 }
 
