@@ -13,11 +13,11 @@
 # (non-blocking in CI, threshold on the hot-path packages).
 
 GO      ?= go
-BENCH_N ?= 9
+BENCH_N ?= 10
 
 .PHONY: build test vet fmt-check check bench bench-diff bench-guard \
 	cover fuzz-smoke race-stress figure-smoke scenario-smoke \
-	serve-smoke serve-bench clean
+	serve-smoke serve-bench shard-smoke clean
 
 build:
 	$(GO) build ./...
@@ -72,7 +72,9 @@ bench-diff:
 # serve-level records (ServeLoadgen*) that `make serve-bench` merges in, so
 # the serving path's latency/throughput trajectory cannot silently drop out
 # of the file; from slot 9 on it requires the incremental-refresh records
-# (TrustRefreshIncremental*) that pin the warm-vs-cold solve trajectory.
+# (TrustRefreshIncremental*) that pin the warm-vs-cold solve trajectory;
+# from slot 10 on it requires the sharded-solver grid (EigenTrustSharded*)
+# so the per-shard scaling trajectory stays recorded.
 # CI additionally checks that a BENCH_*.json file actually changed in the
 # PR's diff (the Makefile cannot know the merge base).
 bench-guard:
@@ -89,6 +91,11 @@ bench-guard:
 	if [ "$(BENCH_N)" -ge 9 ] && ! grep -q TrustRefreshIncremental BENCH_$(BENCH_N).json; then \
 		echo "bench-guard: BENCH_$(BENCH_N).json has no TrustRefreshIncremental records —" \
 			"run 'make bench BENCH_N=$(BENCH_N)' with the incremental-refresh benchmark present"; \
+		exit 1; \
+	fi; \
+	if [ "$(BENCH_N)" -ge 10 ] && ! grep -q EigenTrustSharded BENCH_$(BENCH_N).json; then \
+		echo "bench-guard: BENCH_$(BENCH_N).json has no EigenTrustSharded records —" \
+			"run 'make bench BENCH_N=$(BENCH_N)' with the sharded-solver grid present"; \
 		exit 1; \
 	fi; \
 	echo "bench-guard: BENCH_$(BENCH_N).json present"
@@ -250,6 +257,16 @@ serve-bench:
 	kill -TERM $$pid; wait $$pid; \
 	trap - EXIT; \
 	echo "serve-bench: records merged into BENCH_$(BENCH_N).json"
+
+# shard-smoke gates the sharded EigenTrust solver end to end: it runs the
+# deterministic collusion-plus-churn workload through repinspect -shards,
+# which prints per-shard balance for K ∈ {2,4,8} and exits non-zero if any
+# sharded solve diverges bitwise from the serial reference (or needs a
+# different round count). CI runs it in the figure-smoke job.
+shard-smoke:
+	$(GO) run ./cmd/repinspect -shards -peers 300 -clique 6 -boost 0.5 \
+		-rejoin 150 -steps 2000
+	@echo "shard-smoke: ok"
 
 # clean removes scratch output only: BENCH_*.json are version-controlled
 # trajectory records the bench-diff gate depends on, so they stay.

@@ -36,6 +36,8 @@ func TestNewSchemeValidation(t *testing.T) {
 		{Kind: KindEigenTrust, Floor: -0.1},
 		{Kind: KindKarma, Concurrent: true},
 		{Kind: KindEigenTrust, Shards: 4}, // Shards without Concurrent
+		{Kind: KindEigenTrust, SolverShards: -1},
+		{Kind: KindKarma, SolverShards: 2}, // sharded solver is EigenTrust-only
 	}
 	for _, opt := range cases {
 		if _, err := NewScheme(8, opt); err == nil {
@@ -49,15 +51,18 @@ func TestNewSchemeValidation(t *testing.T) {
 func TestNewSchemeOverrides(t *testing.T) {
 	s, err := NewScheme(8, Options{
 		Kind: KindEigenTrust, RefreshEvery: 3, Floor: 0.25,
-		Concurrent: true, Shards: 2, PreTrusted: []int{1, 2},
+		Concurrent: true, Shards: 2, SolverShards: 4, PreTrusted: []int{1, 2},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := s.(*GlobalTrust)
 	if g.cfg.RefreshEvery != 3 || g.cfg.Floor != 0.25 || !g.cfg.Concurrent ||
-		g.cfg.Shards != 2 || len(g.cfg.Trust.PreTrusted) != 2 {
+		g.cfg.Shards != 2 || g.cfg.SolverShards != 4 || len(g.cfg.Trust.PreTrusted) != 2 {
 		t.Fatalf("options did not thread through: %+v", g.cfg)
+	}
+	if _, ok := g.ShardStats(); !ok {
+		t.Fatal("SolverShards option did not select the sharded solver")
 	}
 	if g.ConcurrentStore() == nil {
 		t.Fatal("Concurrent option did not select the concurrent store")

@@ -266,6 +266,12 @@ type Options struct {
 	// Shards is the concurrent store's ingest shard count (0 = default).
 	// Setting it without Concurrent is an error.
 	Shards int
+
+	// SolverShards runs KindEigenTrust's eigenvector solve on the
+	// destination-range sharded solver with that many message-passing
+	// shards (0 or 1 = single workspace; results are bit-identical either
+	// way). Setting it for any other kind is an error.
+	SolverShards int
 }
 
 // validate reports the first incoherent cross-field combination. Per-kind
@@ -285,6 +291,12 @@ func (o Options) validate() error {
 	}
 	if o.Shards != 0 && !o.Concurrent {
 		return fmt.Errorf("incentive: Shards requires Concurrent")
+	}
+	if o.SolverShards < 0 {
+		return fmt.Errorf("incentive: SolverShards must be >= 0, got %d", o.SolverShards)
+	}
+	if o.SolverShards != 0 && o.Kind != KindEigenTrust {
+		return fmt.Errorf("incentive: SolverShards requires KindEigenTrust, got %s", o.Kind)
 	}
 	return nil
 }
@@ -326,6 +338,7 @@ func NewScheme(n int, opt Options) (Scheme, error) {
 		}
 		cfg.Concurrent = opt.Concurrent
 		cfg.Shards = opt.Shards
+		cfg.SolverShards = opt.SolverShards
 		return NewGlobalTrust(n, cfg)
 	case KindMaxFlow:
 		cfg := DefaultFlowTrustConfig()

@@ -46,19 +46,69 @@ type CSR struct {
 	// cur is the scatter-cursor scratch, reused by Rebuild.
 	cur []int
 
-	// Edge-log fast-path key: when the CSR was last built from logSrc at
-	// pattern generation logPatGen, a Refresh against the same compacted
-	// graph is a pure value copy — no per-row pattern probing at all.
-	// logDirtyGen additionally records the log's dirty-row consumption
-	// generation at the last refresh: when it still matches, this CSR saw
-	// every earlier delta and only the currently-dirty rows need work; a
-	// mismatch means another consumer drained the set in between, so the
-	// refresh falls back to the full value copy.
-	logSrc      *LogGraph
-	logPatGen   uint64
-	logDirtyGen uint64
+	// follow tracks this CSR's refresh position against the edge-log graph
+	// it was last built from (pattern and dirty-consumption generations) —
+	// the shared plumbing that picks between the rebuild, full-value-copy,
+	// and dirty-rows-only paths.
+	follow logFollower
 
 	lastRefresh RefreshStats
+}
+
+// logFollower tracks one consumer's refresh position against a LogGraph:
+// which log it last built from, at which sparsity-pattern generation, and at
+// which dirty-row consumption generation. Both the EigenTrust CSR and the
+// sharded-solver ShardPlan embed one, so every slice consumer classifies its
+// refresh the same way and reports the same RefreshStats vocabulary instead
+// of silently falling back to a full copy.
+type logFollower struct {
+	src      *LogGraph
+	patGen   uint64
+	dirtyGen uint64
+}
+
+// refreshPath classifies what a refresh against a compacted LogGraph must do
+// for a consumer currently sized for n rows.
+type refreshPath int
+
+const (
+	// refreshRebuild: the sparsity pattern changed, the size changed, or the
+	// consumer was built from a different (or no) log — full structural
+	// rebuild.
+	refreshRebuild refreshPath = iota
+	// refreshFullCopy: pattern stable, but another consumer drained a dirty
+	// span this one never saw — every row's values must be re-copied.
+	refreshFullCopy
+	// refreshDirtyOnly: pattern stable and this consumer saw every earlier
+	// delta — only the currently-dirty rows need work.
+	refreshDirtyOnly
+)
+
+// path classifies the refresh g requires. g must already be compacted.
+func (f *logFollower) path(g *LogGraph, n int) refreshPath {
+	if f.src != g || f.patGen != g.patGen || n != g.n {
+		return refreshRebuild
+	}
+	if f.dirtyGen != g.dirtyGen {
+		return refreshFullCopy
+	}
+	return refreshDirtyOnly
+}
+
+// rebuilt records that the consumer has just fully rebuilt from g, which
+// subsumes every pending delta.
+func (f *logFollower) rebuilt(g *LogGraph) {
+	f.src = g
+	f.patGen = g.patGen
+	g.consumeDirty()
+	f.dirtyGen = g.dirtyGen
+}
+
+// consumed records that the consumer folded in (or refreshed past) every
+// pending dirty row of g.
+func (f *logFollower) consumed(g *LogGraph) {
+	g.consumeDirty()
+	f.dirtyGen = g.dirtyGen
 }
 
 // RefreshStats describes what the most recent Rebuild/Refresh call did —
@@ -141,7 +191,7 @@ func (c *CSR) Rebuild(g Graph) {
 // rebuildFromMap is the map-backed build: the original three-pass
 // counting-scatter construction reading the row maps directly.
 func (c *CSR) rebuildFromMap(g *TrustGraph) {
-	c.logSrc = nil
+	c.follow = logFollower{}
 	n := g.Len()
 	if n > math.MaxInt32 {
 		// int32 column indices bound the representation; graphs beyond
@@ -271,10 +321,7 @@ func (c *CSR) rebuildFromLog(g *LogGraph) {
 		}
 	}
 	c.normalizeFromRaw()
-	c.logSrc = g
-	c.logPatGen = g.patGen
-	g.consumeDirty()
-	c.logDirtyGen = g.dirtyGen
+	c.follow.rebuilt(g)
 	c.lastRefresh = RefreshStats{RowsTouched: n}
 }
 
@@ -282,7 +329,7 @@ func (c *CSR) rebuildFromLog(g *LogGraph) {
 // its OutEdges iterator, with the same two-scatter no-sort construction and
 // the same arithmetic order as the specialized builds.
 func (c *CSR) rebuildGeneric(g Graph) {
-	c.logSrc = nil
+	c.follow = logFollower{}
 	n := g.Len()
 	if n > math.MaxInt32 {
 		panic("reputation: CSR supports at most 2^31-1 peers")
@@ -397,29 +444,30 @@ func (c *CSR) Refresh(g Graph) bool {
 		return ok
 	case *LogGraph:
 		t.Compact()
-		if c.logSrc == t && c.logPatGen == t.patGen && c.n == t.n {
-			if c.logDirtyGen == t.dirtyGen {
-				// Rows outside the pending dirty set already hold the
-				// normalized form of their current weights; refresh only
-				// what changed. Per-row normalization is row-local, so the
-				// result is bit-identical to the full pass below.
-				for _, r := range t.dirtyRows {
-					lo, hi := c.rowPtr[r], c.rowPtr[r+1]
-					copy(c.val[lo:hi], t.val[lo:hi])
-					c.normalizeRow(int(r))
-				}
-				c.lastRefresh = RefreshStats{PatternStable: true, DirtyOnly: true, RowsTouched: len(t.dirtyRows)}
-			} else {
-				copy(c.val, t.val)
-				c.normalizeFromRaw()
-				c.lastRefresh = RefreshStats{PatternStable: true, RowsTouched: c.n}
+		switch c.follow.path(t, c.n) {
+		case refreshDirtyOnly:
+			// Rows outside the pending dirty set already hold the
+			// normalized form of their current weights; refresh only
+			// what changed. Per-row normalization is row-local, so the
+			// result is bit-identical to the full pass below.
+			for _, r := range t.dirtyRows {
+				lo, hi := c.rowPtr[r], c.rowPtr[r+1]
+				copy(c.val[lo:hi], t.val[lo:hi])
+				c.normalizeRow(int(r))
 			}
-			t.consumeDirty()
-			c.logDirtyGen = t.dirtyGen
+			c.lastRefresh = RefreshStats{PatternStable: true, DirtyOnly: true, RowsTouched: len(t.dirtyRows)}
+			c.follow.consumed(t)
 			return true
+		case refreshFullCopy:
+			copy(c.val, t.val)
+			c.normalizeFromRaw()
+			c.lastRefresh = RefreshStats{PatternStable: true, RowsTouched: c.n}
+			c.follow.consumed(t)
+			return true
+		default:
+			c.rebuildFromLog(t)
+			return false
 		}
-		c.rebuildFromLog(t)
-		return false
 	default:
 		c.rebuildGeneric(g)
 		c.lastRefresh = RefreshStats{RowsTouched: c.n}
@@ -429,7 +477,7 @@ func (c *CSR) Refresh(g Graph) bool {
 
 // refreshFromMap is Refresh for the map-backed reference graph.
 func (c *CSR) refreshFromMap(g *TrustGraph) bool {
-	if g.Len() != c.n || c.logSrc != nil {
+	if g.Len() != c.n || c.follow.src != nil {
 		c.rebuildFromMap(g)
 		return false
 	}

@@ -91,6 +91,33 @@
 // per-source sequences. Trust vectors computed at a refresh are published
 // as immutable TrustSnapshot values readers grab with one atomic load.
 //
+// # Destination-range sharded solver
+//
+// ShardedWorkspace runs the power iteration across K shards that
+// communicate only by message passing — goroutines and explicit channels
+// stand in for network processes, so the per-round exchange protocol (not
+// shared memory) is what the implementation exercises. Each shard owns the
+// contiguous destination range ShardRange(n, K, s) of the transposed CSR;
+// LogGraph compaction emits the per-shard slices directly (emitShardSlices
+// into a ShardPlan), so no shard materializes the global matrix and a
+// slice's nnz shrinks proportionally with K. Per round a shard gathers its
+// output rows from its local copy of the t-vector, ships the slice to the
+// K−1 peers and the combiner, and waits for the combiner's continue/stop
+// broadcast; links are double-buffered by round parity so a sender one
+// round ahead never overwrites a slice a slower receiver still reads.
+//
+// Bit-identity with the serial solver holds for every shard count because
+// sharding only moves where a component is computed, never the arithmetic
+// order: each destination gathers sources ascending exactly as the serial
+// loop does, dangling mass and renormalization sum serially in index
+// order, and the convergence decision is made once by the combiner over
+// the assembled full vector — per-shard partial deltas would regroup the
+// float additions and could flip the Epsilon stopping test. ShardPlan
+// shares the dirty-row refresh path with CSR (pattern-stable churn
+// re-normalizes only the touched rows in the affected slices), warm starts
+// work exactly as in the serial workspace, and ShardStats reports rounds,
+// exchange bytes (8·n·K·(1+rounds)), and per-shard rows/nnz.
+//
 // # Determinism
 //
 // EigenTrust, EigenTrustDense, EigenTrustWorkspace.Compute, and

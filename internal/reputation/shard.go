@@ -1,0 +1,197 @@
+package reputation
+
+import "fmt"
+
+// This file is the data half of the destination-range sharded EigenTrust
+// solver (the round protocol lives in shardsolver.go): ShardSlice is what
+// one shard of a distributed deployment would hold — a contiguous
+// destination range of the transposed, normalized local-trust matrix and
+// nothing else — and ShardPlan is the compaction-side bookkeeping that
+// emits and incrementally refreshes the K slices straight from a
+// LogGraph's compacted adjacency, without ever materializing a global CSR
+// on the sharded path.
+
+// ShardSlice is one destination-range slice of the transposed local-trust
+// matrix: everything shard s needs to compute components [Lo,Hi) of a
+// power iteration from a full t-vector, and nothing else. The layout
+// mirrors the global CSR's transpose restricted to the range — for each
+// owned destination j, TColIdx holds the sources trusting j in strictly
+// ascending order and TVal the normalized weights c_ij — so a dot product
+// over a slice row accumulates in exactly the order the serial solver
+// uses, which is what makes the sharded solve bit-identical.
+type ShardSlice struct {
+	// Lo, Hi bound the owned destination range [Lo, Hi).
+	Lo, Hi int
+	// N is the total peer count (matrix dimension); source indices in
+	// TColIdx are global, in [0, N).
+	N int
+	// TRowPtr is local: entries of owned destination j live at
+	// [TRowPtr[j-Lo], TRowPtr[j-Lo+1]) in TColIdx/TVal.
+	TRowPtr []int
+	TColIdx []int32
+	TVal    []float64
+	// Dangling is this shard's own copy of the global dangling-row list
+	// (peers with no outgoing trust, ascending). Every shard carries the
+	// full list because the dangling mass is a sum over the full t-vector,
+	// which each shard assembles from the exchanged slices anyway.
+	Dangling []int32
+}
+
+// Rows returns the number of destinations the slice owns.
+func (s *ShardSlice) Rows() int { return s.Hi - s.Lo }
+
+// NNZ returns the number of stored normalized trust entries.
+func (s *ShardSlice) NNZ() int { return len(s.TVal) }
+
+// danglingMass sums t over the dangling rows in ascending order — the same
+// loop, in the same order, as CSR.danglingMass.
+func (s *ShardSlice) danglingMass(t []float64) float64 {
+	dm := 0.0
+	for _, i := range s.Dangling {
+		dm += t[i]
+	}
+	return dm
+}
+
+// gather computes dst[0:Rows()] = components [Lo,Hi) of one power
+// iteration from the full previous iterate src. p is the pre-trust
+// distribution restricted to the owned range (p[r] = global p[Lo+r]), dm
+// the dangling mass of src. Per component this is the identical expression,
+// with the identical accumulation order, as EigenTrustWorkspace.gatherRange.
+func (s *ShardSlice) gather(dst, src, p []float64, damping, dm float64) {
+	a := damping
+	om := 1 - a
+	tp, tc, tv := s.TRowPtr, s.TColIdx, s.TVal
+	for r := 0; r < s.Hi-s.Lo; r++ {
+		sum := 0.0
+		for e := tp[r]; e < tp[r+1]; e++ {
+			sum += src[tc[e]] * tv[e]
+		}
+		dst[r] = om*(sum+dm*p[r]) + a*p[r]
+	}
+}
+
+// ShardRange returns the destination range [lo, hi) that shard s of k owns
+// over an n-peer graph — the same contiguous equal split the in-process
+// parallel workers use, so shard boundaries line up with worker boundaries.
+func ShardRange(n, k, s int) (lo, hi int) {
+	return s * n / k, (s + 1) * n / k
+}
+
+// ShardPlan owns the K destination-range slices emitted from one LogGraph
+// compaction plus the bookkeeping to refresh them incrementally. It embeds
+// the same logFollower the CSR uses, so a pattern-stable refresh against
+// the log takes the dirty-rows-only path (or the full value copy when
+// another consumer drained a dirty span first) and reports the same
+// RefreshStats vocabulary — per-shard slices never silently degrade to a
+// structural rebuild.
+type ShardPlan struct {
+	k, n   int
+	slices []ShardSlice
+
+	// shardOf[j] is the shard owning destination j (the boundary partition
+	// is not invertible by a closed-form floor expression).
+	shardOf []int32
+	// eShard[e]/ePos[e] locate forward entry e of the compacted adjacency
+	// inside the slices: slices[eShard[e]].TVal[ePos[e]]. The value-only
+	// refresh rewrites dirty rows through this map.
+	eShard []int32
+	ePos   []int
+	// dang is the global dangling list scratch; each slice gets a copy.
+	dang []int32
+	// cur is the scatter-cursor scratch, reused across emissions.
+	cur []int
+
+	follow      logFollower
+	lastRefresh RefreshStats
+}
+
+// NewShardPlan emits the k destination-range slices of g's normalized
+// local-trust matrix. k must be at least 1; k larger than the peer count is
+// allowed (the surplus shards own empty ranges).
+func NewShardPlan(g *LogGraph, k int) (*ShardPlan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("reputation: shard plan needs at least 1 shard, got %d", k)
+	}
+	p := newShardPlan(k)
+	g.emitShardSlices(p)
+	return p, nil
+}
+
+// newShardPlan returns an empty plan; the first Refresh emits the slices.
+func newShardPlan(k int) *ShardPlan {
+	return &ShardPlan{k: k, slices: make([]ShardSlice, k)}
+}
+
+// Shards returns the number of slices k.
+func (p *ShardPlan) Shards() int { return p.k }
+
+// Len returns the number of peers the slices were emitted for.
+func (p *ShardPlan) Len() int { return p.n }
+
+// NNZ returns the total number of stored entries across all slices.
+func (p *ShardPlan) NNZ() int {
+	nnz := 0
+	for i := range p.slices {
+		nnz += p.slices[i].NNZ()
+	}
+	return nnz
+}
+
+// Slices returns the plan's slices. The returned slice and its contents are
+// owned by the plan and remain valid until the next Refresh.
+func (p *ShardPlan) Slices() []ShardSlice { return p.slices }
+
+// Slice returns slice s.
+func (p *ShardPlan) Slice(s int) *ShardSlice { return &p.slices[s] }
+
+// LastRefresh returns what the most recent emission/Refresh call did.
+func (p *ShardPlan) LastRefresh() RefreshStats { return p.lastRefresh }
+
+// Refresh incrementally updates the slices from g, reporting true when the
+// sparsity pattern was stable (value-only path). The tri-path decision
+// mirrors CSR.Refresh exactly: dirty-rows-only when this plan consumed
+// every earlier delta, full value renormalization when another consumer
+// drained a dirty span in between, structural re-emission otherwise. All
+// three paths leave every slice bit-identical to a fresh emission.
+func (p *ShardPlan) Refresh(g *LogGraph) bool {
+	g.Compact()
+	switch p.follow.path(g, p.n) {
+	case refreshDirtyOnly:
+		for _, r := range g.dirtyRows {
+			p.renormalizeRow(g, int(r))
+		}
+		p.lastRefresh = RefreshStats{PatternStable: true, DirtyOnly: true, RowsTouched: len(g.dirtyRows)}
+		p.follow.consumed(g)
+		return true
+	case refreshFullCopy:
+		for i := 0; i < p.n; i++ {
+			p.renormalizeRow(g, i)
+		}
+		p.lastRefresh = RefreshStats{PatternStable: true, RowsTouched: p.n}
+		p.follow.consumed(g)
+		return true
+	default:
+		g.emitShardSlices(p)
+		return false
+	}
+}
+
+// renormalizeRow recomputes the normalized values of forward row i from g's
+// raw weights and writes them into the owning slices through the
+// eShard/ePos map. Row-local and bit-identical to the emission's division
+// (same divisor accumulation order, same expression), so refreshing any
+// subset of changed rows equals a full re-emission.
+func (p *ShardPlan) renormalizeRow(g *LogGraph, i int) {
+	lo, hi := g.rowPtr[i], g.rowPtr[i+1]
+	if lo == hi {
+		return
+	}
+	sum := 0.0
+	for e := lo; e < hi; e++ {
+		sum += g.val[e]
+	}
+	for e := lo; e < hi; e++ {
+		p.slices[p.eShard[e]].TVal[p.ePos[e]] = g.val[e] / sum
+	}
+}
